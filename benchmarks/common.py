@@ -1,0 +1,75 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper.  Experiments
+are cached per-session (several tables read the same faultload runs), all
+output is written both to ``bench_reports/`` and to the real stdout (so it
+survives pytest's capture into ``bench_output.txt``), and the scale is the
+compressed ``bench_scale`` unless ``REPRO_FULL_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+from repro.harness.config import ClusterConfig, active_scale
+from repro.harness.experiments import (
+    ExperimentResult,
+    run_baseline,
+    run_delayed_recovery,
+    run_one_crash,
+    run_two_crashes,
+)
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
+
+_RUNNERS: Dict[str, Callable[[ClusterConfig], ExperimentResult]] = {
+    "baseline": run_baseline,
+    "one_crash": run_one_crash,
+    "two_crashes": run_two_crashes,
+    "delayed": run_delayed_recovery,
+}
+
+_CACHE: Dict[Tuple, ExperimentResult] = {}
+
+#: Replica counts for the Figure 3/4 sweeps (the paper sweeps 4..12; the
+#: bench uses the endpoints and midpoint unless REPRO_FULL_SWEEP=1).
+def sweep_replicas():
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        return (4, 5, 6, 7, 8, 9, 10, 11, 12)
+    return (4, 8, 12)
+
+
+def scale():
+    return active_scale()
+
+
+def experiment(kind: str, **config_overrides) -> ExperimentResult:
+    """Run (or fetch from cache) one experiment.
+
+    The cache key is built from the *resolved* configuration, so spelling
+    a default explicitly (e.g. ``num_ebs=30``) still hits the cache.
+    """
+    config = ClusterConfig(scale=scale(), **config_overrides)
+    key = (kind, scale().name, config.replicas, config.num_ebs,
+           config.profile, config.offered_wips, config.think_time_s,
+           config.enable_fast, config.seed, config.use_navigation,
+           config.paxos_overrides, config.treplica_overrides)
+    if key not in _CACHE:
+        _CACHE[key] = _RUNNERS[kind](config)
+    return _CACHE[key]
+
+
+def emit(name: str, text: str) -> None:
+    """Write a report to bench_reports/<name>.txt and the real stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    sys.__stdout__.write(f"\n{text}\n")
+    sys.__stdout__.flush()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These do not reproduce a specific paper table; they quantify the design
+decisions the paper (and Treplica) relies on:
+
+* the fast/classic mode rule (Section 2): fast rounds save a message
+  delay at low write contention, classic ballots are the fallback;
+* batching (group commit) on the ordering path;
+* parallel checkpoint-load / queue-resync during recovery (Section 5.4);
+* the paper's think-time reduction (Section 5.1): 1 s vs the spec's 7 s
+  think time "does not change the read/write ratio or the probabilistic
+  characteristics" of the workload.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+
+from benchmarks.common import emit, experiment, run_once
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_fast_vs_classic_paxos(benchmark):
+    def run():
+        fast = experiment("baseline", replicas=5, profile="shopping",
+                          offered_wips=1200.0, enable_fast=True)
+        classic = experiment("baseline", replicas=5, profile="shopping",
+                             offered_wips=1200.0, enable_fast=False)
+        return fast.whole_window(), classic.whole_window()
+
+    fast, classic = run_once(benchmark, run)
+    emit("ablation_paxos_modes", format_table(
+        "Ablation: Fast Paxos vs classic Paxos (5R shopping, moderate load)",
+        ["mode", "AWIPS", "mean WIRT ms", "p90 WIRT ms"],
+        [["fast", f"{fast.awips:.1f}", f"{fast.mean_wirt_s*1000:.1f}",
+          f"{fast.p90_wirt_s*1000:.1f}"],
+         ["classic", f"{classic.awips:.1f}", f"{classic.mean_wirt_s*1000:.1f}",
+          f"{classic.p90_wirt_s*1000:.1f}"]]))
+    # Both modes sustain the offered load; neither collapses.
+    assert fast.awips > 0.85 * classic.awips
+    assert classic.awips > 0.85 * fast.awips
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batching(benchmark):
+    def run():
+        batched = experiment("baseline", replicas=5, profile="ordering",
+                             offered_wips=1200.0)
+        unbatched = experiment("baseline", replicas=5, profile="ordering",
+                               offered_wips=1200.0,
+                               paxos_overrides=(("max_batch", 1),
+                                                ("batch_window_s", 0.0005)))
+        return batched.whole_window(), unbatched.whole_window()
+
+    batched, unbatched = run_once(benchmark, run)
+    emit("ablation_batching", format_table(
+        "Ablation: group commit batching (5R ordering)",
+        ["config", "AWIPS", "mean WIRT ms"],
+        [["batched (default)", f"{batched.awips:.1f}",
+          f"{batched.mean_wirt_s*1000:.1f}"],
+         ["batch=1", f"{unbatched.awips:.1f}",
+          f"{unbatched.mean_wirt_s*1000:.1f}"]]))
+    # Without batching the fsync-per-command ordering path backs up:
+    # response times degrade markedly.
+    assert unbatched.mean_wirt_s > 1.2 * batched.mean_wirt_s
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_parallel_vs_sequential_recovery(benchmark):
+    def run():
+        parallel = experiment("one_crash", replicas=5, profile="ordering",
+                              num_ebs=50)
+        sequential = experiment("one_crash", replicas=5, profile="ordering",
+                                num_ebs=50,
+                                treplica_overrides=(("sequential_recovery",
+                                                     True),))
+        return parallel, sequential
+
+    parallel, sequential = run_once(benchmark, run)
+    p_time = parallel.recovery_times()[0]
+    s_time = sequential.recovery_times()[0]
+    emit("ablation_recovery", format_table(
+        "Ablation: parallel vs sequential recovery (5R ordering, 500MB)",
+        ["scheme", "recovery s"],
+        [["parallel (paper)", f"{p_time:.1f}"],
+         ["sequential", f"{s_time:.1f}"]]))
+    # The overlap saves (at most) the queue-resync *fetch* phase.  On our
+    # substrate the fetch is network-bound and small, so parallel may only
+    # tie sequential -- the honest finding recorded in EXPERIMENTS.md; the
+    # ordering profile's recovery-time leveling (Figure 6) comes from the
+    # size-independent backlog-apply share instead.
+    assert p_time <= s_time + 0.5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cbmg_navigation_vs_mix_sampling(benchmark):
+    """The RBEs can walk the full CBMG page graph instead of sampling the
+    steady-state mix directly; the fitted graph's stationary distribution
+    equals the spec mix, so throughput and update ratio must agree --
+    validating the mix-sampling substitution documented in DESIGN.md."""
+    def run():
+        mix = experiment("baseline", replicas=5, profile="shopping",
+                         offered_wips=1200.0)
+        cbmg = experiment("baseline", replicas=5, profile="shopping",
+                          offered_wips=1200.0, use_navigation=True)
+        return mix, cbmg
+
+    mix, cbmg = run_once(benchmark, run)
+    a, b = mix.whole_window(), cbmg.whole_window()
+
+    def update_fraction(result):
+        from repro.tpcw.workload import UPDATE_INTERACTIONS
+        samples = [s for s in result.collector.samples if s[3]]
+        updates = sum(1 for s in samples if s[2] in UPDATE_INTERACTIONS)
+        return updates / len(samples)
+
+    emit("ablation_navigation", format_table(
+        "Ablation: CBMG navigation vs steady-state mix sampling",
+        ["RBE model", "AWIPS", "mean WIRT ms", "update fraction"],
+        [["mix sampling", f"{a.awips:.1f}", f"{a.mean_wirt_s*1000:.1f}",
+          f"{update_fraction(mix):.3f}"],
+         ["CBMG walk", f"{b.awips:.1f}", f"{b.mean_wirt_s*1000:.1f}",
+          f"{update_fraction(cbmg):.3f}"]]))
+    assert b.awips == pytest.approx(a.awips, rel=0.08)
+    assert update_fraction(cbmg) == pytest.approx(update_fraction(mix),
+                                                  abs=0.03)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_think_time_invariance(benchmark):
+    def run():
+        fast_think = experiment("baseline", replicas=5, profile="shopping",
+                                offered_wips=800.0, think_time_s=1.0)
+        slow_think = experiment("baseline", replicas=5, profile="shopping",
+                                offered_wips=800.0, think_time_s=7.0)
+        return fast_think, slow_think
+
+    fast_think, slow_think = run_once(benchmark, run)
+    a = fast_think.whole_window()
+    b = slow_think.whole_window()
+
+    def update_fraction(result):
+        from repro.tpcw.workload import UPDATE_INTERACTIONS
+        samples = [s for s in result.collector.samples if s[3]]
+        updates = sum(1 for s in samples if s[2] in UPDATE_INTERACTIONS)
+        return updates / len(samples)
+
+    emit("ablation_think_time", format_table(
+        "Ablation: think time 1 s vs 7 s at equal offered WIPS (Section 5.1)",
+        ["think", "#RBEs", "AWIPS", "update fraction"],
+        [["1 s", fast_think.config.num_rbes, f"{a.awips:.1f}",
+          f"{update_fraction(fast_think):.3f}"],
+         ["7 s", slow_think.config.num_rbes, f"{b.awips:.1f}",
+          f"{update_fraction(slow_think):.3f}"]]))
+    # Same offered load, 7x the RBEs: throughput and mix are unchanged.
+    assert b.awips == pytest.approx(a.awips, rel=0.1)
+    assert update_fraction(slow_think) == pytest.approx(
+        update_fraction(fast_think), abs=0.03)

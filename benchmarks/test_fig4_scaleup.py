@@ -1,0 +1,73 @@
+"""Figure 4 + Section 5.3 -- Scaleup at a fixed 1000 WIPS offered load.
+
+Paper claims reproduced here:
+
+* browsing scales ideally (a flat WIPS line);
+* shopping and ordering decline only gently as replicas are added
+  (paper: ~-0.85%/replica shopping, ~-2.1%/replica ordering);
+* delivered WIPS and WIRT are strongly linearly correlated for the
+  write-heavy profiles (paper: r^2 = 0.8788 browsing, 0.9976 shopping,
+  0.9958 ordering).
+"""
+
+import pytest
+
+from repro.harness.report import format_table, linear_regression
+
+from benchmarks.common import emit, experiment, run_once, sweep_replicas
+
+PAPER_R2 = {"browsing": 0.8788, "shopping": 0.9976, "ordering": 0.9958}
+PAPER_SLOPE_PCT = {"browsing": 0.0, "shopping": -0.85, "ordering": -2.1}
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_scaleup(benchmark):
+    def run():
+        points = {}
+        for profile in ("browsing", "shopping", "ordering"):
+            for replicas in sweep_replicas():
+                result = experiment("baseline", replicas=replicas,
+                                    profile=profile, offered_wips=1000.0)
+                stats = result.whole_window()
+                points[(profile, replicas)] = (stats.awips,
+                                               stats.mean_wirt_s * 1000.0)
+        return points
+
+    points = run_once(benchmark, run)
+    replicas_list = sweep_replicas()
+
+    rows = []
+    slopes = {}
+    correlations = {}
+    for profile in ("browsing", "shopping", "ordering"):
+        series = [(replicas, points[(profile, replicas)][0])
+                  for replicas in replicas_list]
+        slope, intercept, _r2 = linear_regression(series)
+        base = series[0][1]
+        slopes[profile] = 100.0 * slope / base  # % per replica added
+        wips_wirt = [(points[(profile, r)][0], points[(profile, r)][1])
+                     for r in replicas_list]
+        _s, _i, r2 = linear_regression(wips_wirt)
+        correlations[profile] = r2
+        for replicas in replicas_list:
+            wips, wirt = points[(profile, replicas)]
+            rows.append([f"{profile} {replicas}R", f"{wips:.0f}",
+                         f"{wirt:.0f}"])
+        rows.append([f"{profile} slope %/replica",
+                     f"{slopes[profile]:+.2f} (paper {PAPER_SLOPE_PCT[profile]:+.2f})",
+                     f"r2={r2:.3f} (paper {PAPER_R2[profile]:.3f})"])
+    emit("fig4_scaleup", format_table(
+        "Figure 4: scaleup at 1000 offered WIPS",
+        ["config", "WIPS", "WIRT ms / fit"], rows))
+
+    # Shape assertions.
+    assert abs(slopes["browsing"]) < 1.0       # near-ideal scaleup
+    assert slopes["ordering"] <= slopes["browsing"] + 0.5
+    for replicas in replicas_list:
+        assert points[("ordering", replicas)][1] > points[("browsing", replicas)][1]
+    # WIPS stays within a few percent of offered for every profile.
+    offered = 1000.0 / experiment("baseline", replicas=4, profile="browsing",
+                                  offered_wips=1000.0).config.scale.load_div
+    for profile in ("browsing", "shopping"):
+        for replicas in replicas_list:
+            assert points[(profile, replicas)][0] > 0.93 * offered

@@ -1,0 +1,46 @@
+"""Figure 5 -- WIPS histogram around one crash (5 replicas, 3 profiles).
+
+Paper claims reproduced here (Section 5.4): the crash produces a short,
+bounded dip; after the load surge is redistributed, average performance
+returns close to the pre-failure level while recovery is still running;
+throughput never goes to zero (continuous availability).
+"""
+
+import pytest
+
+from repro.harness.report import format_series
+
+from benchmarks.common import emit, experiment, run_once
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("profile", ["browsing", "shopping", "ordering"])
+def test_fig5_one_crash_timeline(benchmark, profile):
+    result = run_once(benchmark, lambda: experiment(
+        "one_crash", replicas=5, profile=profile))
+
+    series = result.wips_series()
+    crash_at = result.first_crash_at
+    ready_at = result.last_ready_at
+    text = format_series(
+        f"Figure 5 ({profile}): one crash at t={crash_at:.0f}s, "
+        f"recovered at t={ready_at:.0f}s",
+        series, x_label="t(s)", y_label="WIPS")
+    emit(f"fig5_one_crash_{profile}", text)
+
+    # Continuous availability: every bucket after ramp-up delivers service.
+    in_measure = [(t, w) for t, w in series
+                  if result.measure_start <= t < result.measure_end]
+    assert all(w > 0 for _t, w in in_measure)
+    # The dip is bounded: the worst bucket during recovery stays above
+    # 50% of the failure-free average (the paper's worst valley is ~17%
+    # below average for ordering; ours is checked loosely).
+    ff = result.failure_free_window().awips
+    recovery_buckets = [w for t, w in in_measure if crash_at <= t <= ready_at]
+    assert recovery_buckets, "no buckets in the recovery window"
+    assert min(recovery_buckets) > 0.5 * ff
+    # Performance returns to pre-crash level after recovery.
+    after = [w for t, w in in_measure if t > ready_at]
+    if after:
+        tail_awips = sum(after) / len(after)
+        assert tail_awips > 0.9 * ff

@@ -1,0 +1,89 @@
+"""Figure 7 + Tables 3/4 -- Two overlapped crashes, autonomous recoveries.
+
+Paper claims reproduced here (Section 5.5):
+
+* two concurrent crashes (t=240 s and t=270 s) are absorbed with a small
+  performance loss (paper: largest PV -4.7% at 5 replicas, -2.9% at 8);
+* both replicas rejoin autonomously in about a minute (500 MB states);
+* accuracy stays at three 9s or better (paper: 99.978-99.999%);
+* throughput never reaches zero (continuous availability).
+"""
+
+import pytest
+
+from repro.harness.report import format_series, format_table
+
+from benchmarks.common import emit, experiment, run_once
+
+PAPER_TABLE3_PV = {
+    (5, "browsing"): -3.0, (5, "shopping"): -3.7, (5, "ordering"): -4.7,
+    (8, "browsing"): -2.0, (8, "shopping"): -1.8, (8, "ordering"): -2.9,
+}
+PAPER_TABLE4_ACC = {
+    (5, "browsing"): 99.998, (5, "shopping"): 99.993, (5, "ordering"): 99.978,
+    (8, "browsing"): 99.999, (8, "shopping"): 99.998, (8, "ordering"): 99.978,
+}
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_two_crash_timelines(benchmark):
+    def run():
+        return {profile: experiment("two_crashes", replicas=5,
+                                    num_ebs=50, profile=profile)
+                for profile in ("browsing", "shopping", "ordering")}
+
+    results = run_once(benchmark, run)
+    for profile, result in results.items():
+        series = result.wips_series()
+        emit(f"fig7_two_crashes_{profile}", format_series(
+            f"Figure 7 ({profile}): crashes at t="
+            f"{result.first_crash_at:.0f}s, all recovered at t="
+            f"{result.last_ready_at:.0f}s", series,
+            x_label="t(s)", y_label="WIPS"))
+        in_measure = [w for t, w in series
+                      if result.measure_start <= t < result.measure_end]
+        assert all(w > 0 for w in in_measure)  # never unavailable
+        assert len(result.recoveries) == 2
+        assert all(r["ready_at"] is not None for r in result.recoveries)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_table4_two_crashes(benchmark):
+    def run():
+        return {(replicas, profile): experiment(
+                    "two_crashes", replicas=replicas, profile=profile)
+                for replicas in (5, 8)
+                for profile in ("browsing", "shopping", "ordering")}
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for (replicas, profile), result in results.items():
+        ff = result.failure_free_window()
+        rec = result.recovery_window()
+        pv = result.pv_pct()
+        accuracy = result.accuracy_pct()
+        rows.append([f"{replicas}/{profile[0]}",
+                     f"{ff.awips:.1f}", f"{ff.cv:.2f}",
+                     f"{rec.awips:.1f}", f"{pv:+.1f}",
+                     f"{PAPER_TABLE3_PV[(replicas, profile)]:+.1f}",
+                     f"{accuracy:.3f}",
+                     f"{PAPER_TABLE4_ACC[(replicas, profile)]:.3f}"])
+        # Shape: bounded dip, high accuracy, total autonomy.  Ordering
+        # runs deeper in saturation here than the paper's testbed (its
+        # WIRT is ~1 s), so more requests are in flight per crash; its
+        # accuracy bound is accordingly looser (see EXPERIMENTS.md).
+        assert pv > -30.0
+        assert accuracy >= (99.7 if profile == "ordering" else 99.85)
+        assert result.autonomy_ratio() == 0.0
+        assert result.availability() == 1.0
+    emit("table3_table4_two_crashes", format_table(
+        "Tables 3/4: two overlapped crashes",
+        ["R/P", "ff AWIPS", "CV", "rec AWIPS", "PV% meas", "PV% paper",
+         "acc% meas", "acc% paper"], rows))
+    # 8 replicas absorb the double crash better than 5 on average.
+    mean5 = sum(results[(5, p)].pv_pct()
+                for p in ("browsing", "shopping", "ordering")) / 3
+    mean8 = sum(results[(8, p)].pv_pct()
+                for p in ("browsing", "shopping", "ordering")) / 3
+    assert mean8 > mean5

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the consensus core (library performance, not a
+paper figure): decided commands per simulated second and per wall second,
+for classic and fast modes."""
+
+import pytest
+
+from repro.paxos import Command, PaxosConfig, PaxosEngine
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+
+
+def drive_engine(enable_fast: bool, n: int = 5, commands: int = 400):
+    sim = Simulator()
+    seed = SeedTree(1)
+    network = Network(sim, NetworkParams(), seed=seed)
+    nodes = [Node(sim, network, f"r{i}") for i in range(n)]
+    names = [node.name for node in nodes]
+    config = PaxosConfig(enable_fast=enable_fast)
+    engines = [PaxosEngine(node, names, i, config, seed)
+               for i, node in enumerate(nodes)]
+    delivered = []
+
+    def consumer(engine):
+        while True:
+            _instance, fresh = yield engine.delivery.get()
+            delivered.extend(fresh)
+
+    for node, engine in zip(nodes, engines):
+        engine.start()
+        node.spawn(consumer(engine))
+    sim.run(until=1.0)
+
+    def feeder():
+        for k in range(commands):
+            engines[k % n].submit(Command(f"c{k}", None))
+            yield sim.timeout(0.002)
+
+    sim.spawn(feeder())
+    sim.run(until=10.0)
+    unique = {c.uid for c in delivered}
+    assert len(unique) == commands * 1  # every command decided...
+    return sim.now
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_classic_paxos_throughput(benchmark):
+    benchmark.pedantic(lambda: drive_engine(False), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_fast_paxos_throughput(benchmark):
+    benchmark.pedantic(lambda: drive_engine(True), rounds=1, iterations=1)

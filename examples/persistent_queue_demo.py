@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The asynchronous persistent queue -- Treplica's other interface.
+
+Section 2 of the paper: the queue is a totally ordered collection of
+objects with asynchronous ``enqueue`` and blocking ``dequeue``; a replica
+can crash, recover, and *rebind* to its queue certain that it missed
+nothing.  This demo builds a tiny replicated job dispatcher on the raw
+queue (no state machine layer), crashes a worker, and shows the rebind.
+
+Run:  python examples/persistent_queue_demo.py
+"""
+
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.treplica import PersistentQueue
+
+
+def main() -> None:
+    sim = Simulator()
+    seed = SeedTree(99)
+    network = Network(sim, NetworkParams(), seed=seed)
+    nodes = [Node(sim, network, f"worker{i}") for i in range(3)]
+    names = [node.name for node in nodes]
+
+    queues = {}
+    processed = {i: [] for i in range(3)}
+
+    def bind(i):
+        queue = PersistentQueue(nodes[i], names, i, seed=seed)
+        queue.start()
+        queues[i] = queue
+        nodes[i].spawn(consumer(i, queue), name="consumer")
+        return queue
+
+    def consumer(i, queue):
+        while True:
+            _instance, uid, job = yield queue.dequeue()
+            processed[i].append(job)
+
+    for i in range(3):
+        bind(i)
+
+    # Producer: enqueue jobs from worker 0 (asynchronously).
+    def producer():
+        for k in range(8):
+            queues[0].enqueue(f"job-{k}")
+            yield sim.timeout(0.3)
+
+    nodes[0].spawn(producer())
+    sim.run(until=1.0)
+
+    print(f"[t={sim.now:4.1f}s] crashing worker 2 "
+          f"(it has processed {processed[2]})")
+    nodes[2].crash()
+    processed[2] = []  # its volatile memory is gone
+
+    sim.run(until=3.0)
+    print(f"[t={sim.now:4.1f}s] workers 0/1 processed "
+          f"{len(processed[0])} jobs; rebinding worker 2 to its queue")
+    nodes[2].restart()
+    bind(2)
+
+    sim.run(until=8.0)
+    print(f"[t={sim.now:4.1f}s] after rebind:")
+    for i in range(3):
+        print(f"  worker{i}: {processed[i]}")
+    assert processed[2] == processed[0], (
+        "the rebound replica must replay the exact total order")
+    print("worker 2 missed nothing: the queue is persistent "
+          "and totally ordered.")
+
+
+if __name__ == "__main__":
+    main()

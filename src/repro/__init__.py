@@ -1,0 +1,28 @@
+"""repro -- reproduction of "Dynamic Content Web Applications: Crash,
+Failover, and Recovery Analysis" (Buzato, Vieira, Zwaenepoel -- DSN 2009).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` -- deterministic discrete-event cluster simulator
+  (nodes, CPUs, disks, network) standing in for the paper's 18-node testbed.
+* :mod:`repro.paxos` -- Classic Paxos, Multi-Paxos and Fast Paxos with the
+  Treplica mode rule (fast while ceil(3N/4) alive, classic while a majority
+  is alive, blocked below).
+* :mod:`repro.treplica` -- the replication middleware: asynchronous
+  persistent queue, replicated state machine, checkpointing, and autonomous
+  recovery.
+* :mod:`repro.tpcw` -- the TPC-W online bookstore: data model, database
+  facade, population generator, workload profiles, and remote browser
+  emulators.
+* :mod:`repro.web` -- application servers and the probing/hashing reverse
+  proxy that provides failover.
+* :mod:`repro.faults` -- faultloads, watchdogs, and the dependability
+  metrics (availability, performability, accuracy, autonomy).
+* :mod:`repro.harness` -- experiment drivers that regenerate every table
+  and figure of the paper's evaluation.
+* :mod:`repro.apps` -- further applications on the middleware (a
+  Chubby-style lock service), demonstrating the Section-4 retrofit recipe
+  beyond the bookstore.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""Complete applications built on Treplica (beyond the bookstore).
+
+The paper's Table 7 situates Treplica among systems like Chubby that use
+Paxos-based state-machine replication for critical services.
+:mod:`repro.apps.lockservice` is a Chubby-style distributed lock service
+built on the same middleware as RobustStore -- a second, structurally
+different application demonstrating the retrofit recipe of Section 4:
+deterministic actions, non-determinism passed as arguments, all
+replication/recovery concerns delegated to Treplica.
+"""
+
+from repro.apps.lockservice import (
+    LockClient,
+    LockServiceApp,
+    LockServiceState,
+)
+
+__all__ = ["LockClient", "LockServiceApp", "LockServiceState"]

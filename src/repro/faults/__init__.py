@@ -1,0 +1,26 @@
+"""Dependability benchmarking: faultloads, watchdogs, and measures.
+
+Following Duraes/Vieira/Madeira (the paper's Section 5.1 method): a
+dependability benchmark = system spec + workload + **faultload** +
+**dependability measures**.  This package adds the last two to TPC-W:
+
+* :mod:`repro.faults.faultload` -- crash/reboot events injected at precise
+  simulated times;
+* :mod:`repro.faults.watchdog` -- the per-replica watchdog that
+  re-instantiates a crashed application server automatically (autonomy);
+* :mod:`repro.faults.metrics` -- WIPS/WIRT series and the four measures:
+  availability, performability, accuracy, autonomy.
+"""
+
+from repro.faults.faultload import FaultEvent, FaultInjector, Faultload
+from repro.faults.metrics import MetricsCollector, WindowStats
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "Faultload",
+    "MetricsCollector",
+    "Watchdog",
+    "WindowStats",
+]

@@ -1,0 +1,119 @@
+"""Faultloads: crash and reboot events injected at precise times.
+
+The paper's faults are environment/operator-style: an abrupt server
+shutdown (kill at the OS level) and an abrupt reboot.  Targets may be
+fixed replica indexes or drawn at random among currently-live replicas
+(as in Section 5.5: "the replicas to be crashed were chosen at random").
+
+A ``reboot`` event models the *manual* recovery of the delayed-recovery
+experiment; it counts as a human intervention for the autonomy measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``kind`` is 'crash' or 'reboot' (the paper's faults), or the
+    extension kinds 'partition' (isolate a replica from its peers while
+    it stays up) and 'heal' (reconnect it).
+    """
+
+    at: float
+    kind: str
+    replica: Optional[int] = None  # None = random live replica (crash only)
+
+    def __post_init__(self):
+        if self.kind not in ("crash", "reboot", "partition", "heal"):
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Faultload:
+    """A named schedule of fault events."""
+
+    name: str
+    events: Sequence[FaultEvent] = ()
+
+    def crash_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "crash")
+
+    def manual_interventions(self) -> int:
+        return sum(1 for e in self.events if e.kind == "reboot")
+
+    @classmethod
+    def parse(cls, spec: str, name: str = "custom") -> "Faultload":
+        """Parse a compact faultload spec.
+
+        Grammar: comma-separated ``kind@time[:target]`` events, where
+        ``kind`` is crash/reboot/partition/heal, ``time`` is seconds, and
+        ``target`` is a replica index or ``*`` for a random live replica
+        (crash only).  Example::
+
+            Faultload.parse("crash@240:*, crash@270:*, reboot@390:2")
+        """
+        events = []
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            try:
+                kind, rest = chunk.split("@", 1)
+            except ValueError:
+                raise ValueError(f"bad fault event (missing '@'): {chunk!r}")
+            if ":" in rest:
+                time_text, target_text = rest.split(":", 1)
+                target = None if target_text.strip() == "*" \
+                    else int(target_text)
+            else:
+                time_text, target = rest, None
+            events.append(FaultEvent(float(time_text), kind.strip(), target))
+        return cls(name, tuple(events))
+
+
+class FaultInjector:
+    """Applies a faultload to a cluster (anything exposing
+    ``crash_replica``, ``reboot_replica`` and ``live_replicas``)."""
+
+    def __init__(self, sim, cluster, faultload: Faultload,
+                 rng: Optional[random.Random] = None):
+        self._sim = sim
+        self._cluster = cluster
+        self.faultload = faultload
+        self._rng = rng or random.Random(0)
+        self.injected: List[tuple] = []  # (time, kind, replica)
+
+    def arm(self) -> None:
+        for event in self.faultload.events:
+            self._sim.call_at(event.at, self._fire, event)
+
+    def _fire(self, event: FaultEvent) -> None:
+        replica = event.replica
+        if event.kind == "crash":
+            if replica is None:
+                live = self._cluster.live_replicas()
+                if not live:
+                    return
+                replica = self._rng.choice(sorted(live))
+            self._cluster.crash_replica(replica)
+        elif event.kind == "reboot":
+            self._cluster.reboot_replica(replica)
+        elif event.kind == "partition":
+            self._cluster.partition_replica(replica)
+        else:
+            self._cluster.heal_replica(replica)
+        self.injected.append((self._sim.now, event.kind, replica))
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(1 for _t, kind, _r in self.injected if kind == "crash")
+
+    @property
+    def interventions(self) -> int:
+        return sum(1 for _t, kind, _r in self.injected if kind == "reboot")

@@ -1,0 +1,44 @@
+"""Experiment harness: full RobustStore deployments and the paper's runs.
+
+* :mod:`repro.harness.config` -- experiment scale presets and cluster
+  configuration;
+* :mod:`repro.harness.cluster` -- builds the complete deployment of
+  Figure 2: server replicas (Treplica + bookstore + application server),
+  the reverse proxy, client nodes running RBEs, watchdogs;
+* :mod:`repro.harness.experiments` -- drivers for every experiment:
+  speedup (Fig. 3), scaleup (Fig. 4), one crash (Fig. 5/6, Tables 1/2),
+  two crashes (Fig. 7, Tables 3/4), delayed recovery (Fig. 8, Tables 5/6);
+* :mod:`repro.harness.report` -- table and series renderers used by the
+  benchmark suite.
+"""
+
+from repro.harness.config import ClusterConfig, ExperimentScale, bench_scale, paper_scale
+from repro.harness.cluster import RobustStoreCluster
+from repro.harness.experiments import (
+    ExperimentResult,
+    run_baseline,
+    run_delayed_recovery,
+    run_one_crash,
+    run_partition,
+    run_scaleup_point,
+    run_sequential_crashes,
+    run_speedup_point,
+    run_two_crashes,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ExperimentResult",
+    "ExperimentScale",
+    "RobustStoreCluster",
+    "bench_scale",
+    "paper_scale",
+    "run_baseline",
+    "run_delayed_recovery",
+    "run_one_crash",
+    "run_partition",
+    "run_scaleup_point",
+    "run_sequential_crashes",
+    "run_speedup_point",
+    "run_two_crashes",
+]

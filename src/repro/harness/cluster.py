@@ -1,0 +1,177 @@
+"""Builds the full RobustStore deployment of Figure 2.
+
+Three disjoint node sets on one simulated switch:
+
+* ``client0..4`` -- the RBE fleet (load generation only);
+* ``replica0..k`` -- Tomcat-equivalent application servers running the
+  bookstore over Treplica, writing only to their local disks;
+* ``proxy`` -- the probing, hashing reverse proxy (failover).
+
+Plus the out-of-band pieces: one watchdog per replica (auto-restart) and
+the recovery-event log the dependability analysis reads.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Optional
+
+from repro.faults.metrics import MetricsCollector
+from repro.faults.watchdog import Watchdog
+from repro.harness.config import ClusterConfig
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.tpcw.app import BookstoreApplication
+from repro.tpcw.bookstore import BookstoreServlets
+from repro.tpcw.database import TPCWDatabase
+from repro.tpcw.population import PopulationParams, populate
+from repro.tpcw.rbe import RemoteBrowserEmulator
+from repro.tpcw.workload import profile_by_name
+from repro.treplica import TreplicaRuntime
+from repro.web.proxy import ReverseProxy
+from repro.web.server import ApplicationServer
+
+
+class RobustStoreCluster:
+    """One complete deployment, ready for an experiment run."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.seed = SeedTree(config.seed)
+        self.network = Network(self.sim, NetworkParams(), seed=self.seed)
+        self.profile = profile_by_name(config.profile)
+        self.collector = MetricsCollector()
+
+        scale = config.scale
+        self.population_params = PopulationParams(
+            num_items=config.num_items, num_ebs=config.num_ebs,
+            entity_scale=scale.entity_scale, seed=config.seed)
+        # One deterministic population, cloned per replica; the nominal
+        # size is additionally compressed by the timeline factor so that
+        # recovery fits the compressed window with unchanged ratios.
+        self._population_blob = pickle.dumps(populate(self.population_params))
+        self._size_multiplier = (self.population_params.size_multiplier
+                                 / scale.time_div)
+
+        # --- nodes -----------------------------------------------------
+        self.replica_nodes: List[Node] = [
+            Node(self.sim, self.network, f"replica{i}",
+                 cpu_speed=1.0 / scale.load_div)
+            for i in range(config.replicas)]
+        self.replica_names = [node.name for node in self.replica_nodes]
+        self.proxy_node = Node(self.sim, self.network, "proxy",
+                               cpu_speed=1.0 / scale.load_div)
+        self.client_nodes: List[Node] = [
+            Node(self.sim, self.network, f"client{i}")
+            for i in range(config.client_nodes)]
+
+        # --- replica software ------------------------------------------
+        self.runtimes: List[Optional[TreplicaRuntime]] = [None] * config.replicas
+        self.servers: List[Optional[ApplicationServer]] = [None] * config.replicas
+        self.recoveries: List[Dict[str, float]] = []
+        for i, node in enumerate(self.replica_nodes):
+            node.boot = self._make_boot(i)
+            self._boot_replica(i)
+
+        # --- proxy -------------------------------------------------------
+        self.proxy = ReverseProxy(self.proxy_node, self.replica_names,
+                                  config.proxy_params())
+        self.proxy.start()
+
+        # --- watchdogs ---------------------------------------------------
+        self.watchdogs: List[Watchdog] = []
+        for node in self.replica_nodes:
+            watchdog = Watchdog(
+                self.sim, node,
+                poll_interval_s=config.scale.t(0.5),
+                restart_delay_s=config.scaled_watchdog_delay_s,
+                enabled=config.watchdog_enabled)
+            watchdog.start()
+            self.watchdogs.append(watchdog)
+
+        # --- RBEs ----------------------------------------------------------
+        self.rbes: List[RemoteBrowserEmulator] = []
+        for k in range(config.num_rbes):
+            client_node = self.client_nodes[k % len(self.client_nodes)]
+            rbe = RemoteBrowserEmulator(
+                client_node, self.proxy_node.name, self.profile,
+                self.collector, self.seed.fork_random(f"rbe-{k}"),
+                rbe_id=k + 1,
+                think_time_s=config.think_time_s,
+                timeout_s=config.scaled_rbe_timeout_s,
+                use_navigation=config.use_navigation)
+            rbe.start()
+            self.rbes.append(rbe)
+
+    # ------------------------------------------------------------------
+    # replica lifecycle
+    # ------------------------------------------------------------------
+    def _make_boot(self, index: int):
+        def boot(node: Node) -> None:
+            self._boot_replica(index)
+        return boot
+
+    def _boot_replica(self, index: int) -> None:
+        node = self.replica_nodes[index]
+        app = BookstoreApplication(pickle.loads(self._population_blob),
+                                   self._size_multiplier)
+        runtime = TreplicaRuntime(node, self.replica_names, index, app,
+                                  config=self.config.treplica_config(),
+                                  seed=self.seed)
+        db = TPCWDatabase(
+            runtime, clock=lambda: self.sim.now,
+            rng=self.seed.fork_random(f"db-{index}-{node.incarnation}"))
+        servlets = BookstoreServlets(
+            db, self.seed.fork_random(f"servlets-{index}-{node.incarnation}"))
+        server = ApplicationServer(node, runtime, servlets)
+        self.runtimes[index] = runtime
+        self.servers[index] = server
+        runtime.start()
+        server.start()
+        if node.incarnation > 0:
+            event = {"replica": index,
+                     "crashed_at": node.last_crash_at,
+                     "rebooted_at": self.sim.now,
+                     "ready_at": None}
+            self.recoveries.append(event)
+            runtime.ready_event.add_callback(
+                lambda _e, ev=event: ev.__setitem__("ready_at", self.sim.now))
+
+    # ------------------------------------------------------------------
+    # fault-injection interface
+    # ------------------------------------------------------------------
+    def live_replicas(self) -> List[int]:
+        return [i for i, node in enumerate(self.replica_nodes) if node.alive]
+
+    def crash_replica(self, index: int) -> None:
+        self.replica_nodes[index].crash()
+        self.runtimes[index] = None
+        self.servers[index] = None
+
+    def reboot_replica(self, index: int) -> None:
+        if not self.replica_nodes[index].alive:
+            self.replica_nodes[index].reboot()
+
+    def partition_replica(self, index: int) -> None:
+        """Extension fault: cut the replica off from its peers (it stays
+        up and keeps answering the proxy, but cannot reach a quorum)."""
+        isolated = self.replica_names[index]
+        for other in self.replica_names:
+            if other != isolated:
+                self.network.block(isolated, other)
+
+    def heal_replica(self, index: int) -> None:
+        isolated = self.replica_names[index]
+        for other in self.replica_names:
+            if other != isolated:
+                self.network.unblock(isolated, other)
+
+    def disable_watchdog(self, index: int) -> None:
+        self.watchdogs[index].enabled = False
+
+    # ------------------------------------------------------------------
+    def run(self, seconds: float) -> None:
+        self.sim.run(until=self.sim.now + seconds)
+
+    def run_until(self, when: float) -> None:
+        self.sim.run(until=when)

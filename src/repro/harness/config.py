@@ -1,0 +1,166 @@
+"""Experiment scales and cluster configuration.
+
+The paper's method (Section 5.1): 30 s ramp-up, 9 min measurement, 30 s
+ramp-down; crashes at t=240 s and t=270 s; the delayed manual recovery at
+t=390 s; populations of 30/50/70 emulated browsers giving 300/500/700 MB
+states; 1 s think time.
+
+``ExperimentScale`` compresses that timeline uniformly: dividing every
+duration *and every state size* by ``time_div`` preserves all the ratios
+that shape the results (crash position within the window, recovery time
+relative to the measurement, backlog relative to checkpoint age) while
+letting the whole benchmark suite run in minutes of wall-clock time.
+``paper_scale()`` runs the original timeline; ``bench_scale()`` is the
+default for the pytest-benchmark suite.  Selecting the paper timeline for
+benches: set the environment variable ``REPRO_FULL_SCALE=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.paxos.config import PaxosConfig
+from repro.treplica.config import TreplicaConfig
+from repro.web.proxy import ProxyParams
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Uniform compression of the paper's experimental timeline."""
+
+    name: str
+    time_div: float = 1.0       # divides durations and nominal state sizes
+    load_div: float = 1.0       # divides throughput (replica CPUs slowed)
+    entity_scale: float = 0.02  # real entity counts (simulation memory)
+
+    # paper timeline (seconds, uncompressed)
+    ramp_up_s: float = 30.0
+    measure_s: float = 540.0
+    ramp_down_s: float = 30.0
+    crash1_at_s: float = 240.0
+    crash2_at_s: float = 270.0
+    both_crash_at_s: float = 240.0
+    manual_reboot_at_s: float = 390.0
+    checkpoint_interval_s: float = 120.0
+
+    def t(self, seconds: float) -> float:
+        """A paper-timeline duration, compressed."""
+        return seconds / self.time_div
+
+    @property
+    def total_s(self) -> float:
+        return self.t(self.ramp_up_s + self.measure_s + self.ramp_down_s)
+
+    @property
+    def measure_start(self) -> float:
+        return self.t(self.ramp_up_s)
+
+    @property
+    def measure_end(self) -> float:
+        return self.t(self.ramp_up_s + self.measure_s)
+
+
+def paper_scale() -> ExperimentScale:
+    """The original 10-minute timeline, full load, full state sizes."""
+    return ExperimentScale(name="paper", time_div=1.0, load_div=1.0,
+                           entity_scale=0.02)
+
+
+def bench_scale() -> ExperimentScale:
+    """5x-compressed timeline and 4x-compressed load for the bench suite.
+
+    Replica CPUs run at 1/4 speed and the offered load shrinks by the
+    same factor, so utilization, queueing, and every ratio the paper
+    reports (speedups, PV%, relative WIRT growth) are preserved while the
+    event count per run drops ~20x.
+    """
+    return ExperimentScale(name="bench", time_div=5.0, load_div=4.0,
+                           entity_scale=0.01)
+
+
+def active_scale() -> ExperimentScale:
+    """The scale the bench suite should use (honours REPRO_FULL_SCALE)."""
+    if os.environ.get("REPRO_FULL_SCALE"):
+        return paper_scale()
+    return bench_scale()
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One RobustStore deployment (Figure 2 of the paper)."""
+
+    replicas: int = 5
+    num_ebs: int = 30            # the paper's state-size knob (30/50/70)
+    num_items: int = 10_000
+    profile: str = "shopping"
+    offered_wips: float = 1900.0  # near 5-replica saturation, like the paper
+    think_time_s: float = 1.0
+    client_nodes: int = 5
+    seed: int = 2009
+    enable_fast: bool = True
+    # CBMG page navigation for the RBEs instead of direct mix sampling
+    # (same stationary mix; see repro.tpcw.navigation).
+    use_navigation: bool = False
+    scale: ExperimentScale = field(default_factory=bench_scale)
+    watchdog_enabled: bool = True
+    watchdog_restart_delay_s: float = 1.0
+    rbe_timeout_s: float = 10.0
+    # Ablation knobs, applied on top of the defaults: pairs of
+    # (field name, value) for PaxosConfig / TreplicaConfig respectively.
+    paxos_overrides: tuple = ()
+    treplica_overrides: tuple = ()
+
+    @property
+    def effective_offered_wips(self) -> float:
+        """Offered load after the scale's load compression."""
+        return self.offered_wips / self.scale.load_div
+
+    @property
+    def num_rbes(self) -> int:
+        """#RBEs = offered WIPS x think time (Section 3)."""
+        return max(1, round(self.effective_offered_wips * self.think_time_s))
+
+    def treplica_config(self) -> TreplicaConfig:
+        scale = self.scale
+        base = TreplicaConfig()
+        # Checkpoint/restore CPU rates live in the *time* domain (MB per
+        # wall second), so they are pre-divided by load_div to cancel the
+        # slowed replica CPUs; recovery time then compresses exactly with
+        # time_div, like the paper's timeline.
+        paxos = replace(PaxosConfig(enable_fast=self.enable_fast),
+                        **dict(self.paxos_overrides))
+        return replace(
+            TreplicaConfig(
+                paxos=paxos,
+                checkpoint_interval_s=scale.t(scale.checkpoint_interval_s),
+                checkpoint_cpu_s_per_mb=(base.checkpoint_cpu_s_per_mb
+                                         / scale.load_div),
+                restore_cpu_s_per_mb=base.restore_cpu_s_per_mb / scale.load_div,
+                log_retain_instances=max(2000, int(24_000 / scale.time_div)),
+            ),
+            **dict(self.treplica_overrides))
+
+    def proxy_params(self) -> ProxyParams:
+        # The proxy's probe cadence (HAProxy inter/timeout) compresses
+        # with the timeline so the failover window keeps the same
+        # proportion of the measurement interval as in the paper.
+        scale = self.scale
+        base = ProxyParams()
+        return ProxyParams(
+            probe_interval_s=scale.t(base.probe_interval_s),
+            probe_timeout_s=scale.t(base.probe_timeout_s),
+            fall=base.fall, rise=base.rise,
+            max_dispatch_attempts=base.max_dispatch_attempts)
+
+    @property
+    def scaled_watchdog_delay_s(self) -> float:
+        return self.scale.t(self.watchdog_restart_delay_s)
+
+    @property
+    def scaled_rbe_timeout_s(self) -> float:
+        # The client timeout tracks response times, which live in the
+        # load domain (they do not compress with the timeline), so it is
+        # deliberately NOT scaled.
+        return self.rbe_timeout_s

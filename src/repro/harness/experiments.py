@@ -1,0 +1,262 @@
+"""Drivers for every experiment in the paper's evaluation (Section 5).
+
+Each driver builds a deployment, applies the faultload on the compressed
+timeline, runs ramp-up + measurement + ramp-down, and returns an
+:class:`ExperimentResult` with the same aggregates the paper reports:
+AWIPS and CV for the failure-free and recovery windows, PV, accuracy,
+availability, autonomy, the WIPS histogram, and the recovery events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.faultload import FaultEvent, FaultInjector, Faultload
+from repro.faults.metrics import MetricsCollector, WindowStats, autonomy, performability_pv
+from repro.harness.cluster import RobustStoreCluster
+from repro.harness.config import ClusterConfig
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the tables and figures are derived from."""
+
+    config: ClusterConfig
+    collector: MetricsCollector
+    measure_start: float
+    measure_end: float
+    faults_injected: int
+    interventions: int
+    recoveries: List[Dict[str, float]]
+    first_crash_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def last_ready_at(self) -> Optional[float]:
+        ready = [r["ready_at"] for r in self.recoveries
+                 if r["ready_at"] is not None]
+        return max(ready) if ready else None
+
+    def recovery_times(self) -> List[float]:
+        """Reboot-to-ready duration of every completed recovery."""
+        return [r["ready_at"] - r["rebooted_at"] for r in self.recoveries
+                if r["ready_at"] is not None]
+
+    # windows ------------------------------------------------------------
+    @property
+    def bucket_s(self) -> float:
+        """The paper's 5 s histogram bucket, on the compressed timeline."""
+        return self.config.scale.t(5.0)
+
+    def whole_window(self) -> WindowStats:
+        return self.collector.window(self.measure_start, self.measure_end,
+                                     self.bucket_s)
+
+    def failure_free_window(self) -> WindowStats:
+        end = self.first_crash_at or self.measure_end
+        return self.collector.window(self.measure_start,
+                                     min(end, self.measure_end), self.bucket_s)
+
+    def recovery_window(self) -> Optional[WindowStats]:
+        if self.first_crash_at is None:
+            return None
+        end = self.last_ready_at or self.measure_end
+        return self.collector.window(self.first_crash_at,
+                                     min(end, self.measure_end), self.bucket_s)
+
+    def window_between(self, start: float, end: float) -> WindowStats:
+        return self.collector.window(start, end, self.bucket_s)
+
+    # measures -----------------------------------------------------------
+    def pv_pct(self) -> Optional[float]:
+        recovery = self.recovery_window()
+        if recovery is None:
+            return None
+        return performability_pv(self.failure_free_window(), recovery)
+
+    def accuracy_pct(self) -> float:
+        return self.collector.accuracy_pct(self.measure_start, self.measure_end)
+
+    def availability(self) -> float:
+        return self.collector.availability(self.measure_start, self.measure_end)
+
+    def autonomy_ratio(self) -> float:
+        return autonomy(self.interventions, self.faults_injected)
+
+    def wips_series(self, bucket_s: Optional[float] = None):
+        scale = self.config.scale
+        bucket = bucket_s if bucket_s is not None else scale.t(5.0)
+        return self.collector.wips_series(0.0, self.measure_end + scale.t(30.0),
+                                          bucket)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable summary (CLI ``--json``, notebooks, CI)."""
+        whole = self.whole_window()
+        ff = self.failure_free_window()
+        recovery = self.recovery_window()
+        compliance = self.collector.wirt_compliance(self.measure_start,
+                                                    self.measure_end)
+        return {
+            "config": {
+                "replicas": self.config.replicas,
+                "profile": self.config.profile,
+                "num_ebs": self.config.num_ebs,
+                "offered_wips": self.config.offered_wips,
+                "seed": self.config.seed,
+                "scale": self.config.scale.name,
+                "time_div": self.config.scale.time_div,
+                "load_div": self.config.scale.load_div,
+            },
+            "awips": whole.awips,
+            "cv": whole.cv,
+            "mean_wirt_s": whole.mean_wirt_s,
+            "p90_wirt_s": whole.p90_wirt_s,
+            "completed": whole.completed,
+            "errors": whole.errors,
+            "accuracy_pct": self.accuracy_pct(),
+            "availability": self.availability(),
+            "failure_free_awips": ff.awips,
+            "recovery_awips": recovery.awips if recovery else None,
+            "pv_pct": self.pv_pct(),
+            "recovery_times_s": self.recovery_times(),
+            "faults_injected": self.faults_injected,
+            "interventions": self.interventions,
+            "autonomy": self.autonomy_ratio(),
+            "wirt_compliance": {interaction.value: round(fraction, 4)
+                                for interaction, fraction
+                                in sorted(compliance.items(),
+                                          key=lambda kv: kv[0].value)},
+            "wips_series": [(round(t, 3), round(w, 3))
+                            for t, w in self.wips_series()],
+        }
+
+
+# ======================================================================
+# drivers
+# ======================================================================
+def _execute(config: ClusterConfig, faultload: Faultload,
+             setup=None) -> ExperimentResult:
+    cluster = RobustStoreCluster(config)
+    if setup is not None:
+        setup(cluster)
+    injector = FaultInjector(cluster.sim, cluster, faultload,
+                             rng=cluster.seed.fork_random("faultload"))
+    injector.arm()
+    scale = config.scale
+    cluster.run_until(scale.total_s)
+    first_crash = None
+    crash_times = [t for t, kind, _r in injector.injected
+                   if kind in ("crash", "partition")]
+    if crash_times:
+        first_crash = min(crash_times)
+    return ExperimentResult(
+        config=config, collector=cluster.collector,
+        measure_start=scale.measure_start, measure_end=scale.measure_end,
+        faults_injected=injector.faults_injected,
+        interventions=injector.interventions,
+        recoveries=cluster.recoveries,
+        first_crash_at=first_crash)
+
+
+def run_baseline(config: ClusterConfig) -> ExperimentResult:
+    """Failure-free run (speedup/scaleup building block)."""
+    return _execute(config, Faultload("none", ()))
+
+
+def run_custom(config: ClusterConfig, faultload_spec: str) -> ExperimentResult:
+    """Run a user-authored faultload (times in paper-timeline seconds).
+
+    The spec grammar is :meth:`repro.faults.Faultload.parse`; event times
+    are compressed by the experiment scale, like the built-in faultloads.
+    """
+    scale = config.scale
+    parsed = Faultload.parse(faultload_spec)
+    scaled = Faultload(parsed.name, tuple(
+        FaultEvent(scale.t(event.at), event.kind, event.replica)
+        for event in parsed.events))
+    manual = {event.replica for event in scaled.events
+              if event.kind == "reboot"}
+
+    def setup(cluster) -> None:
+        for replica in manual:
+            if replica is not None:
+                cluster.disable_watchdog(replica)
+
+    return _execute(config, scaled, setup=setup)
+
+
+def run_speedup_point(config: ClusterConfig) -> Tuple[float, float]:
+    """One Figure 3 point: saturated WIPS and mean WIRT (ms)."""
+    result = run_baseline(config)
+    stats = result.whole_window()
+    return stats.awips, stats.mean_wirt_s * 1000.0
+
+
+def run_scaleup_point(config: ClusterConfig) -> Tuple[float, float]:
+    """One Figure 4 point: delivered WIPS at fixed offered load, WIRT (ms)."""
+    result = run_baseline(config)
+    stats = result.whole_window()
+    return stats.awips, stats.mean_wirt_s * 1000.0
+
+
+def run_one_crash(config: ClusterConfig,
+                  replica: Optional[int] = None) -> ExperimentResult:
+    """Section 5.4: one crash at t=270 s, autonomous recovery."""
+    scale = config.scale
+    faultload = Faultload("one-crash", (
+        FaultEvent(scale.t(scale.crash1_at_s + 30.0), "crash", replica),))
+    return _execute(config, faultload)
+
+
+def run_two_crashes(config: ClusterConfig) -> ExperimentResult:
+    """Section 5.5: concurrent crashes at t=240 s and t=270 s (random
+    replicas), both recovered autonomously."""
+    scale = config.scale
+    faultload = Faultload("two-crashes", (
+        FaultEvent(scale.t(scale.crash1_at_s), "crash", None),
+        FaultEvent(scale.t(scale.crash2_at_s), "crash", None),))
+    return _execute(config, faultload)
+
+
+def run_sequential_crashes(config: ClusterConfig,
+                           gap_s: float = 120.0) -> ExperimentResult:
+    """Extension: two *sequential* crashes -- the second fires only after
+    the first replica has long recovered (the paper's title mentions
+    sequential crashes; its evaluation shows the concurrent case)."""
+    scale = config.scale
+    first_at = scale.t(scale.crash1_at_s - 120.0)
+    second_at = scale.t(scale.crash1_at_s + gap_s)
+    faultload = Faultload("sequential-crashes", (
+        FaultEvent(first_at, "crash", None),
+        FaultEvent(second_at, "crash", None),))
+    return _execute(config, faultload)
+
+
+def run_partition(config: ClusterConfig, replica: int = 2,
+                  duration_s: float = 60.0) -> ExperimentResult:
+    """Extension: isolate one replica from its peers (it stays up), heal
+    after ``duration_s`` (paper timeline).  Not evaluated in the paper;
+    exercises the blocked-write path and post-heal resynchronization."""
+    scale = config.scale
+    start = scale.t(scale.crash1_at_s)
+    faultload = Faultload("partition", (
+        FaultEvent(start, "partition", replica),
+        FaultEvent(start + scale.t(duration_s), "heal", replica),))
+    return _execute(config, faultload)
+
+
+def run_delayed_recovery(config: ClusterConfig,
+                         first: int = 1, second: int = 2) -> ExperimentResult:
+    """Section 5.6: both replicas crash at t=240 s; one recovers
+    autonomously, the other only on a manual reboot at t=390 s."""
+    scale = config.scale
+    faultload = Faultload("delayed-recovery", (
+        FaultEvent(scale.t(scale.both_crash_at_s), "crash", first),
+        FaultEvent(scale.t(scale.both_crash_at_s), "crash", second),
+        FaultEvent(scale.t(scale.manual_reboot_at_s), "reboot", second),))
+
+    def setup(cluster: RobustStoreCluster) -> None:
+        cluster.disable_watchdog(second)
+
+    return _execute(config, faultload, setup=setup)

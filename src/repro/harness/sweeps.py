@@ -1,0 +1,124 @@
+"""Structured parameter sweeps: the evaluation section as a library.
+
+Wraps the experiment drivers into the sweeps the paper's figures plot --
+speedup (Figure 3), scaleup (Figure 4), recovery time vs state size
+(Figure 6) -- returning typed points that callers can tabulate, plot, or
+assert on.  The benchmark suite, the CLI, and user notebooks all share
+these instead of hand-rolling loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.harness.config import ClusterConfig, ExperimentScale, bench_scale
+from repro.harness.experiments import run_baseline, run_one_crash
+from repro.harness.report import linear_regression
+
+#: Offered paper-WIPS per replica that keeps each speedup point mildly
+#: saturated (load scaled with system size, like TPC scaling rules).
+SPEEDUP_OFFERED_PER_REPLICA = 520.0
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One (replicas, profile) measurement."""
+
+    profile: str
+    replicas: int
+    awips: float
+    mean_wirt_ms: float
+    cv: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.profile} {self.replicas}R"
+
+
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """One (replicas, state size, profile) recovery measurement."""
+
+    profile: str
+    replicas: int
+    num_ebs: int
+    recovery_s: float
+    pv_pct: float
+    accuracy_pct: float
+
+
+def _measure(config: ClusterConfig) -> ThroughputPoint:
+    stats = run_baseline(config).whole_window()
+    return ThroughputPoint(config.profile, config.replicas, stats.awips,
+                           stats.mean_wirt_s * 1000.0, stats.cv)
+
+
+def speedup_sweep(profile: str,
+                  replicas_list: Sequence[int] = (4, 8, 12),
+                  scale: Optional[ExperimentScale] = None,
+                  seed: int = 2009) -> List[ThroughputPoint]:
+    """Figure 3's sweep: saturated throughput at each replica count."""
+    scale = scale or bench_scale()
+    return [_measure(ClusterConfig(
+                replicas=replicas, profile=profile, seed=seed, scale=scale,
+                offered_wips=SPEEDUP_OFFERED_PER_REPLICA * replicas))
+            for replicas in replicas_list]
+
+
+def scaleup_sweep(profile: str,
+                  replicas_list: Sequence[int] = (4, 8, 12),
+                  offered_wips: float = 1000.0,
+                  scale: Optional[ExperimentScale] = None,
+                  seed: int = 2009) -> List[ThroughputPoint]:
+    """Figure 4's sweep: fixed offered load, growing cluster."""
+    scale = scale or bench_scale()
+    return [_measure(ClusterConfig(
+                replicas=replicas, profile=profile, seed=seed, scale=scale,
+                offered_wips=offered_wips))
+            for replicas in replicas_list]
+
+
+def recovery_sweep(profile: str,
+                   ebs_list: Sequence[int] = (30, 50, 70),
+                   replicas: int = 5,
+                   scale: Optional[ExperimentScale] = None,
+                   seed: int = 2009) -> List[RecoveryPoint]:
+    """Figure 6's sweep: one crash per state size; recovery durations."""
+    scale = scale or bench_scale()
+    points = []
+    for num_ebs in ebs_list:
+        result = run_one_crash(ClusterConfig(
+            replicas=replicas, num_ebs=num_ebs, profile=profile,
+            seed=seed, scale=scale))
+        times = result.recovery_times()
+        points.append(RecoveryPoint(
+            profile, replicas, num_ebs,
+            recovery_s=times[0] if times else float("nan"),
+            pv_pct=result.pv_pct() or 0.0,
+            accuracy_pct=result.accuracy_pct()))
+    return points
+
+
+def speedups(points: Sequence[ThroughputPoint]) -> List[float]:
+    """S_k relative to the first point (the paper's S_k definition)."""
+    if not points:
+        return []
+    base = points[0].awips
+    return [point.awips / base for point in points]
+
+
+def scaleup_slope_pct(points: Sequence[ThroughputPoint]) -> float:
+    """Per-replica WIPS change as % of the first point (Figure 4 fits)."""
+    if len(points) < 2:
+        return 0.0
+    slope, _intercept, _r2 = linear_regression(
+        [(point.replicas, point.awips) for point in points])
+    return 100.0 * slope / points[0].awips
+
+
+def wips_wirt_r2(points: Sequence[ThroughputPoint]) -> float:
+    """The Section 5.3 correlation between WIPS and WIRT over a sweep."""
+    _slope, _intercept, r2 = linear_regression(
+        [(point.awips, point.mean_wirt_ms) for point in points])
+    return r2

@@ -1,0 +1,59 @@
+"""Tunables for the Paxos engine.
+
+All timings are simulated seconds.  Defaults are calibrated for a LAN
+cluster like the paper's (sub-millisecond network, ~4 ms fsync) and are the
+same across every experiment -- per-figure tuning would defeat the
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaxosConfig:
+    """Engine knobs; see field comments for the role each plays."""
+
+    # Proposal batching (group commit on the ordering path).  Commands
+    # submitted within one window ride the same consensus instance.
+    batch_window_s: float = 0.004
+    max_batch: int = 64
+
+    # CPU cost charged on the hosting node per protocol message handled,
+    # plus a small per-command marshalling cost.  These are what make
+    # speedup sublinear as replicas are added (more Accepted traffic).
+    cpu_per_message_s: float = 0.000045
+    cpu_per_command_s: float = 0.000006
+
+    # Failure detection.
+    heartbeat_interval_s: float = 0.25
+    failure_timeout_s: float = 1.2
+
+    # Retransmission of commands that have not been decided (covers leader
+    # crashes and lost fast-round collisions; delivery dedup makes it safe).
+    # The age is generous so transient queueing under saturation does not
+    # trigger retransmission storms.
+    retry_interval_s: float = 1.0
+    retry_age_s: float = 3.0
+
+    # Collision/gap handling.
+    gap_timeout_s: float = 0.4
+
+    # Learning (recovery resync and gap fill): decided-log slice size per
+    # LearnRequest round-trip.
+    learn_page: int = 512
+
+    # Fast Paxos: enable fast rounds when enough replicas are up.  The
+    # Treplica rule switches to classic below ceil(3N/4) live replicas and
+    # blocks below a majority.
+    enable_fast: bool = True
+
+    # Flow control on the fast path: at most this many fast proposals
+    # outstanding per proposer.  Bounds instance collisions under write
+    # contention; commands held back meanwhile coalesce into larger
+    # batches (self-regulating group commit).
+    fast_window: int = 2
+
+    # Durability sizes.
+    promise_entry_mb: float = 0.0002

@@ -1,0 +1,67 @@
+"""Heartbeat-based unreliable failure detector.
+
+Each replica beacons :class:`~repro.paxos.messages.Heartbeat` periodically;
+any protocol message also counts as a sign of life.  A peer is suspected
+after ``failure_timeout_s`` of silence.  The detector drives coordinator
+election (lowest live id) and the Treplica fast/classic/blocked mode rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.sim.core import Simulator
+
+
+class FailureDetector:
+    """Tracks last-heard times and reports the live view."""
+
+    def __init__(self, sim: Simulator, my_id: int, all_ids: List[int],
+                 timeout_s: float):
+        self._sim = sim
+        self.my_id = my_id
+        self.all_ids = sorted(all_ids)
+        self.timeout_s = timeout_s
+        self._last_heard: Dict[int, float] = {
+            peer: sim.now for peer in self.all_ids}
+        self._listeners: List[Callable[[FrozenSet[int]], None]] = []
+        self._view: FrozenSet[int] = frozenset(self.all_ids)
+
+    # ------------------------------------------------------------------
+    def heard_from(self, peer: int) -> None:
+        """Record a sign of life from ``peer`` (heartbeat or any message)."""
+        self._last_heard[peer] = self._sim.now
+        if peer not in self._view:
+            self._recompute()
+
+    def check(self) -> None:
+        """Re-evaluate suspicions; called periodically by the engine."""
+        self._recompute()
+
+    def on_view_change(self, fn: Callable[[FrozenSet[int]], None]) -> None:
+        self._listeners.append(fn)
+
+    # ------------------------------------------------------------------
+    @property
+    def view(self) -> FrozenSet[int]:
+        """The currently-trusted set of replica ids (always contains self)."""
+        return self._view
+
+    def is_alive(self, peer: int) -> bool:
+        return peer in self._view
+
+    def leader(self) -> int:
+        """The coordinator under the lowest-live-id rule."""
+        return min(self._view)
+
+    # ------------------------------------------------------------------
+    def _recompute(self) -> None:
+        now = self._sim.now
+        live = frozenset(
+            peer for peer in self.all_ids
+            if peer == self.my_id or now - self._last_heard[peer] <= self.timeout_s
+        )
+        if live != self._view:
+            self._view = live
+            for listener in list(self._listeners):
+                listener(live)

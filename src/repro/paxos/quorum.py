@@ -1,0 +1,39 @@
+"""Quorum arithmetic for classic and fast rounds.
+
+With ``n`` acceptors:
+
+* classic quorums are simple majorities, ``floor(n/2) + 1``;
+* fast quorums are ``ceil(3n/4)`` (the Treplica configuration from the
+  paper), which satisfies the Fast Paxos requirement that any classic
+  quorum intersects the intersection of any two fast quorums;
+* during collision recovery the coordinator, holding promises from a
+  classic quorum ``Q``, may only re-propose a value ``v`` voted in fast
+  round ``k`` if ``v`` *might* have been chosen -- i.e. if the acceptors of
+  ``Q`` that voted ``v`` in ``k`` number at least ``|Q| + |F| - n``
+  (every fast quorum ``F`` overlaps ``Q`` in at least that many members).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def classic_quorum(n: int) -> int:
+    """Majority quorum size for classic rounds."""
+    if n < 1:
+        raise ValueError(f"need at least one acceptor, got {n}")
+    return n // 2 + 1
+
+
+def fast_quorum(n: int) -> int:
+    """Fast-round quorum size, ceil(3n/4), as configured in Treplica."""
+    if n < 1:
+        raise ValueError(f"need at least one acceptor, got {n}")
+    return math.ceil(3 * n / 4)
+
+
+def recovery_threshold(n: int) -> int:
+    """Minimum same-value votes, within a classic quorum's promises, that
+    make a fast-round value *choosable* and force the coordinator to
+    re-propose it."""
+    return classic_quorum(n) + fast_quorum(n) - n

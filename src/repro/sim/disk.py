@@ -1,0 +1,209 @@
+"""Stable storage: a local disk with fsync semantics and group commit.
+
+The paper's replicas write Paxos state and checkpoints to a local 7200-rpm
+disk; recovery time is dominated by reading the checkpoint back.  This model
+captures the two costs that matter:
+
+* a *synchronous-write* latency floor per fsync (seek + rotation + flush),
+  amortized by group commit in :class:`WriteAheadLog`;
+* sequential bandwidth for bulk reads/writes (checkpoints, log suffixes).
+
+Durability semantics: a write is durable only once its completion event has
+fired.  A node crash drops all queued and in-flight operations -- their data
+is lost, exactly like a power cut before fsync returns.  Durable contents
+survive crashes because :class:`Disk` objects outlive their node's volatile
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.core import Event, Simulator
+from repro.sim.resource import ServiceStation
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Calibration constants for a single disk.
+
+    Defaults approximate the paper's 40 GB 7200-rpm disks: ~8 ms for a small
+    synchronous write (seek + rotation, no volatile write cache for
+    durability) and a few tens of MB/s sequential transfer.
+    """
+
+    sync_write_latency_s: float = 0.008
+    write_bandwidth_mb_s: float = 40.0
+    read_latency_s: float = 0.004
+    read_bandwidth_mb_s: float = 45.0
+
+
+class Disk:
+    """A FIFO disk shared by everything on one node.
+
+    All operations serialize through one :class:`ServiceStation`, so a bulk
+    checkpoint read naturally contends with concurrent log writes -- the
+    effect that shapes the paper's recovery times (Figure 6).
+    """
+
+    def __init__(self, sim: Simulator, params: Optional[DiskParams] = None,
+                 name: str = "disk"):
+        self._sim = sim
+        self.params = params or DiskParams()
+        self.name = name
+        self._station = ServiceStation(sim, name=f"{name}-io")
+        self._store: Dict[str, Tuple[Any, float]] = {}
+        self.bytes_written_mb = 0.0
+        self.bytes_read_mb = 0.0
+
+    # ------------------------------------------------------------------
+    # raw timed operations
+    # ------------------------------------------------------------------
+    def write(self, size_mb: float) -> Event:
+        """A synchronous (durable-on-completion) write of ``size_mb``."""
+        cost = (self.params.sync_write_latency_s
+                + size_mb / self.params.write_bandwidth_mb_s)
+        self.bytes_written_mb += size_mb
+        return self._station.request(cost)
+
+    def read(self, size_mb: float) -> Event:
+        """A sequential read of ``size_mb``."""
+        cost = (self.params.read_latency_s
+                + size_mb / self.params.read_bandwidth_mb_s)
+        self.bytes_read_mb += size_mb
+        return self._station.request(cost)
+
+    # ------------------------------------------------------------------
+    # durable key-value segments (checkpoints, metadata)
+    # ------------------------------------------------------------------
+    def write_object(self, key: str, value: Any, size_mb: float) -> Event:
+        """Write ``value`` under ``key``; durable once the event fires."""
+        done = self._sim.event()
+
+        def commit(_event: Event) -> None:
+            self._store[key] = (value, size_mb)
+            done.succeed(value)
+
+        self.write(size_mb).add_callback(commit)
+        return done
+
+    def read_object(self, key: str) -> Event:
+        """Timed read of a stored object; fails if the key is absent."""
+        done = self._sim.event()
+        if key not in self._store:
+            done.fail(KeyError(key))
+            return done
+        value, size_mb = self._store[key]
+
+        def complete(_event: Event) -> None:
+            done.succeed(value)
+
+        self.read(size_mb).add_callback(complete)
+        return done
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Zero-cost metadata access (used by boot code, not data paths)."""
+        entry = self._store.get(key)
+        return default if entry is None else entry[0]
+
+    def contains(self, key: str) -> bool:
+        return key in self._store
+
+    def delete(self, key: str) -> None:
+        self._store.pop(key, None)
+
+    def persistent(self, key: str, factory) -> Any:
+        """A mutable object that lives in the durable store.
+
+        Used by :class:`WriteAheadLog` to keep its committed entries across
+        crash/restart cycles where the wrapping Python object is recreated.
+        Mutations are only made from commit callbacks, whose timing was
+        already paid through :meth:`write`.
+        """
+        if key not in self._store:
+            self._store[key] = (factory(), 0.0)
+        return self._store[key][0]
+
+    def stored_size_mb(self, key: str) -> float:
+        entry = self._store.get(key)
+        return 0.0 if entry is None else entry[1]
+
+    # ------------------------------------------------------------------
+    # crash semantics
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Drop queued and in-flight operations; durable contents survive."""
+        self._station.reset()
+
+
+class WriteAheadLog:
+    """Append-only durable log with group commit.
+
+    Entries appended while a disk write is in flight are coalesced into the
+    next write, so one fsync amortizes over a burst -- the batching that
+    keeps the shopping-profile speedup close to browsing in Figure 3.
+
+    The log stores ``(sequence, entry)`` pairs; ``entries()`` exposes the
+    durable prefix for recovery, and :meth:`truncate_below` discards entries
+    superseded by a checkpoint.
+    """
+
+    def __init__(self, sim: Simulator, disk: Disk, name: str = "wal",
+                 entry_overhead_mb: float = 0.0002, node=None):
+        self._sim = sim
+        self._disk = disk
+        self.name = name
+        self._entry_overhead_mb = entry_overhead_mb
+        self._pending: List[Tuple[Any, float, Event]] = []
+        self._flushing = False
+        # The durable entry list lives in the disk store, so a log object
+        # recreated after a reboot sees everything that was committed.
+        self._durable: List[Any] = disk.persistent(f"wal:{name}", list)
+        self.flush_count = 0
+        self.appended_count = 0
+        if node is not None:
+            node.add_volatile_crash_hook(self.on_crash)
+
+    def append(self, entry: Any, size_mb: float = 0.0) -> Event:
+        """Append ``entry``; the event fires once the entry is durable."""
+        done = self._sim.event()
+        self._pending.append((entry, size_mb + self._entry_overhead_mb, done))
+        self.appended_count += 1
+        if not self._flushing:
+            self._flush()
+        return done
+
+    def entries(self) -> List[Any]:
+        """The durable entries, in append order (crash-surviving view)."""
+        return list(self._durable)
+
+    def truncate_below(self, keep_predicate) -> int:
+        """Keep only entries where ``keep_predicate(entry)``; return removed count."""
+        before = len(self._durable)
+        self._durable[:] = [e for e in self._durable if keep_predicate(e)]
+        return before - len(self._durable)
+
+    def on_crash(self) -> None:
+        """Lose the un-flushed tail; keep the durable prefix."""
+        self._pending.clear()
+        self._flushing = False
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        if not self._pending:
+            self._flushing = False
+            return
+        self._flushing = True
+        group, self._pending = self._pending, []
+        total_mb = sum(size for _entry, size, _done in group)
+        self.flush_count += 1
+
+        def committed(_event: Event) -> None:
+            for entry, _size, done in group:
+                self._durable.append(entry)
+                if not done.triggered:
+                    done.succeed(None)
+            self._flush()
+
+        self._disk.write(total_mb).add_callback(committed)

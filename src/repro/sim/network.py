@@ -1,0 +1,109 @@
+"""Cluster interconnect: unicast messages with latency and bandwidth costs.
+
+Models the paper's single 1 Gbps Ethernet switch.  A message from A to B
+arrives after ``base_latency + size/bandwidth + jitter``.  Messages to a
+crashed node are silently dropped (UDP semantics; TCP-level connection
+breakage is modelled where it matters, at the reverse proxy, via node crash
+listeners).  Messages addressed to a node that crashed and restarted while
+they were in flight are also dropped -- the old connection is gone.
+
+Partitions can be injected for tests via :meth:`Network.block` /
+:meth:`Network.unblock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.rng import SeedTree
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Latency/bandwidth calibration for the simulated switch."""
+
+    base_latency_s: float = 0.00015
+    bandwidth_mb_s: float = 110.0
+    jitter_mean_s: float = 0.00005
+
+
+@dataclass
+class Message:
+    """One network datagram (kept for tracing and tests)."""
+
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    size_mb: float
+    sent_at: float = 0.0
+
+
+class Network:
+    """The switch: knows every node, delivers datagrams with delay."""
+
+    def __init__(self, sim: Simulator, params: Optional[NetworkParams] = None,
+                 seed: Optional[SeedTree] = None):
+        self._sim = sim
+        self.params = params or NetworkParams()
+        self._rng = (seed or SeedTree(0)).fork_random("network-jitter")
+        self._nodes: Dict[str, Any] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.mb_sent = 0.0
+
+    # ------------------------------------------------------------------
+    def register(self, node: Any) -> None:
+        if node.name in self._nodes:
+            raise SimulationError(f"duplicate node name: {node.name}")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> Any:
+        return self._nodes[name]
+
+    def node_names(self):
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # fault injection for tests
+    # ------------------------------------------------------------------
+    def block(self, a: str, b: str) -> None:
+        """Drop all traffic between ``a`` and ``b`` (both directions)."""
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def unblock(self, a: str, b: str) -> None:
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, port: str, payload: Any,
+             size_mb: float = 0.0005) -> None:
+        """Fire-and-forget datagram; delivery is scheduled, never guaranteed."""
+        if dst not in self._nodes:
+            raise SimulationError(f"unknown destination node: {dst}")
+        if (src, dst) in self._blocked:
+            return
+        target = self._nodes[dst]
+        incarnation = target.incarnation
+        delay = (self.params.base_latency_s
+                 + size_mb / self.params.bandwidth_mb_s
+                 + self._rng.expovariate(1.0 / self.params.jitter_mean_s))
+        self.messages_sent += 1
+        self.mb_sent += size_mb
+        message = Message(src, dst, port, payload, size_mb, sent_at=self._sim.now)
+        self._sim.call_after(delay, self._deliver, message, incarnation)
+
+    def _deliver(self, message: Message, incarnation: int) -> None:
+        target = self._nodes.get(message.dst)
+        if target is None or not target.alive:
+            return
+        if target.incarnation != incarnation:
+            return  # node restarted while the message was in flight
+        if (message.src, message.dst) in self._blocked:
+            return
+        self.messages_delivered += 1
+        target.dispatch(message.port, message.payload, message.src)

@@ -1,0 +1,270 @@
+"""Deterministic write actions for RobustStore.
+
+Each action is the replicated equivalent of one of the original SQL
+transactions.  Per Section 4 of the paper, every source of
+non-determinism -- order timestamps, random discounts, random fallback
+items, credit-card authorization ids -- is computed by the facade *before*
+the action is created and travels inside it, so all replicas apply the
+exact same transition.
+
+``cpu_cost_s`` values are the simulated execution costs charged on every
+replica (each replica executes every update -- the root of the write-rate
+dependent scaling in Figures 3/4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.treplica.actions import Action
+from repro.tpcw.model import Address, CCXact, Customer, Order, OrderLine, ShoppingCart
+
+
+class CreateEmptyCart(Action):
+    """The start of a shopping session: allocate a cart id."""
+
+    cpu_cost_s = 0.0001
+    size_mb = 0.0002
+
+    def __init__(self, timestamp: float):
+        self.timestamp = timestamp
+
+    def apply(self, app):
+        state = app.state
+        sc_id = state.next_cart_id
+        state.add_cart(ShoppingCart(sc_id, self.timestamp))
+        return sc_id
+
+
+class DoCart(Action):
+    """The Shopping Cart interaction: add an item and/or update quantities.
+
+    ``fallback_item`` is the random item the spec adds when the cart would
+    otherwise be empty -- drawn by the facade, passed as an argument.
+    """
+
+    cpu_cost_s = 0.0002
+    size_mb = 0.0005
+
+    def __init__(self, sc_id: int, add_item: Optional[int],
+                 updates: Sequence[Tuple[int, int]], fallback_item: int,
+                 timestamp: float):
+        self.sc_id = sc_id
+        self.add_item = add_item
+        self.updates = tuple(updates)
+        self.fallback_item = fallback_item
+        self.timestamp = timestamp
+
+    def apply(self, app):
+        state = app.state
+        cart = state.carts.get(self.sc_id)
+        if cart is None:
+            cart = ShoppingCart(self.sc_id, self.timestamp)
+            state.add_cart(cart)
+        if self.add_item is not None and self.add_item in state.items:
+            cart.lines[self.add_item] = cart.lines.get(self.add_item, 0) + 1
+        for i_id, qty in self.updates:
+            if qty <= 0:
+                cart.lines.pop(i_id, None)
+            elif i_id in state.items:
+                cart.lines[i_id] = qty
+        if not cart.lines:
+            cart.lines[self.fallback_item] = 1
+        cart.sc_time = self.timestamp
+        return dict(cart.lines)
+
+
+class RefreshSession(Action):
+    """Buy Request touches the customer session (login/expiration)."""
+
+    cpu_cost_s = 0.000075
+    size_mb = 0.0002
+
+    def __init__(self, c_id: int, timestamp: float):
+        self.c_id = c_id
+        self.timestamp = timestamp
+
+    def apply(self, app):
+        customer = app.state.customers.get(self.c_id)
+        if customer is None:
+            return None
+        customer.c_login = self.timestamp
+        customer.c_expiration = self.timestamp + 2 * 3600.0
+        return customer.c_id
+
+
+class CreateNewCustomer(Action):
+    """Customer Registration: new customer + (possibly shared) address.
+
+    The discount is the spec's random draw -- resolved by the facade.
+    """
+
+    cpu_cost_s = 0.0002
+    size_mb = 0.0006
+
+    def __init__(self, fname: str, lname: str, street1: str, street2: str,
+                 city: str, state_code: str, zip_code: str, co_id: int,
+                 phone: str, email: str, birthdate: float, data: str,
+                 discount: float, timestamp: float):
+        self.fname = fname
+        self.lname = lname
+        self.street1 = street1
+        self.street2 = street2
+        self.city = city
+        self.state_code = state_code
+        self.zip_code = zip_code
+        self.co_id = co_id
+        self.phone = phone
+        self.email = email
+        self.birthdate = birthdate
+        self.data = data
+        self.discount = discount
+        self.timestamp = timestamp
+
+    def apply(self, app):
+        state = app.state
+        addr_id = _enter_address(state, self.street1, self.street2,
+                                 self.city, self.state_code, self.zip_code,
+                                 self.co_id)
+        c_id = state.next_customer_id
+        uname = _digsyl_uname(c_id)
+        state.add_customer(Customer(
+            c_id, uname, uname.lower(), self.fname, self.lname, addr_id,
+            self.phone, self.email,
+            since=self.timestamp, last_login=self.timestamp,
+            login=self.timestamp, expiration=self.timestamp + 2 * 3600.0,
+            discount=self.discount, balance=0.0, ytd_pmt=0.0,
+            birthdate=self.birthdate, data=self.data))
+        return c_id
+
+
+class BuyConfirm(Action):
+    """The Buy Confirm interaction: order + lines + stock + CC transaction.
+
+    The heaviest update of the mix.  Stock follows the spec: decrement,
+    and restock by 21 when it would fall below 10.  The authorization id
+    and ship-date offset are facade-drawn randomness.
+    """
+
+    cpu_cost_s = 0.00035
+    size_mb = 0.0008
+
+    def __init__(self, sc_id: int, c_id: int, cc_type: str, cc_number: str,
+                 cc_name: str, cc_expire: float, shipping_type: str,
+                 timestamp: float, ship_date_offset: float, auth_id: str,
+                 ship_addr: Optional[Tuple[str, str, str, str, str, int]] = None,
+                 comment: str = ""):
+        self.sc_id = sc_id
+        self.c_id = c_id
+        self.cc_type = cc_type
+        self.cc_number = cc_number
+        self.cc_name = cc_name
+        self.cc_expire = cc_expire
+        self.shipping_type = shipping_type
+        self.timestamp = timestamp
+        self.ship_date_offset = ship_date_offset
+        self.auth_id = auth_id
+        self.ship_addr = ship_addr
+        self.comment = comment
+
+    def apply(self, app):
+        state = app.state
+        cart = state.carts.get(self.sc_id)
+        customer = state.customers.get(self.c_id)
+        if cart is None or customer is None or not cart.lines:
+            return None
+        if self.ship_addr is not None:
+            ship_addr_id = _enter_address(state, *self.ship_addr)
+        else:
+            ship_addr_id = customer.c_addr_id
+
+        sub_total = cart.subtotal(state.items, customer.c_discount / 100.0
+                                  if customer.c_discount > 1.0
+                                  else customer.c_discount)
+        tax = round(sub_total * 0.0825, 2)
+        o_id = state.next_order_id
+        order = Order(o_id, self.c_id, self.timestamp,
+                      sub_total=round(sub_total, 2), tax=tax,
+                      total=round(sub_total + tax, 2),
+                      ship_type=self.shipping_type,
+                      ship_date=self.timestamp + self.ship_date_offset,
+                      bill_addr_id=customer.c_addr_id,
+                      ship_addr_id=ship_addr_id, status="PENDING")
+        for ol_id, (i_id, qty) in enumerate(sorted(cart.lines.items()), 1):
+            order.lines.append(OrderLine(ol_id, o_id, i_id, qty,
+                                         customer.c_discount, self.comment))
+            item = state.items[i_id]
+            if item.i_stock - qty < 10:
+                item.i_stock = item.i_stock - qty + 21  # spec restock rule
+            else:
+                item.i_stock -= qty
+        state.add_order(order)
+        state.add_ccxact(CCXact(
+            o_id, self.cc_type, self.cc_number, self.cc_name,
+            self.cc_expire, self.auth_id, order.o_total, self.timestamp,
+            state.addresses[ship_addr_id].addr_co_id))
+        cart.lines.clear()
+        cart.sc_time = self.timestamp
+        return o_id
+
+
+class AdminConfirm(Action):
+    """Admin Confirm: update an item's cost/images and recompute its
+    related items from recent co-purchases (deterministic from state)."""
+
+    cpu_cost_s = 0.00025
+    size_mb = 0.0004
+
+    def __init__(self, i_id: int, new_cost: float, new_image: str,
+                 new_thumbnail: str, timestamp: float):
+        self.i_id = i_id
+        self.new_cost = new_cost
+        self.new_image = new_image
+        self.new_thumbnail = new_thumbnail
+        self.timestamp = timestamp
+
+    def apply(self, app):
+        state = app.state
+        item = state.items.get(self.i_id)
+        if item is None:
+            return None
+        item.i_cost = self.new_cost
+        item.i_image = self.new_image
+        item.i_thumbnail = self.new_thumbnail
+        item.i_pub_date = self.timestamp
+        # Related items: the five items most frequently co-purchased with
+        # this one in the best-seller window (the spec's related query).
+        co_counts: Dict[int, int] = {}
+        for o_id in state.recent_orders:
+            order = state.orders.get(o_id)
+            if order is None:
+                continue
+            line_items = [line.ol_i_id for line in order.lines]
+            if self.i_id in line_items:
+                for other in line_items:
+                    if other != self.i_id:
+                        co_counts[other] = co_counts.get(other, 0) + 1
+        top = sorted(co_counts, key=lambda i: (-co_counts[i], i))[:5]
+        while len(top) < 5:
+            top.append(self.i_id)
+        item.i_related = tuple(top)
+        return item.i_id
+
+
+# ----------------------------------------------------------------------
+def _enter_address(state, street1: str, street2: str, city: str,
+                   state_code: str, zip_code: str, co_id: int) -> int:
+    """Deduplicate addresses exactly like the reference enterAddress."""
+    key = (street1, street2, city, state_code, zip_code, co_id)
+    existing = state.address_by_key.get(key)
+    if existing is not None:
+        return existing
+    addr_id = state.next_address_id
+    state.add_address(Address(addr_id, street1, street2, city, state_code,
+                              zip_code, co_id))
+    return addr_id
+
+
+def _digsyl_uname(number: int) -> str:
+    syllables = ["BA", "OG", "AL", "RI", "RE", "SE", "AT", "UL", "IN", "NG"]
+    return "".join(syllables[int(d)] for d in str(number))

@@ -1,0 +1,188 @@
+"""RobustStore's servlet layer: one handler per TPC-W web interaction.
+
+The servlets are unchanged in structure from the original bookstore (the
+paper kept them intact): they parse the request, call the facade, and
+render a response.  Handlers are generators because update interactions
+block on Treplica's totally ordered execute; read handlers return without
+yielding on the queue.
+
+The client session (customer id, cart id, last item viewed) travels with
+the request, exactly like the original's URL-encoded session state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.tpcw.database import TPCWDatabase
+from repro.tpcw.population import SUBJECTS, _WORDS
+from repro.tpcw.workload import Interaction
+
+
+class BookstoreServlets:
+    """Dispatches interactions against one replica's facade."""
+
+    def __init__(self, db: TPCWDatabase, rng: random.Random):
+        self._db = db
+        self._rng = rng
+        self._handlers = {
+            Interaction.HOME: self._home,
+            Interaction.NEW_PRODUCTS: self._new_products,
+            Interaction.BEST_SELLERS: self._best_sellers,
+            Interaction.PRODUCT_DETAIL: self._product_detail,
+            Interaction.SEARCH_REQUEST: self._search_request,
+            Interaction.SEARCH_RESULTS: self._search_results,
+            Interaction.SHOPPING_CART: self._shopping_cart,
+            Interaction.CUSTOMER_REGISTRATION: self._customer_registration,
+            Interaction.BUY_REQUEST: self._buy_request,
+            Interaction.BUY_CONFIRM: self._buy_confirm,
+            Interaction.ORDER_INQUIRY: self._order_inquiry,
+            Interaction.ORDER_DISPLAY: self._order_display,
+            Interaction.ADMIN_REQUEST: self._admin_request,
+            Interaction.ADMIN_CONFIRM: self._admin_confirm,
+        }
+
+    def handle(self, interaction: Interaction, session: Dict[str, Any]):
+        """Generator: process one interaction, return the response dict.
+
+        ``session`` is read-only here; session updates (new cart id, new
+        customer id) come back in the response for the client to keep.
+        """
+        return (yield from self._handlers[interaction](session))
+
+    # ------------------------------------------------------------------
+    def _random_item(self) -> int:
+        return self._rng.randint(1, max(1, self._db.item_count()))
+
+    def _random_customer(self) -> int:
+        return self._rng.randint(1, max(1, self._db.customer_count()))
+
+    def _session_customer(self, session) -> int:
+        c_id = session.get("c_id")
+        return c_id if c_id is not None else self._random_customer()
+
+    # ------------------------------------------------------------------
+    # read-only interactions
+    # ------------------------------------------------------------------
+    def _home(self, session):
+        c_id = self._session_customer(session)
+        name = self._db.get_name(c_id)
+        promos = self._db.get_related(self._random_item())
+        return {"name": name, "promotions": [i.i_id for i in promos]}
+        yield  # pragma: no cover - marks this handler as a generator
+
+    def _new_products(self, session):
+        subject = self._rng.choice(SUBJECTS)
+        items = self._db.get_new_products(subject)
+        return {"subject": subject, "items": [i.i_id for i in items]}
+        yield  # pragma: no cover
+
+    def _best_sellers(self, session):
+        subject = self._rng.choice(SUBJECTS)
+        sellers = self._db.get_best_sellers(subject)
+        return {"subject": subject,
+                "items": [(item.i_id, qty) for item, qty in sellers]}
+        yield  # pragma: no cover
+
+    def _product_detail(self, session):
+        i_id = session.get("i_id") or self._random_item()
+        item = self._db.get_book(i_id)
+        if item is None:
+            return {"error": "no such item"}
+        return {"i_id": item.i_id, "title": item.i_title,
+                "cost": item.i_cost, "stock": item.i_stock}
+        yield  # pragma: no cover
+
+    def _search_request(self, session):
+        return {"form": "search"}
+        yield  # pragma: no cover
+
+    def _search_results(self, session):
+        kind = self._rng.choice(["title", "author", "subject"])
+        if kind == "subject":
+            items = self._db.do_subject_search(self._rng.choice(SUBJECTS))
+        elif kind == "title":
+            items = self._db.do_title_search(self._rng.choice(_WORDS))
+        else:
+            items = self._db.do_author_search(self._rng.choice(_WORDS))
+        return {"kind": kind, "items": [i.i_id for i in items]}
+        yield  # pragma: no cover
+
+    def _order_inquiry(self, session):
+        return {"form": "order-inquiry"}
+        yield  # pragma: no cover
+
+    def _order_display(self, session):
+        c_id = self._session_customer(session)
+        uname = self._db.get_username(c_id)
+        order = self._db.get_most_recent_order(uname) if uname else None
+        if order is None:
+            return {"order": None}
+        return {"order": order.o_id, "total": order.o_total,
+                "status": order.o_status}
+        yield  # pragma: no cover
+
+    def _admin_request(self, session):
+        i_id = session.get("i_id") or self._random_item()
+        item = self._db.get_book(i_id)
+        return {"i_id": i_id, "cost": None if item is None else item.i_cost}
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # update interactions (totally ordered through Treplica)
+    # ------------------------------------------------------------------
+    def _shopping_cart(self, session):
+        sc_id = session.get("sc_id")
+        if sc_id is None:
+            sc_id = yield from self._db.create_empty_cart()
+        add_item = session.get("i_id") or self._random_item()
+        updates = []
+        if self._rng.random() < 0.25:  # occasionally adjust quantities
+            updates.append((add_item, self._rng.randint(0, 4)))
+        cart = yield from self._db.do_cart(sc_id, add_item, updates)
+        return {"sc_id": sc_id, "cart": cart}
+
+    def _customer_registration(self, session):
+        rng = self._rng
+        c_id = yield from self._db.create_new_customer(
+            fname=rng.choice(_WORDS).capitalize(),
+            lname=rng.choice(_WORDS).capitalize(),
+            street1=f"{rng.randint(1, 999)} Retrofit Way",
+            street2=f"Suite {rng.randint(1, 99)}",
+            city="Campinas", state_code="SP",
+            zip_code=f"{rng.randint(10000, 99999)}",
+            co_id=rng.randint(1, 92),
+            phone=f"{rng.randint(100, 999)}-{rng.randint(1000000, 9999999)}",
+            email=f"new{rng.randint(0, 10**9)}@repro.example",
+            birthdate=-rng.uniform(0.0, 2.5e9),
+            data="registered via RBE")
+        return {"c_id": c_id}
+
+    def _buy_request(self, session):
+        c_id = self._session_customer(session)
+        yield from self._db.refresh_session(c_id)
+        sc_id = session.get("sc_id")
+        if sc_id is None:
+            sc_id = yield from self._db.create_empty_cart()
+        return {"c_id": c_id, "sc_id": sc_id,
+                "discount": self._db.get_cdiscount(c_id)}
+
+    def _buy_confirm(self, session):
+        c_id = self._session_customer(session)
+        sc_id = session.get("sc_id")
+        if sc_id is None:
+            sc_id = yield from self._db.create_empty_cart()
+            yield from self._db.do_cart(sc_id, None)  # fallback item fills it
+        o_id = yield from self._db.buy_confirm(sc_id, c_id)
+        if o_id is None:
+            # Empty or stale cart: the spec re-fills and retries once.
+            yield from self._db.do_cart(sc_id, self._random_item())
+            o_id = yield from self._db.buy_confirm(sc_id, c_id)
+        return {"o_id": o_id, "sc_id": sc_id}
+
+    def _admin_confirm(self, session):
+        i_id = session.get("i_id") or self._random_item()
+        new_cost = round(self._rng.uniform(1.0, 300.0), 2)
+        updated = yield from self._db.admin_confirm(i_id, new_cost)
+        return {"i_id": updated, "cost": new_cost}

@@ -1,0 +1,211 @@
+"""The ``TPCW_Database`` facade.
+
+The original bookstore's servlets access all data through one facade
+class; RobustStore keeps that structure but the facade now runs queries
+against the local replicated object model and funnels every update
+through Treplica's state machine (Section 4 of the paper).
+
+* **Reads** are plain methods: executed locally, never totally ordered
+  (the paper: read-only interactions are fulfilled locally).
+* **Writes** are generator methods (``result = yield from db.do_cart(...)``)
+  that resolve all non-determinism -- clock reads, random draws -- here,
+  before constructing the deterministic action.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.tpcw import actions as acts
+from repro.tpcw.model import Customer, Item, Order
+from repro.tpcw.population import CC_TYPES, SHIP_TYPES
+from repro.tpcw.state import BookstoreState
+
+#: Spec clause 6.3: best-seller query results may be cached for up to 30 s.
+BESTSELLER_CACHE_TTL_S = 30.0
+RESULT_LIMIT = 50
+
+
+class TPCWDatabase:
+    """Per-replica facade bound to a Treplica runtime."""
+
+    def __init__(self, runtime, clock: Callable[[], float],
+                 rng: random.Random):
+        self._runtime = runtime
+        self._clock = clock
+        self._rng = rng
+        self._bestseller_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def _state(self) -> BookstoreState:
+        return self._runtime.read(lambda app: app.state)
+
+    # ==================================================================
+    # read-only queries (local)
+    # ==================================================================
+    def get_name(self, c_id: int) -> Optional[Tuple[str, str]]:
+        customer = self._state().customers.get(c_id)
+        return None if customer is None else (customer.c_fname, customer.c_lname)
+
+    def get_book(self, i_id: int) -> Optional[Item]:
+        return self._state().items.get(i_id)
+
+    def get_customer(self, uname: str) -> Optional[Customer]:
+        state = self._state()
+        c_id = state.customer_by_uname.get(uname)
+        return None if c_id is None else state.customers.get(c_id)
+
+    def get_username(self, c_id: int) -> Optional[str]:
+        customer = self._state().customers.get(c_id)
+        return None if customer is None else customer.c_uname
+
+    def get_password(self, uname: str) -> Optional[str]:
+        customer = self.get_customer(uname)
+        return None if customer is None else customer.c_passwd
+
+    def do_subject_search(self, subject: str) -> List[Item]:
+        state = self._state()
+        ids = state.items_by_subject.get(subject, [])
+        items = [state.items[i] for i in ids]
+        items.sort(key=lambda item: item.i_title)
+        return items[:RESULT_LIMIT]
+
+    def do_title_search(self, token: str) -> List[Item]:
+        state = self._state()
+        ids = state.title_tokens.get(token.lower(), [])
+        items = [state.items[i] for i in ids]
+        items.sort(key=lambda item: item.i_title)
+        return items[:RESULT_LIMIT]
+
+    def do_author_search(self, token: str) -> List[Item]:
+        state = self._state()
+        ids = state.author_tokens.get(token.lower(), [])
+        items = [state.items[i] for i in ids]
+        items.sort(key=lambda item: item.i_title)
+        return items[:RESULT_LIMIT]
+
+    def get_new_products(self, subject: str) -> List[Item]:
+        state = self._state()
+        ids = state.items_by_subject.get(subject, [])
+        items = [state.items[i] for i in ids]
+        return heapq.nlargest(RESULT_LIMIT, items,
+                              key=lambda item: item.i_pub_date)
+
+    def get_best_sellers(self, subject: str) -> List[Tuple[Item, int]]:
+        """Top items by quantity over the last 3333 orders, in-subject.
+
+        Served from a per-replica cache with the spec's 30 s freshness
+        allowance, so the scan cost does not dominate the read path.
+        """
+        now = self._clock()
+        cached = self._bestseller_cache.get(subject)
+        if cached is not None and now - cached[0] <= BESTSELLER_CACHE_TTL_S:
+            return cached[1]
+        state = self._state()
+        in_subject = [(i_id, qty) for i_id, qty in
+                      state.bestseller_counts.items()
+                      if state.items[i_id].i_subject == subject]
+        top = heapq.nlargest(RESULT_LIMIT, in_subject,
+                             key=lambda pair: (pair[1], -pair[0]))
+        result = [(state.items[i_id], qty) for i_id, qty in top]
+        self._bestseller_cache[subject] = (now, result)
+        return result
+
+    def get_related(self, i_id: int) -> List[Item]:
+        state = self._state()
+        item = state.items.get(i_id)
+        if item is None:
+            return []
+        return [state.items[r] for r in item.i_related if r in state.items]
+
+    def get_most_recent_order(self, uname: str) -> Optional[Order]:
+        state = self._state()
+        c_id = state.customer_by_uname.get(uname)
+        if c_id is None:
+            return None
+        order_ids = state.orders_by_customer.get(c_id, [])
+        if not order_ids:
+            return None
+        return state.orders[order_ids[-1]]
+
+    def get_cart(self, sc_id: int):
+        cart = self._state().carts.get(sc_id)
+        return None if cart is None else dict(cart.lines)
+
+    def get_cdiscount(self, c_id: int) -> Optional[float]:
+        customer = self._state().customers.get(c_id)
+        return None if customer is None else customer.c_discount
+
+    def get_stock(self, i_id: int) -> Optional[int]:
+        item = self._state().items.get(i_id)
+        return None if item is None else item.i_stock
+
+    def item_count(self) -> int:
+        return len(self._state().items)
+
+    def customer_count(self) -> int:
+        return len(self._state().customers)
+
+    # ==================================================================
+    # updates (totally ordered through Treplica)
+    # ==================================================================
+    def create_empty_cart(self):
+        action = acts.CreateEmptyCart(timestamp=self._clock())
+        return (yield from self._runtime.execute(action))
+
+    def do_cart(self, sc_id: int, add_item: Optional[int],
+                updates: Sequence[Tuple[int, int]] = ()):
+        # The spec adds a random item to an empty cart; the draw happens
+        # here, outside the deterministic action (Section 4).
+        fallback = self._rng.randint(1, max(1, self.item_count()))
+        action = acts.DoCart(sc_id, add_item, updates, fallback,
+                             timestamp=self._clock())
+        return (yield from self._runtime.execute(action))
+
+    def refresh_session(self, c_id: int):
+        action = acts.RefreshSession(c_id, timestamp=self._clock())
+        return (yield from self._runtime.execute(action))
+
+    def create_new_customer(self, fname: str, lname: str, street1: str,
+                            street2: str, city: str, state_code: str,
+                            zip_code: str, co_id: int, phone: str,
+                            email: str, birthdate: float, data: str):
+        # Random new-customer discount, drawn before action creation --
+        # the paper's own example of non-determinism removal.
+        discount = round(self._rng.uniform(0.0, 0.5), 2)
+        action = acts.CreateNewCustomer(
+            fname, lname, street1, street2, city, state_code, zip_code,
+            co_id, phone, email, birthdate, data, discount,
+            timestamp=self._clock())
+        return (yield from self._runtime.execute(action))
+
+    def buy_confirm(self, sc_id: int, c_id: int,
+                    cc_type: Optional[str] = None,
+                    cc_number: Optional[str] = None,
+                    cc_name: Optional[str] = None,
+                    shipping_type: Optional[str] = None,
+                    ship_addr: Optional[Tuple] = None):
+        rng = self._rng
+        now = self._clock()
+        action = acts.BuyConfirm(
+            sc_id, c_id,
+            cc_type=cc_type or rng.choice(CC_TYPES),
+            cc_number=cc_number or str(rng.randint(10**15, 10**16 - 1)),
+            cc_name=cc_name or "CARD HOLDER",
+            cc_expire=now + rng.uniform(0.0, 2e8),
+            shipping_type=shipping_type or rng.choice(SHIP_TYPES),
+            timestamp=now,
+            ship_date_offset=rng.uniform(0.0, 7 * 86400.0),
+            auth_id=f"AUTH{rng.randint(0, 10**9):09d}",
+            ship_addr=ship_addr)
+        return (yield from self._runtime.execute(action))
+
+    def admin_confirm(self, i_id: int, new_cost: float):
+        action = acts.AdminConfirm(
+            i_id, new_cost,
+            new_image=f"img/image_{i_id}_v2.gif",
+            new_thumbnail=f"img/thumb_{i_id}_v2.gif",
+            timestamp=self._clock())
+        return (yield from self._runtime.execute(action))

@@ -1,0 +1,232 @@
+"""TPC-W population generator.
+
+Follows the spec's scaling rules (Clause 4.2/4.3 of TPC-W v1.8):
+
+* ``ITEM`` cardinality is the scale parameter (the paper uses 10,000);
+* ``CUSTOMER`` = 2880 x number of emulated browsers;
+* ``ADDRESS``  = 2 x customers; ``ORDERS`` = 0.9 x customers, each with
+  1-5 order lines; ``AUTHOR`` = 0.25 x items; 92 countries; 24 subjects;
+* usernames are derived from customer ids with the spec's DigSyl
+  encoding; strings come from seeded generators.
+
+Population is **deterministic**: every replica populating from the same
+seed builds a byte-identical state, which is what lets RobustStore start
+replicas independently without an initial state transfer.
+
+``entity_scale`` shrinks the *real* entity counts for simulation speed
+while the nominal size model keeps reporting paper-scale MB (the
+``size_multiplier`` on the application); the paper's 30/50/70 EB
+populations map to ~300/500/700 MB either way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.rng import SeedTree
+from repro.tpcw.model import Address, Author, CCXact, Country, Customer, Item, Order, OrderLine
+from repro.tpcw.state import BookstoreState
+
+SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+]
+
+BACKINGS = ["HARDBACK", "PAPERBACK", "USED", "AUDIO", "LIMITED-EDITION"]
+SHIP_TYPES = ["AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL"]
+CC_TYPES = ["VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS"]
+STATUSES = ["PROCESSING", "SHIPPED", "PENDING", "DENIED"]
+
+_DIGSYL = ["BA", "OG", "AL", "RI", "RE", "SE", "AT", "UL", "IN", "NG"]
+
+_WORDS = [
+    "the", "of", "and", "night", "day", "house", "river", "stone", "wind",
+    "shadow", "light", "garden", "winter", "summer", "silent", "broken",
+    "last", "first", "lost", "hidden", "secret", "golden", "iron", "paper",
+    "glass", "crimson", "northern", "southern", "ancient", "modern",
+    "history", "science", "journey", "return", "letters", "songs",
+]
+
+
+def digsyl(number: int, width: int = 0) -> str:
+    """The spec's DigSyl encoding: each decimal digit becomes a syllable."""
+    digits = str(number)
+    if width:
+        digits = digits.zfill(width)
+    return "".join(_DIGSYL[int(d)] for d in digits)
+
+
+@dataclass(frozen=True)
+class PopulationParams:
+    """Scaling knobs for :func:`populate`."""
+
+    num_items: int = 10_000
+    num_ebs: int = 30
+    entity_scale: float = 1.0  # shrink real entity counts; nominal MB preserved
+    seed: int = 2009
+
+    @property
+    def num_customers(self) -> int:
+        return max(2, int(2880 * self.num_ebs * self.entity_scale))
+
+    @property
+    def real_items(self) -> int:
+        return max(10, int(self.num_items * self.entity_scale))
+
+    @property
+    def size_multiplier(self) -> float:
+        return 1.0 / self.entity_scale
+
+
+def populate(params: PopulationParams) -> BookstoreState:
+    """Build a fully populated, deterministic bookstore state."""
+    rng = SeedTree(params.seed).fork_random("tpcw-population")
+    state = BookstoreState()
+    _populate_countries(state)
+    _populate_authors(state, params, rng)
+    _populate_items(state, params, rng)
+    _populate_customers(state, params, rng)
+    _populate_orders(state, params, rng)
+    return state
+
+
+# ----------------------------------------------------------------------
+def _populate_countries(state: BookstoreState) -> None:
+    names = ["United States", "United Kingdom", "Canada", "Germany",
+             "France", "Japan", "Netherlands", "Italy", "Switzerland",
+             "Australia", "Algeria", "Argentina", "Armenia", "Austria",
+             "Azerbaijan", "Bahamas", "Bahrain", "Bangla Desh", "Barbados",
+             "Belarus", "Belgium", "Bermuda", "Bolivia", "Botswana",
+             "Brazil", "Bulgaria", "Cayman Islands", "Chad", "Chile",
+             "China", "Christmas Island", "Colombia", "Croatia", "Cuba",
+             "Cyprus", "Czech Republic", "Denmark", "Dominican Republic",
+             "Eastern Caribbean", "Ecuador", "Egypt", "El Salvador",
+             "Estonia", "Ethiopia", "Falkland Island", "Faroe Island",
+             "Fiji", "Finland", "Gabon", "Gibraltar", "Greece", "Guam",
+             "Hong Kong", "Hungary", "Iceland", "India", "Indonesia",
+             "Iran", "Iraq", "Ireland", "Israel", "Jamaica", "Jordan",
+             "Kazakhstan", "Kuwait", "Lebanon", "Luxembourg", "Malaysia",
+             "Mexico", "Mauritius", "New Zealand", "Norway", "Pakistan",
+             "Philippines", "Poland", "Portugal", "Romania", "Russia",
+             "Saudi Arabia", "Singapore", "Slovakia", "South Africa",
+             "South Korea", "Spain", "Sudan", "Sweden", "Taiwan",
+             "Thailand", "Trinidad", "Turkey", "Venezuela", "Zambia"]
+    for i, name in enumerate(names, start=1):
+        state.add_country(Country(i, name, 1.0 if i == 1 else 0.5 + i * 0.01,
+                                  "Dollars" if i == 1 else f"Currency{i}"))
+
+
+def _populate_authors(state: BookstoreState, params: PopulationParams,
+                      rng: random.Random) -> None:
+    num_authors = max(5, int(0.25 * params.real_items))
+    for a_id in range(1, num_authors + 1):
+        fname = rng.choice(_WORDS).capitalize()
+        lname = digsyl(a_id).capitalize()
+        state.add_author(Author(
+            a_id, fname, rng.choice("ABCDEFG"), lname,
+            dob=-rng.uniform(0.6e9, 2.5e9),
+            bio=" ".join(rng.choices(_WORDS, k=25))))
+
+
+def _populate_items(state: BookstoreState, params: PopulationParams,
+                    rng: random.Random) -> None:
+    num_items = params.real_items
+    num_authors = max(5, int(0.25 * num_items))
+    for i_id in range(1, num_items + 1):
+        title = " ".join(rng.choices(_WORDS, k=rng.randint(2, 5))).title()
+        title = f"{title} {digsyl(i_id)}"
+        srp = round(rng.uniform(1.0, 300.0), 2)
+        related = tuple(rng.randint(1, num_items) for _ in range(5))
+        state.add_item(Item(
+            i_id, title, rng.randint(1, num_authors),
+            pub_date=rng.uniform(0.5e9, 1.2e9),
+            publisher=f"Publisher {digsyl(rng.randint(1, 99))}",
+            subject=rng.choice(SUBJECTS),
+            desc=" ".join(rng.choices(_WORDS, k=40)),
+            related=related,
+            thumbnail=f"img/thumb_{i_id}.gif", image=f"img/image_{i_id}.gif",
+            srp=srp, cost=round(srp * rng.uniform(0.5, 1.0), 2),
+            avail=rng.uniform(1.2e9, 1.3e9),
+            stock=rng.randint(10, 30),
+            isbn=f"ISBN{i_id:09d}", page=rng.randint(20, 9999),
+            backing=rng.choice(BACKINGS),
+            dimensions=f"{rng.randint(1, 99)}x{rng.randint(1, 99)}"))
+
+
+def _populate_customers(state: BookstoreState, params: PopulationParams,
+                        rng: random.Random) -> None:
+    for c_id in range(1, params.num_customers + 1):
+        addr_id = _new_address(state, rng)
+        _new_address(state, rng)  # spec: 2x addresses
+        uname = digsyl(c_id)
+        state.add_customer(Customer(
+            c_id, uname, uname.lower(),
+            fname=rng.choice(_WORDS).capitalize(),
+            lname=digsyl(c_id % 1000).capitalize(),
+            addr_id=addr_id,
+            phone=f"{rng.randint(100, 999)}-{rng.randint(1000000, 9999999)}",
+            email=f"{uname}@repro.example",
+            since=rng.uniform(0.8e9, 1.0e9),
+            last_login=rng.uniform(1.0e9, 1.1e9),
+            login=rng.uniform(1.1e9, 1.2e9),
+            expiration=rng.uniform(1.2e9, 1.3e9),
+            discount=round(rng.uniform(0.0, 0.5), 2),
+            balance=0.0,
+            ytd_pmt=round(rng.uniform(0.0, 99999.0), 2),
+            birthdate=-rng.uniform(0.0, 2.5e9),
+            data=" ".join(rng.choices(_WORDS, k=50))))
+
+
+def _populate_orders(state: BookstoreState, params: PopulationParams,
+                     rng: random.Random) -> None:
+    num_orders = int(0.9 * params.num_customers)
+    num_items = params.real_items
+    for o_id in range(1, num_orders + 1):
+        c_id = rng.randint(1, params.num_customers)
+        customer = state.customers[c_id]
+        date = rng.uniform(1.1e9, 1.2e9)
+        order = Order(
+            o_id, c_id, date,
+            sub_total=0.0, tax=0.0, total=0.0,
+            ship_type=rng.choice(SHIP_TYPES),
+            ship_date=date + rng.uniform(0.0, 7 * 86400.0),
+            bill_addr_id=customer.c_addr_id,
+            ship_addr_id=customer.c_addr_id,
+            status=rng.choice(STATUSES))
+        sub_total = 0.0
+        for ol_id in range(1, rng.randint(1, 5) + 1):
+            i_id = rng.randint(1, num_items)
+            qty = rng.randint(1, 300) % 5 + 1
+            sub_total += state.items[i_id].i_cost * qty
+            order.lines.append(OrderLine(
+                ol_id, o_id, i_id, qty,
+                discount=customer.c_discount,
+                comments=" ".join(rng.choices(_WORDS, k=8))))
+        order.o_sub_total = round(sub_total, 2)
+        order.o_tax = round(sub_total * 0.0825, 2)
+        order.o_total = round(order.o_sub_total + order.o_tax, 2)
+        state.add_order(order)
+        state.add_ccxact(CCXact(
+            o_id, rng.choice(CC_TYPES), str(rng.randint(10**15, 10**16 - 1)),
+            f"{customer.c_fname} {customer.c_lname}",
+            cc_expire=date + rng.uniform(0.0, 2e8),
+            auth_id=digsyl(rng.randint(0, 10**8), 9),
+            amount=order.o_total, xact_date=date,
+            co_id=state.addresses[customer.c_addr_id].addr_co_id))
+
+
+def _new_address(state: BookstoreState, rng: random.Random) -> int:
+    addr_id = state.next_address_id
+    state.add_address(Address(
+        addr_id,
+        street1=f"{rng.randint(1, 999)} {rng.choice(_WORDS).capitalize()} St",
+        street2=f"Apt {rng.randint(1, 99)}",
+        city=rng.choice(_WORDS).capitalize() + " City",
+        state=rng.choice(["CA", "NY", "TX", "WA", "WI", "VD", "SP"]),
+        zip_code=f"{rng.randint(10000, 99999)}",
+        co_id=rng.randint(1, 92)))
+    return addr_id

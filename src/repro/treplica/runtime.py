@@ -1,0 +1,269 @@
+"""The Treplica runtime: state machine, applier, and autonomous recovery.
+
+One :class:`TreplicaRuntime` lives on each replica node.  It wires the
+application to the asynchronous persistent queue:
+
+* ``execute(action)`` -- the state-machine interface: enqueue the action
+  and block until it has been applied locally (the paper's synchronous
+  ``execute()`` semantics);
+* the **applier** process dequeues actions in total order and applies
+  them, charging per-action CPU (every replica executes every update,
+  which is what makes write-heavy workloads scale sublinearly);
+* the **checkpoint loop** periodically snapshots the application;
+* **recovery** (``get_state()`` in the paper): a rebooted replica loads
+  its latest local checkpoint in chunks -- disk reads and deserialization
+  CPU interleaved -- while, *in parallel*, the queue learns the missed
+  suffix from the peers; once the backlog is re-applied the replica
+  reports ready and rejoins service.  If the peers already truncated the
+  needed suffix, a full remote checkpoint transfer runs instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.paxos.messages import Command
+from repro.sim.core import Event, Simulator
+from repro.sim.disk import WriteAheadLog
+from repro.sim.node import Node
+from repro.sim.rng import SeedTree
+from repro.sim.trace import emit as trace_emit
+from repro.treplica.actions import Action
+from repro.treplica.application import Application
+from repro.treplica.checkpoint import CHECKPOINT_KEY, CheckpointManager, CheckpointRecord
+from repro.treplica.config import TreplicaConfig
+from repro.treplica.queue import PersistentQueue
+
+TREPLICA_PORT = "treplica"
+
+
+class TreplicaRuntime:
+    """Per-replica middleware instance (recreated on every reboot)."""
+
+    def __init__(self, node: Node, replica_names: List[str], my_id: int,
+                 app: Application, config: Optional[TreplicaConfig] = None,
+                 seed: Optional[SeedTree] = None):
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.names = list(replica_names)
+        self.my_id = my_id
+        self.app = app
+        self.config = config or TreplicaConfig()
+        self._seed = seed or SeedTree(0)
+
+        record = CheckpointManager.stored_record(node.disk)
+        start_instance = record.instance + 1 if record is not None else 0
+        wal = WriteAheadLog(self.sim, node.disk,
+                            name=f"{node.name}-queue-wal", node=node)
+        self.queue = PersistentQueue(
+            node, replica_names, my_id, self.config.paxos, self._seed,
+            start_instance=start_instance, wal=wal)
+        self.engine = self.queue.engine
+        self.engine.on_truncated_peer = self._request_remote_checkpoint
+
+        self.applied_up_to = start_instance - 1
+        self._had_checkpoint = record is not None
+        self._waiters: Dict[str, Event] = {}
+        self._uid_counter = 0
+        self.checkpoints = CheckpointManager(self)
+
+        self.ready = False
+        self.ready_event = self.sim.event()
+        self.boot_started_at: Optional[float] = None
+        self.recovered_at: Optional[float] = None
+        self._remote_ckpt_requested_at: Optional[float] = None
+        self.stats = {"executed": 0, "remote_transfers": 0}
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        """Bind to the queue and begin (re)covering; returns immediately."""
+        self.boot_started_at = self.sim.now
+        self.node.handle(TREPLICA_PORT, self._on_message)
+        if not (self.config.sequential_recovery and self._had_checkpoint):
+            # The paper's scheme: the queue starts resynchronizing the
+            # backlog in parallel with the local checkpoint load.
+            self.queue.start()
+        self.node.spawn(self._boot(), name="treplica-boot")
+
+    def _boot(self):
+        if self._had_checkpoint:
+            yield from self._load_local_checkpoint()
+            if self.config.sequential_recovery:
+                self.queue.start()  # ablation: resync only after the load
+        self.node.spawn(self._applier(), name="treplica-applier")
+        yield from self._wait_until_caught_up()
+        self.ready = True
+        self.recovered_at = self.sim.now
+        trace_emit(self.sim, "treplica", self.node.name, event="ready",
+                   recovered=self._had_checkpoint,
+                   took_s=self.sim.now - self.boot_started_at)
+        self.ready_event.succeed(self.sim.now)
+        if self.checkpoints.last_instance < 0 or self._had_checkpoint:
+            # Fresh replicas persist their initial state; recovered ones
+            # refresh the checkpoint so the next crash replays less.
+            yield from self.checkpoints.take()
+        self.node.spawn(self.checkpoints.loop(), name="treplica-checkpoint")
+
+    def _load_local_checkpoint(self):
+        """Chunked checkpoint load: disk reads + deserialization CPU.
+
+        Runs while the queue is already learning the missed suffix from
+        the peers -- the parallelism the paper credits for levelling
+        write-heavy recovery times (Section 5.4).
+        """
+        node = self.node
+        record = CheckpointManager.stored_record(node.disk)
+        if record is None:  # crashed before the first checkpoint completed
+            return
+        chunks = max(1, math.ceil(record.size_mb / self.config.chunk_mb))
+        chunk_mb = record.size_mb / chunks
+        for _chunk in range(chunks):
+            yield node.disk.read(chunk_mb)
+            yield node.cpu.request(self.config.restore_cpu_s_per_mb * chunk_mb)
+        self.app.restore(record.snapshot)
+        self.applied_up_to = max(self.applied_up_to, record.instance)
+
+    def _wait_until_caught_up(self):
+        """Ready once the backlog that existed at boot has been applied."""
+        poll = max(2 * self.config.paxos.heartbeat_interval_s, 0.2)
+        yield self.sim.timeout(poll)  # hear a round of peer watermarks
+        marks = self.engine.peer_watermarks
+        target = max([self.engine.watermark, self.applied_up_to]
+                     + list(marks.values()))
+        while self.applied_up_to < target:
+            yield self.sim.timeout(poll / 2)
+
+    # ==================================================================
+    # the state-machine programming interface
+    # ==================================================================
+    def execute(self, action: Action):
+        """Generator: totally order ``action``, apply it locally, return
+        its result.  Usage: ``result = yield from runtime.execute(a)``."""
+        self._uid_counter += 1
+        uid = (f"{self.node.name}.{self.node.incarnation}"
+               f":a{self._uid_counter}")
+        waiter = self.sim.event()
+        self._waiters[uid] = waiter
+        self.engine.submit(Command(uid, action, size_mb=action.size_mb))
+        result = yield waiter
+        return result
+
+    def read(self, fn: Callable[[Application], Any]) -> Any:
+        """Run a read-only function against the local consistent state.
+
+        Reads never touch the queue (the paper: read interactions are
+        fulfilled locally); callers pay their CPU cost at the web tier.
+        """
+        return fn(self.app)
+
+    def get_state(self) -> Any:
+        """The paper's ``getState()``: latest consistent local snapshot."""
+        return self.app.snapshot()
+
+    def linearizable_read(self, fn: Callable[[Application], Any]):
+        """Generator: a read that reflects every update ordered before it.
+
+        Local reads (:meth:`read`) can be stale on a lagging replica; this
+        totally orders a no-op barrier first, so the local state is at
+        least as fresh as the read's position in the order.  Costs one
+        consensus round trip -- use for read-your-writes critical paths.
+        """
+        from repro.treplica.actions import Barrier
+        yield from self.execute(Barrier())
+        return self.read(fn)
+
+    # ==================================================================
+    # applier
+    # ==================================================================
+    def _applier(self):
+        config = self.config
+        while True:
+            instance, items = yield self.queue.dequeue_batch()
+            if instance <= self.applied_up_to:
+                continue  # covered by a checkpoint/state transfer
+            if items:
+                total_cost = sum(
+                    action.cpu_cost_s if action.cpu_cost_s is not None
+                    else config.default_action_cpu_s
+                    for _uid, action in items)
+                yield self.node.cpu.request(total_cost)
+                # The whole instance applies atomically (one event), so a
+                # checkpoint can never observe a half-applied batch.
+                for uid, action in items:
+                    result = action.apply(self.app)
+                    self.stats["executed"] += 1
+                    waiter = self._waiters.pop(uid, None)
+                    if waiter is not None and not waiter.triggered:
+                        waiter.succeed(result)
+            self.applied_up_to = max(self.applied_up_to, instance)
+
+    # ==================================================================
+    # remote checkpoint transfer (peers truncated our backlog)
+    # ==================================================================
+    def _request_remote_checkpoint(self, peer: int) -> None:
+        now = self.sim.now
+        if (self._remote_ckpt_requested_at is not None
+                and now - self._remote_ckpt_requested_at < 5.0):
+            return
+        self._remote_ckpt_requested_at = now
+        self.node.send(self.names[peer], TREPLICA_PORT,
+                       ("ckpt_req", self.applied_up_to), size_mb=0.0002)
+
+    def _on_message(self, payload, src: str) -> None:
+        kind = payload[0]
+        if kind == "ckpt_req":
+            self.node.spawn(self._serve_checkpoint(src), name="ckpt-serve")
+        elif kind == "ckpt":
+            record = payload[1]
+            self.node.spawn(self._install_remote_checkpoint(record),
+                            name="ckpt-install")
+
+    def _serve_checkpoint(self, requester: str):
+        record = CheckpointManager.stored_record(self.node.disk)
+        if record is None:
+            return
+        yield self.node.disk.read(record.size_mb)
+        self.node.send(requester, TREPLICA_PORT, ("ckpt", record),
+                       size_mb=record.size_mb)
+
+    def _install_remote_checkpoint(self, record: CheckpointRecord):
+        if record.instance <= self.applied_up_to:
+            return
+        chunks = max(1, math.ceil(record.size_mb / self.config.chunk_mb))
+        chunk_mb = record.size_mb / chunks
+        for _chunk in range(chunks):
+            yield self.node.cpu.request(
+                self.config.restore_cpu_s_per_mb * chunk_mb)
+        self.app.restore(record.snapshot)
+        self.applied_up_to = max(self.applied_up_to, record.instance)
+        self.engine.fast_forward(record.instance)
+        self.stats["remote_transfers"] += 1
+
+
+class StateMachine:
+    """The paper's 8-method programming interface, bound to one runtime.
+
+    Thin facade over :class:`TreplicaRuntime` matching the description in
+    Section 2: a black-box application whose public methods are executed
+    as generic actions.
+    """
+
+    def __init__(self, runtime: TreplicaRuntime):
+        self._runtime = runtime
+
+    def execute(self, action: Action):
+        """Blocking execute: ``result = yield from machine.execute(a)``."""
+        return (yield from self._runtime.execute(action))
+
+    def get_state(self) -> Any:
+        return self._runtime.get_state()
+
+    def read(self, fn: Callable[[Application], Any]) -> Any:
+        return self._runtime.read(fn)
+
+    @property
+    def ready(self) -> bool:
+        return self._runtime.ready

@@ -1,0 +1,26 @@
+"""The web tier: application servers and the failover reverse proxy.
+
+Replaces the paper's Tomcat + HAProxy pair:
+
+* :class:`~repro.web.server.ApplicationServer` -- a per-replica queueing
+  server; each interaction costs calibrated CPU before the servlet runs
+  (updates then block on Treplica's total order);
+* :class:`~repro.web.proxy.ReverseProxy` -- HAProxy's behaviour as
+  described in Section 5.1: periodic HTTP probes with down-after-4-fails /
+  up-after-2-successes, hash balancing on the client identifier, instant
+  redispatch of refused connections, and broken-connection errors for
+  requests in flight on a crashing replica.
+"""
+
+from repro.web.http import Request, Response, SERVICE_TIMES
+from repro.web.proxy import ProxyParams, ReverseProxy
+from repro.web.server import ApplicationServer
+
+__all__ = [
+    "ApplicationServer",
+    "ProxyParams",
+    "Request",
+    "Response",
+    "ReverseProxy",
+    "SERVICE_TIMES",
+]

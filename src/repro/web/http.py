@@ -1,0 +1,56 @@
+"""Request/response types and per-interaction service-time calibration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.tpcw.workload import Interaction
+
+#: Calibrated CPU service time (seconds) per interaction on the
+#: application server -- the web+query cost *outside* Treplica.  Values
+#: are fitted once so a 4-replica deployment saturates near the paper's
+#: operating point (Section 5.2); everything else is emergent.
+SERVICE_TIMES: Dict[Interaction, float] = {
+    Interaction.HOME: 0.0020,
+    Interaction.NEW_PRODUCTS: 0.0035,
+    Interaction.BEST_SELLERS: 0.0045,
+    Interaction.PRODUCT_DETAIL: 0.0018,
+    Interaction.SEARCH_REQUEST: 0.0012,
+    Interaction.SEARCH_RESULTS: 0.0038,
+    Interaction.SHOPPING_CART: 0.0022,
+    Interaction.CUSTOMER_REGISTRATION: 0.0020,
+    Interaction.BUY_REQUEST: 0.0024,
+    Interaction.BUY_CONFIRM: 0.0028,
+    Interaction.ORDER_INQUIRY: 0.0012,
+    Interaction.ORDER_DISPLAY: 0.0026,
+    Interaction.ADMIN_REQUEST: 0.0018,
+    Interaction.ADMIN_CONFIRM: 0.0026,
+}
+
+REQUEST_SIZE_MB = 0.0006   # headers + URL-encoded session
+RESPONSE_SIZE_MB = 0.0045  # a dynamic page
+
+
+@dataclass
+class Request:
+    """One web interaction in flight."""
+
+    req_id: str
+    client_id: int          # unique client identifier (proxy hashing key)
+    reply_to: str           # node name of the emitter
+    reply_port: str         # port on that node
+    interaction: Interaction
+    session: Dict[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+
+
+@dataclass
+class Response:
+    """The server's (or proxy's) answer."""
+
+    req_id: str
+    ok: bool
+    data: Optional[dict] = None
+    error: str = ""
+    refused: bool = False   # connection refused (server up but not ready)

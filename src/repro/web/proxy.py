@@ -1,0 +1,216 @@
+"""The reverse proxy: HAProxy's failover and balancing roles.
+
+From Section 5.1 of the paper:
+
+* it actively probes every server replica over HTTP and removes a replica
+  from its server list after **4 unsuccessful tries**, re-adding it once
+  it is probed active again;
+* requests are balanced with a **hash on the unique client identifier**
+  carried by every interaction;
+* if a server fails *during* a request, the proxy closes the connection
+  and **the client observes an error** -- this, plus requests racing the
+  probe window, is the entire error budget behind the paper's accuracy
+  tables.
+
+Connection-refused outcomes (server process reachable but not serving,
+e.g. still recovering) are silently redispatched to another live backend,
+matching HAProxy's ``option redispatch``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.node import Node
+from repro.sim.trace import emit as trace_emit
+from repro.web.http import REQUEST_SIZE_MB, Request, Response
+from repro.web.server import HTTP_PORT, PROBE_PORT, PROBE_REPLY_PORT
+
+CLIENT_IN_PORT = "http-in"
+PROXY_RESP_PORT = "proxy-resp"
+
+
+@dataclass(frozen=True)
+class ProxyParams:
+    """HAProxy-equivalent configuration (inter/fall/rise and redispatch)."""
+
+    probe_interval_s: float = 2.0
+    probe_timeout_s: float = 0.5
+    fall: int = 4   # paper: removed after 4 unsuccessful tries
+    rise: int = 2
+    max_dispatch_attempts: int = 4
+    # CPU charged on the proxy node per forwarded request and per relayed
+    # response.  The single proxy machine is a shared resource (Figure 2);
+    # at high replica counts it becomes the soft ceiling that flattens the
+    # browsing/shopping speedup curves in Figure 3.
+    cpu_request_s: float = 0.00022
+    cpu_response_s: float = 0.00011
+
+
+class ReverseProxy:
+    """One proxy node fronting all server replicas."""
+
+    def __init__(self, node: Node, backends: List[str],
+                 params: Optional[ProxyParams] = None):
+        self.node = node
+        self.backends = list(backends)
+        self.params = params or ProxyParams()
+        self.active: List[str] = list(backends)  # sorted; all start active
+        self._fail_counts: Dict[str, int] = {b: 0 for b in backends}
+        self._rise_counts: Dict[str, int] = {b: 0 for b in backends}
+        self._probe_pending: Dict[int, str] = {}
+        self._probe_seq = itertools.count()
+        # pxid -> (request, backend, attempts)
+        self._inflight: Dict[str, Tuple[Request, str, int]] = {}
+        self._px_seq = itertools.count()
+        self.stats = {"forwarded": 0, "redispatched": 0,
+                      "broken_connections": 0, "no_backend": 0,
+                      "removals": 0, "readds": 0}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._work = self.node.sim.channel()
+        self.node.handle(CLIENT_IN_PORT,
+                         lambda payload, src: self._work.put(("req", payload, src)))
+        self.node.handle(PROXY_RESP_PORT,
+                         lambda payload, src: self._work.put(("resp", payload, src)))
+        self.node.handle(PROBE_REPLY_PORT, self._on_probe_reply)
+        self.node.spawn(self._worker(), name="proxy-worker")
+        self.node.spawn(self._probe_loop(), name="proxy-probe")
+        for backend in self.backends:
+            self.node.network.node(backend).add_crash_listener(
+                self._on_backend_crash)
+
+    def _worker(self):
+        """Serialize proxying through the proxy machine's CPU (drained in
+        groups, like an event loop servicing a socket backlog)."""
+        params = self.params
+        while True:
+            first = yield self._work.get()
+            group = [first] + self._work.take(63)
+            cost = sum(params.cpu_request_s if kind == "req"
+                       else params.cpu_response_s
+                       for kind, _payload, _src in group)
+            yield self.node.cpu.request(cost)
+            for kind, payload, src in group:
+                if kind == "req":
+                    self._on_client_request(payload, src)
+                else:
+                    self._on_backend_response(payload, src)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def _pick_backend(self, client_id: int, attempt: int) -> Optional[str]:
+        pool = self.active if self.active else []
+        if not pool:
+            return None
+        return pool[(client_id + attempt) % len(pool)]
+
+    def _on_client_request(self, request: Request, src: str) -> None:
+        self._dispatch(request, attempt=0)
+
+    def _dispatch(self, request: Request, attempt: int) -> None:
+        backend = self._pick_backend(request.client_id, attempt)
+        if backend is None or attempt >= self.params.max_dispatch_attempts:
+            self.stats["no_backend"] += 1
+            self._reply(request, Response(request.req_id, ok=False,
+                                          error="503 no backend"))
+            return
+        if not self.node.network.node(backend).alive:
+            # TCP connect to a dead process: instant reset -> redispatch.
+            self.stats["redispatched"] += 1
+            self._dispatch(request, attempt + 1)
+            return
+        pxid = f"px{next(self._px_seq)}"
+        self._inflight[pxid] = (request, backend, attempt)
+        forwarded = Request(pxid, request.client_id, self.node.name,
+                            PROXY_RESP_PORT, request.interaction,
+                            request.session, request.sent_at)
+        self.stats["forwarded"] += 1
+        self.node.send(backend, HTTP_PORT, forwarded,
+                       size_mb=REQUEST_SIZE_MB)
+
+    def _on_backend_response(self, response: Response, src: str) -> None:
+        entry = self._inflight.pop(response.req_id, None)
+        if entry is None:
+            return
+        request, _backend, attempt = entry
+        if response.refused:
+            # Server up but not accepting (recovering): redispatch silently.
+            self.stats["redispatched"] += 1
+            self._dispatch(request, attempt + 1)
+            return
+        self._reply(request, Response(request.req_id, response.ok,
+                                      response.data, response.error))
+
+    def _reply(self, request: Request, response: Response) -> None:
+        response.req_id = request.req_id
+        self.node.send(request.reply_to, request.reply_port, response,
+                       size_mb=0.0045 if response.ok else 0.0002)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _on_backend_crash(self, crashed_node) -> None:
+        """TCP connections break: every request in flight on that backend
+        is answered with an error (the client observes it)."""
+        name = crashed_node.name
+        broken = [pxid for pxid, (_r, backend, _a) in self._inflight.items()
+                  if backend == name]
+        for pxid in broken:
+            request, _backend, _attempt = self._inflight.pop(pxid)
+            self.stats["broken_connections"] += 1
+            self._reply(request, Response(request.req_id, ok=False,
+                                          error="connection reset by peer"))
+
+    # ------------------------------------------------------------------
+    # health probing
+    # ------------------------------------------------------------------
+    def _probe_loop(self):
+        params = self.params
+        while True:
+            for backend in self.backends:
+                probe_id = next(self._probe_seq)
+                self._probe_pending[probe_id] = backend
+                self.node.send(backend, PROBE_PORT, probe_id, size_mb=0.0002)
+                self.node.sim.call_after(params.probe_timeout_s,
+                                         self._probe_timeout, probe_id)
+            yield self.node.sim.timeout(params.probe_interval_s)
+
+    def _on_probe_reply(self, payload, src: str) -> None:
+        probe_id, backend, ready = payload
+        if self._probe_pending.pop(probe_id, None) is None:
+            return  # already timed out
+        if ready:
+            self._probe_success(backend)
+        else:
+            self._probe_failure(backend)
+
+    def _probe_timeout(self, probe_id: int) -> None:
+        backend = self._probe_pending.pop(probe_id, None)
+        if backend is not None:
+            self._probe_failure(backend)
+
+    def _probe_failure(self, backend: str) -> None:
+        self._rise_counts[backend] = 0
+        self._fail_counts[backend] += 1
+        if (self._fail_counts[backend] >= self.params.fall
+                and backend in self.active):
+            self.active.remove(backend)
+            self.stats["removals"] += 1
+            trace_emit(self.node.sim, "proxy", self.node.name,
+                       event="backend_down", backend=backend)
+
+    def _probe_success(self, backend: str) -> None:
+        self._fail_counts[backend] = 0
+        self._rise_counts[backend] += 1
+        if (self._rise_counts[backend] >= self.params.rise
+                and backend not in self.active):
+            self.active.append(backend)
+            self.active.sort()
+            self.stats["readds"] += 1
+            trace_emit(self.node.sim, "proxy", self.node.name,
+                       event="backend_up", backend=backend)

@@ -1,0 +1,76 @@
+"""The application server: Tomcat's role on each replica node.
+
+One server per replica.  Requests queue for the node CPU (a single
+queueing station -- saturation and the WIPS/WIRT correlation emerge here),
+then run their servlet; update servlets block on Treplica without holding
+the CPU.  While the replica is recovering (`runtime.ready` false) new
+connections are refused immediately, which the proxy turns into silent
+redispatches; the health probe reports down until recovery completes, as
+in the paper's failover description.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.node import Node
+from repro.tpcw.bookstore import BookstoreServlets
+from repro.tpcw.workload import Interaction
+from repro.treplica.runtime import TreplicaRuntime
+from repro.web.http import RESPONSE_SIZE_MB, Request, Response, SERVICE_TIMES
+
+HTTP_PORT = "http"
+PROBE_PORT = "probe"
+PROBE_REPLY_PORT = "probe-reply"
+
+
+class ApplicationServer:
+    """Serves TPC-W interactions on one replica node."""
+
+    def __init__(self, node: Node, runtime: TreplicaRuntime,
+                 servlets: BookstoreServlets,
+                 service_times: Optional[Dict[Interaction, float]] = None):
+        self.node = node
+        self.runtime = runtime
+        self.servlets = servlets
+        self.service_times = service_times or SERVICE_TIMES
+        self.requests_served = 0
+        self.requests_refused = 0
+        self.requests_failed = 0
+
+    def start(self) -> None:
+        self.node.handle(HTTP_PORT, self._on_request)
+        self.node.handle(PROBE_PORT, self._on_probe)
+
+    # ------------------------------------------------------------------
+    def _on_probe(self, payload, src: str) -> None:
+        probe_id = payload
+        self.node.send(src, PROBE_REPLY_PORT,
+                       (probe_id, self.node.name, self.runtime.ready),
+                       size_mb=0.0002)
+
+    def _on_request(self, request: Request, src: str) -> None:
+        if not self.runtime.ready:
+            # Recovering: refuse the connection at accept time (no CPU).
+            self.node.send(src, "proxy-resp",
+                           Response(request.req_id, ok=False, refused=True,
+                                    error="not ready"),
+                           size_mb=0.0002)
+            self.requests_refused += 1
+            return
+        self.node.spawn(self._process(request, src), name="request")
+
+    def _process(self, request: Request, src: str):
+        # Request threads are the bulk class; middleware work (consensus
+        # messages, the applier) runs at higher scheduling priority.
+        yield self.node.cpu.request(self.service_times[request.interaction],
+                                    priority=1)
+        try:
+            data = yield from self.servlets.handle(request.interaction,
+                                                   request.session)
+            response = Response(request.req_id, ok=True, data=data)
+            self.requests_served += 1
+        except Exception as exc:  # noqa: BLE001 - a 500, not a sim bug
+            response = Response(request.req_id, ok=False, error=repr(exc))
+            self.requests_failed += 1
+        self.node.send(src, "proxy-resp", response, size_mb=RESPONSE_SIZE_MB)

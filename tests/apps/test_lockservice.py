@@ -1,0 +1,214 @@
+"""The replicated lock service: sessions, locks, sequencers, expiry."""
+
+import pytest
+
+from repro.apps.lockservice import (
+    EXCLUSIVE,
+    SHARED,
+    Acquire,
+    CreateSession,
+    ExpireSessions,
+    LockClient,
+    LockServiceApp,
+    Release,
+)
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.treplica import TreplicaRuntime
+
+
+class LockCluster:
+    def __init__(self, n=3, seed=21):
+        self.sim = Simulator()
+        self.seed = SeedTree(seed)
+        self.network = Network(self.sim, NetworkParams(), seed=self.seed)
+        self.nodes = [Node(self.sim, self.network, f"l{i}") for i in range(n)]
+        names = [node.name for node in self.nodes]
+        self.runtimes = []
+        for i, node in enumerate(self.nodes):
+            runtime = TreplicaRuntime(node, names, i, LockServiceApp(),
+                                      seed=self.seed)
+            runtime.start()
+            self.runtimes.append(runtime)
+
+    def client(self, replica, session_id, ttl_s=10.0):
+        return LockClient(self.runtimes[replica], session_id, ttl_s)
+
+    def call(self, replica, generator, timeout=15.0):
+        results = []
+
+        def body():
+            value = yield from generator
+            results.append(value)
+
+        self.nodes[replica].spawn(body())
+        deadline = self.sim.now + timeout
+        while not results and self.sim.now < deadline:
+            self.sim.run(until=self.sim.now + 0.1)
+        assert results, "lock call did not complete"
+        return results[0]
+
+    def run(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+
+@pytest.fixture()
+def cluster():
+    cluster = LockCluster()
+    cluster.run(1.0)
+    return cluster
+
+
+def test_open_session_and_acquire(cluster):
+    alice = cluster.client(0, "alice")
+    assert cluster.call(0, alice.open_session()) is True
+    sequencer = cluster.call(0, alice.acquire("master"))
+    assert sequencer == 1
+    assert alice.holders("master") == {"alice"}
+
+
+def test_exclusive_lock_blocks_other_sessions(cluster):
+    alice = cluster.client(0, "alice")
+    bob = cluster.client(1, "bob")
+    cluster.call(0, alice.open_session())
+    cluster.call(1, bob.open_session())
+    assert cluster.call(0, alice.acquire("m", EXCLUSIVE)) is not None
+    assert cluster.call(1, bob.acquire("m", EXCLUSIVE)) is None
+    cluster.run(2.0)
+    assert cluster.runtimes[2].read(
+        lambda app: app.state.holder_of("m")) == {"alice"}
+
+
+def test_shared_locks_coexist_but_exclude_writers(cluster):
+    readers = []
+    for i, name in enumerate(("r1", "r2")):
+        client = cluster.client(i, name)
+        cluster.call(i, client.open_session())
+        assert cluster.call(i, client.acquire("data", SHARED)) is not None
+        readers.append(client)
+    writer = cluster.client(2, "writer")
+    cluster.call(2, writer.open_session())
+    assert cluster.call(2, writer.acquire("data", EXCLUSIVE)) is None
+    assert readers[0].holders("data") == {"r1", "r2"}
+
+
+def test_release_allows_next_acquire_with_new_sequencer(cluster):
+    alice = cluster.client(0, "alice")
+    bob = cluster.client(1, "bob")
+    cluster.call(0, alice.open_session())
+    cluster.call(1, bob.open_session())
+    first = cluster.call(0, alice.acquire("m"))
+    assert cluster.call(0, alice.release("m")) is True
+    second = cluster.call(1, bob.acquire("m"))
+    assert second == first + 1  # the sequencer fences the old holder
+
+
+def test_reentrant_acquire_returns_same_generation(cluster):
+    alice = cluster.client(0, "alice")
+    cluster.call(0, alice.open_session())
+    first = cluster.call(0, alice.acquire("m"))
+    again = cluster.call(0, alice.acquire("m"))
+    assert again == first
+
+
+def test_acquire_without_session_denied(cluster):
+    ghost = cluster.client(0, "ghost")
+    assert cluster.call(0, ghost.acquire("m")) is None
+
+
+def test_expiry_releases_dead_sessions_locks(cluster):
+    alice = cluster.client(0, "alice", ttl_s=2.0)
+    cluster.call(0, alice.open_session())
+    cluster.call(0, alice.acquire("m"))
+    cluster.run(3.0)  # lease lapses, no keep-alives
+    expired = cluster.call(1, cluster.client(1, "janitor").sweep_expired())
+    assert "alice" in expired
+    bob = cluster.client(1, "bob")
+    cluster.call(1, bob.open_session())
+    assert cluster.call(1, bob.acquire("m")) is not None
+
+
+def test_keep_alive_loop_preserves_session(cluster):
+    alice = cluster.client(0, "alice", ttl_s=2.0)
+    cluster.call(0, alice.open_session())
+    cluster.call(0, alice.acquire("m"))
+    cluster.nodes[0].spawn(alice.keep_alive_loop())
+    cluster.run(6.0)
+    cluster.call(1, cluster.client(1, "janitor").sweep_expired())
+    assert alice.holders("m") == {"alice"}
+
+
+def test_blocking_acquire_waits_for_release(cluster):
+    alice = cluster.client(0, "alice")
+    bob = cluster.client(1, "bob")
+    cluster.call(0, alice.open_session())
+    cluster.call(1, bob.open_session())
+    cluster.call(0, alice.acquire("m"))
+    grabbed = []
+
+    def bob_waits():
+        sequencer = yield from bob.acquire_blocking("m", retry_s=0.2)
+        grabbed.append(sequencer)
+
+    cluster.nodes[1].spawn(bob_waits())
+    cluster.run(2.0)
+    assert grabbed == []  # still held by alice
+    cluster.call(0, alice.release("m"))
+    cluster.run(2.0)
+    assert grabbed and grabbed[0] >= 2
+
+
+def test_lock_state_survives_replica_crash_and_recovery(cluster):
+    alice = cluster.client(0, "alice", ttl_s=60.0)
+    cluster.call(0, alice.open_session())
+    cluster.call(0, alice.acquire("m"))
+    cluster.nodes[2].crash()
+    cluster.run(1.0)
+    cluster.nodes[2].restart()
+    runtime = TreplicaRuntime(cluster.nodes[2],
+                              [n.name for n in cluster.nodes], 2,
+                              LockServiceApp(), seed=cluster.seed)
+    runtime.start()
+    cluster.run(15.0)
+    assert runtime.ready
+    assert runtime.read(lambda app: app.state.holder_of("m")) == {"alice"}
+    assert runtime.read(lambda app: app.state.generations["m"]) == 1
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        Acquire("s", "m", "superexclusive", 0.0)
+
+
+def test_mutual_exclusion_property(cluster):
+    """Many sessions hammer one lock; at no point do two distinct
+    sessions hold it exclusively (checked on every replica)."""
+    clients = []
+    for i in range(3):
+        client = cluster.client(i, f"s{i}", ttl_s=60.0)
+        cluster.call(i, client.open_session())
+        clients.append(client)
+
+    def hammer(i, client):
+        for _round in range(6):
+            granted = yield from client.acquire("hot")
+            if granted is not None:
+                yield cluster.sim.timeout(0.1)
+                yield from client.release("hot")
+            yield cluster.sim.timeout(0.05 * (i + 1))
+
+    for i, client in enumerate(clients):
+        cluster.nodes[i].spawn(hammer(i, client))
+
+    violations = []
+
+    def checker():
+        while True:
+            for runtime in cluster.runtimes:
+                holders = runtime.read(lambda app: app.state.holder_of("hot"))
+                if holders is not None and len(holders) > 1:
+                    violations.append(set(holders))
+            yield cluster.sim.timeout(0.02)
+
+    cluster.sim.spawn(checker())
+    cluster.run(8.0)
+    assert violations == []

@@ -1,0 +1,16 @@
+"""A miniature experiment scale so harness tests run in seconds."""
+
+from repro.harness.config import ClusterConfig, ExperimentScale
+
+
+def tiny_scale() -> ExperimentScale:
+    """20x-compressed timeline, 8x-compressed load: one run ~ 1-2 s wall."""
+    return ExperimentScale(name="tiny", time_div=20.0, load_div=8.0,
+                           entity_scale=0.005)
+
+
+def tiny_config(**overrides) -> ClusterConfig:
+    defaults = dict(replicas=5, num_ebs=30, profile="shopping",
+                    offered_wips=1900.0, scale=tiny_scale(), seed=42)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)

@@ -1,0 +1,57 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.harness.__main__ import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.experiment == "one_crash"
+    assert args.profile == "shopping"
+    assert args.replicas == 5
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--experiment", "meteor-strike"])
+
+
+def test_main_runs_tiny_baseline(capsys, monkeypatch):
+    # Shrink the run via a tiny scale injected through the registry.
+    import repro.harness.__main__ as cli
+    from tests.harness.helpers import tiny_scale
+    monkeypatch.setattr(cli, "bench_scale", tiny_scale)
+    code = main(["--experiment", "baseline", "--replicas", "3",
+                 "--offered-wips", "400", "--timeline"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "AWIPS" in out
+    assert "WIPS timeline" in out
+
+
+def test_main_reports_faultload_measures(capsys, monkeypatch):
+    import repro.harness.__main__ as cli
+    from tests.harness.helpers import tiny_scale
+    monkeypatch.setattr(cli, "bench_scale", tiny_scale)
+    code = main(["--experiment", "one_crash", "--replicas", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "performability PV" in out
+    assert "faults / interventions" in out
+
+
+def test_json_export(tmp_path, monkeypatch):
+    import json
+    import repro.harness.__main__ as cli
+    from tests.harness.helpers import tiny_scale
+    monkeypatch.setattr(cli, "bench_scale", tiny_scale)
+    path = tmp_path / "result.json"
+    code = main(["--experiment", "one_crash", "--json", str(path)])
+    assert code == 0
+    data = json.loads(path.read_text())
+    assert data["config"]["replicas"] == 5
+    assert data["faults_injected"] == 1
+    assert data["pv_pct"] is not None
+    assert data["wips_series"]
+    assert 0.0 <= min(data["wirt_compliance"].values()) <= 1.0

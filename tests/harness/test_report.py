@@ -1,0 +1,85 @@
+"""Report helpers: tables, series, regression."""
+
+import pytest
+
+from repro.harness.report import compare, format_series, format_table, linear_regression
+
+
+def test_format_table_aligns_columns():
+    text = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert lines[0] == "== T =="
+    assert "333" in lines[4]
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows padded to equal width
+
+
+def test_format_table_formats_floats():
+    text = format_table("T", ["x"], [[3.14159]])
+    assert "3.14" in text
+
+
+def test_format_series_downsamples_and_scales():
+    points = [(float(i), float(i)) for i in range(400)]
+    text = format_series("S", points, max_points=20)
+    lines = text.splitlines()
+    assert len(lines) <= 25
+    assert "peak=" in lines[0]
+    assert lines[-1].rstrip().endswith("380.0")
+
+
+def test_format_series_empty():
+    assert "no data" in format_series("S", [])
+
+
+def test_linear_regression_perfect_line():
+    slope, intercept, r2 = linear_regression([(0, 1), (1, 3), (2, 5)])
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_linear_regression_flat_line():
+    slope, _intercept, r2 = linear_regression([(0, 5), (1, 5), (2, 5)])
+    assert slope == 0.0
+
+
+def test_linear_regression_noise_reduces_r2():
+    _s, _i, r2 = linear_regression([(0, 0), (1, 5), (2, 1), (3, 6), (4, 2)])
+    assert r2 < 0.6
+
+
+def test_linear_regression_degenerate_inputs():
+    assert linear_regression([]) == (0.0, 0.0, 1.0)
+    assert linear_regression([(1, 7)]) == (0.0, 7.0, 1.0)
+    slope, intercept, _r2 = linear_regression([(2, 3), (2, 9)])
+    assert slope == 0.0 and intercept == pytest.approx(6.0)
+
+
+def test_compare_row_shapes():
+    assert compare("x", 1.0, 2.0) == ["x", "1", "2"]
+    assert compare("x", None, None) == ["x", "-", "-"]
+
+
+def test_regression_confidence_contains_true_slope():
+    from repro.harness.report import regression_confidence
+    points = [(x, 2.0 * x + 1.0 + (0.1 if x % 2 else -0.1))
+              for x in range(10)]
+    slope, low, high = regression_confidence(points)
+    assert low < 2.0 < high
+    assert high - low < 0.2  # tight for low-noise data
+
+
+def test_regression_confidence_small_samples_unbounded():
+    from repro.harness.report import regression_confidence
+    slope, low, high = regression_confidence([(0, 1), (1, 2)])
+    assert slope == 1.0
+    assert low == float("-inf") and high == float("inf")
+
+
+def test_regression_confidence_perfect_fit_zero_width():
+    from repro.harness.report import regression_confidence
+    points = [(x, 3.0 * x) for x in range(5)]
+    slope, low, high = regression_confidence(points)
+    assert slope == pytest.approx(3.0)
+    assert high - low == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,146 @@
+"""Failure-free Paxos engine behaviour: ordering, batching, modes."""
+
+import pytest
+
+from repro.paxos.engine import MODE_CLASSIC, MODE_FAST
+
+from tests.paxos.helpers import PaxosCluster
+
+
+def test_single_command_delivered_everywhere():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    uid = cluster.submit(0)
+    cluster.run(2.0)
+    for i in range(3):
+        assert cluster.delivered[i] == [uid]
+
+
+def test_command_from_follower_is_forwarded_and_delivered():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    uid = cluster.submit(2)  # replica 2 is not the coordinator
+    cluster.run(2.0)
+    for i in range(3):
+        assert cluster.delivered[i] == [uid]
+
+
+def test_total_order_with_concurrent_proposers_classic():
+    cluster = PaxosCluster(5, enable_fast=False)
+    cluster.run(1.0)
+    expected = set()
+    for k in range(40):
+        expected.add(cluster.submit(k % 5))
+    cluster.run(5.0)
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+    for i in range(5):
+        assert set(cluster.delivered[i]) == expected
+
+
+def test_total_order_with_concurrent_proposers_fast():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    expected = set()
+    for k in range(40):
+        expected.add(cluster.submit(k % 5))
+    cluster.run(5.0)
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+    for i in range(5):
+        assert set(cluster.delivered[i]) == expected
+
+
+def test_mode_is_fast_when_all_up():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    assert cluster.engines[0].mode == MODE_FAST
+
+
+def test_mode_is_classic_when_fast_disabled():
+    cluster = PaxosCluster(5, enable_fast=False)
+    cluster.run(1.0)
+    assert cluster.engines[0].mode == MODE_CLASSIC
+
+
+def test_batching_groups_commands_into_few_instances():
+    cluster = PaxosCluster(3, enable_fast=False, batch_window_s=0.05)
+    cluster.run(1.0)
+    for _ in range(30):
+        cluster.submit(0)
+    cluster.run(3.0)
+    engine = cluster.engines[0]
+    non_noop = [v for v in engine.decided.values() if not v.is_noop]
+    assert len(cluster.delivered[0]) == 30
+    # 30 commands submitted within one batch window ride one instance.
+    assert len(non_noop) <= 3
+
+
+def test_interleaved_submissions_preserve_per_replica_fifo_not_required():
+    """Commands from one replica may interleave with others, but all
+    replicas agree on one order (checked), and nothing is lost."""
+    cluster = PaxosCluster(4, enable_fast=True)
+    cluster.run(1.0)
+    uids = [cluster.submit(i % 4) for i in range(20)]
+    cluster.run(4.0)
+    cluster.assert_total_order()
+    assert set(cluster.delivered[0]) == set(uids)
+
+
+def test_delivery_carries_instance_numbers_in_order():
+    cluster = PaxosCluster(3, enable_fast=False)
+    instances = []
+
+    def watcher():
+        engine = cluster.engines[1]
+        while True:
+            instance, _fresh = yield engine.delivery.get()
+            instances.append(instance)
+
+    cluster.nodes[1].spawn(watcher())
+    cluster.run(1.0)
+    for _ in range(10):
+        cluster.submit(0)
+        cluster.run(0.2)
+    cluster.run(2.0)
+    assert instances == sorted(instances)
+
+
+def test_stats_track_decisions():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    for _ in range(5):
+        cluster.submit(0)
+    cluster.run(2.0)
+    assert cluster.engines[0].stats["decisions"] >= 1
+    assert cluster.engines[0].stats["proposals"] >= 1
+
+
+def test_fast_mode_uses_fast_proposals():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    for k in range(10):
+        cluster.submit(k % 5)
+    cluster.run(3.0)
+    total_fast = sum(e.stats["fast_proposals"] for e in cluster.engines)
+    assert total_fast >= 1
+
+
+def test_noop_fill_counts_delivered_as_empty():
+    cluster = PaxosCluster(3, enable_fast=False)
+    seen_empty = []
+
+    def watcher():
+        engine = cluster.engines[0]
+        while True:
+            _instance, fresh = yield engine.delivery.get()
+            if not fresh:
+                seen_empty.append(_instance)
+
+    cluster.nodes[0].spawn(watcher())
+    cluster.run(1.0)
+    cluster.submit(0)
+    cluster.run(2.0)
+    # No crash happened, so gap-filling no-ops should be rare or absent;
+    # the point is that empty deliveries are representable and harmless.
+    assert cluster.delivered[0] and len(cluster.delivered[0]) == 1

@@ -1,0 +1,127 @@
+"""Engine edge cases: paging, fast-forward, truncation, WAL restore."""
+
+import pytest
+
+from repro.paxos import Ballot, Command
+from repro.paxos.engine import PaxosEngine
+
+from tests.paxos.helpers import PaxosCluster
+
+
+def test_learn_paging_streams_large_backlog():
+    """A rebooted replica behind by more instances than one LearnReply
+    page must keep streaming until caught up."""
+    cluster = PaxosCluster(3, enable_fast=False, learn_page=8,
+                           batch_window_s=0.0005)
+    cluster.run(1.0)
+    # Create > 3 pages of instances while replica 2 is down.
+    cluster.crash(2)
+    for k in range(30):
+        cluster.submit(0)
+        cluster.run(0.05)
+    cluster.run(2.0)
+    assert cluster.engines[0].watermark >= 25
+    cluster.reboot(2)
+    cluster.run(15.0)
+    assert cluster.engines[2].watermark == cluster.engines[0].watermark
+    assert cluster.delivered[2] == cluster.delivered[0]
+    assert cluster.engines[2].stats["learn_requests"] >= 3  # paged
+
+
+def test_fast_forward_skips_below_and_resumes_above():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    for _ in range(6):
+        cluster.submit(0)
+        cluster.run(0.3)
+    engine = cluster.engines[1]
+    watermark = engine.watermark
+    assert watermark >= 4
+    engine.fast_forward(watermark + 10)  # as after a state transfer
+    assert engine.watermark == watermark + 10
+    assert engine.log_start == watermark + 11
+    # New submissions decide in instances above the fast-forward point.
+    uid = cluster.submit(0)
+    cluster.run(3.0)
+    assert uid in cluster.delivered[0]
+
+
+def test_fast_forward_backwards_is_noop():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    cluster.submit(0)
+    cluster.run(2.0)
+    engine = cluster.engines[0]
+    watermark = engine.watermark
+    engine.fast_forward(watermark - 1)
+    assert engine.watermark == watermark
+
+
+def test_truncate_below_is_idempotent_and_monotone():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    for _ in range(10):
+        cluster.submit(0)
+        cluster.run(0.2)
+    cluster.run(2.0)
+    engine = cluster.engines[0]
+    watermark = engine.watermark
+    engine.truncate_below(watermark)
+    assert engine.log_start == watermark
+    engine.truncate_below(watermark - 2)  # going back: ignored
+    assert engine.log_start == watermark
+    assert all(i >= watermark for i in engine.decided)
+
+
+def test_wal_restore_reconstructs_acceptor_state():
+    cluster = PaxosCluster(3, enable_fast=True)
+    cluster.run(1.0)
+    for _ in range(5):
+        cluster.submit(1)
+    cluster.run(3.0)
+    old_engine = cluster.engines[1]
+    promised_before = old_engine.min_promised
+    votes_before = dict(old_engine.votes)
+    cluster.crash(1)
+    cluster.reboot(1)
+    new_engine = cluster.engines[1]
+    assert new_engine.min_promised >= promised_before
+    for instance, (ballot, value) in votes_before.items():
+        restored = new_engine.votes.get(instance)
+        assert restored is not None, f"vote for {instance} lost"
+        assert restored[0] >= ballot
+        if restored[0] == ballot:
+            assert restored[1].key == value.key
+
+
+def test_duplicate_submit_of_same_uid_is_single_delivery():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    command = Command("dup-1", None)
+    cluster.engines[0].submit(command)
+    cluster.engines[0].submit(command)  # client retry
+    cluster.run(3.0)
+    assert cluster.delivered[0].count("dup-1") == 1
+    cluster.assert_no_duplicates()
+
+
+def test_submit_on_two_replicas_same_uid_single_delivery():
+    """A client failing over to another replica re-submits the same uid."""
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    cluster.engines[0].submit(Command("fo-1", None))
+    cluster.engines[1].submit(Command("fo-1", None))
+    cluster.run(5.0)
+    for i in range(3):
+        assert cluster.delivered[i].count("fo-1") == 1
+
+
+def test_heartbeats_carry_watermarks():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    for _ in range(3):
+        cluster.submit(0)
+    cluster.run(3.0)
+    marks = cluster.engines[2].peer_watermarks
+    assert set(marks) == {0, 1}
+    assert all(mark >= 0 for mark in marks.values())

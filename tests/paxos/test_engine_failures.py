@@ -1,0 +1,193 @@
+"""Paxos engine behaviour under crashes, failovers, and recoveries."""
+
+from repro.paxos.engine import MODE_BLOCKED, MODE_CLASSIC, MODE_FAST
+
+from tests.paxos.helpers import PaxosCluster
+
+
+def test_progress_with_one_follower_down():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    cluster.crash(2)
+    uid = cluster.submit(0)
+    cluster.run(3.0)
+    assert cluster.delivered[0] == [uid]
+    assert cluster.delivered[1] == [uid]
+
+
+def test_leader_crash_triggers_failover():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    cluster.crash(0)  # the coordinator (lowest id)
+    cluster.run(3.0)  # failure detection + re-election
+    uid = cluster.submit(1)
+    cluster.run(3.0)
+    assert uid in cluster.delivered[1]
+    assert uid in cluster.delivered[2]
+    assert cluster.engines[1].leading
+
+
+def test_command_submitted_during_failover_survives():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    uid_before = cluster.submit(1)
+    cluster.run(2.0)
+    cluster.crash(0)
+    uid_during = cluster.submit(1)  # leader is dead, not yet suspected
+    cluster.run(6.0)  # detection, election, retry
+    for i in (1, 2):
+        assert uid_before in cluster.delivered[i]
+        assert uid_during in cluster.delivered[i]
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+
+
+def test_blocked_below_majority_then_unblocks():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    cluster.crash(1)
+    cluster.crash(2)
+    cluster.run(3.0)  # let the failure detector see it
+    assert cluster.engines[0].mode == MODE_BLOCKED
+    uid = cluster.submit(0)
+    cluster.run(3.0)
+    assert uid not in cluster.delivered[0]  # no quorum, no progress
+    cluster.reboot(1)
+    cluster.run(6.0)  # re-detection + retry loop resubmits
+    assert uid in cluster.delivered[0]
+    assert uid in cluster.delivered[1]
+
+
+def test_fast_falls_back_to_classic_below_fast_quorum():
+    # N=5: fast quorum 4, majority 3.  Two crashes leave 3: classic mode.
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    assert cluster.engines[0].mode == MODE_FAST
+    cluster.crash(3)
+    cluster.crash(4)
+    cluster.run(3.0)
+    assert cluster.engines[0].mode == MODE_CLASSIC
+    uid = cluster.submit(1)
+    cluster.run(3.0)
+    for i in (0, 1, 2):
+        assert uid in cluster.delivered[i]
+
+
+def test_fast_mode_restored_after_recovery():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    cluster.crash(3)
+    cluster.crash(4)
+    cluster.run(3.0)
+    assert cluster.engines[0].mode == MODE_CLASSIC
+    cluster.reboot(3)
+    cluster.reboot(4)
+    cluster.run(5.0)
+    assert cluster.engines[0].mode == MODE_FAST
+    uid = cluster.submit(2)
+    cluster.run(3.0)
+    assert uid in cluster.delivered[0]
+
+
+def test_rebooted_replica_relearns_full_log():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    uids = [cluster.submit(0) for _ in range(10)]
+    cluster.run(3.0)
+    cluster.crash(2)
+    during = [cluster.submit(0) for _ in range(5)]
+    cluster.run(3.0)
+    cluster.reboot(2)
+    cluster.run(8.0)
+    # The rebooted replica replays everything in the same total order.
+    assert cluster.delivered[2] == cluster.delivered[0]
+    assert set(cluster.delivered[2]) == set(uids + during)
+
+
+def test_two_overlapping_crashes_and_recoveries_converge():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    for k in range(10):
+        cluster.submit(k % 5)
+    cluster.run(2.0)
+    cluster.crash(1)
+    cluster.run(0.5)
+    cluster.crash(2)
+    survivors_only = [cluster.submit(0) for _ in range(5)]
+    cluster.run(3.0)
+    cluster.reboot(1)
+    cluster.run(1.0)
+    cluster.reboot(2)
+    cluster.run(10.0)
+    cluster.assert_total_order()
+    for uid in survivors_only:
+        for i in range(5):
+            assert uid in cluster.delivered[i]
+
+
+def test_promises_survive_crash_no_divergence():
+    """A replica that promised/voted, crashed, and recovered must not let a
+    conflicting value be chosen: the logs of all replicas stay consistent."""
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    for _ in range(6):
+        cluster.submit(0)
+    cluster.run(0.02)  # crash mid-protocol, votes possibly half-flushed
+    cluster.crash(1)
+    cluster.run(2.0)
+    cluster.reboot(1)
+    for _ in range(6):
+        cluster.submit(2)
+    cluster.run(8.0)
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+
+
+def test_leader_crash_in_fast_mode_recovers_pending_instances():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    survivors_uids = []
+    for k in range(10):
+        uid = cluster.submit(k % 5)
+        if k % 5 != 0:
+            survivors_uids.append(uid)
+    cluster.run(0.006)  # proposals in flight
+    cluster.crash(0)    # coordinator dies mid-round
+    cluster.run(10.0)
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+    # Commands submitted at surviving replicas must all be delivered;
+    # un-acknowledged commands of the dead coordinator may be lost (the
+    # client never saw a successful return).
+    live = [i for i in range(5) if cluster.nodes[i].alive]
+    for uid in survivors_uids:
+        for i in live:
+            assert uid in cluster.delivered[i]
+
+
+def test_truncated_peer_detection():
+    cluster = PaxosCluster(3, enable_fast=False)
+    cluster.run(1.0)
+    for _ in range(20):
+        cluster.submit(0)
+    cluster.run(3.0)
+    cluster.crash(2)
+    for _ in range(10):
+        cluster.submit(0)
+    cluster.run(3.0)
+    # Both survivors checkpoint and truncate their logs aggressively.
+    for i in (0, 1):
+        cluster.engines[i].truncate_below(cluster.engines[i].watermark + 1)
+    flagged = []
+    cluster.reboot(2)
+    cluster.engines[2].on_truncated_peer = flagged.append
+    cluster.run(6.0)
+    assert flagged, "rebooted replica should discover peers truncated its backlog"
+
+
+def test_mode_changes_counted():
+    cluster = PaxosCluster(5, enable_fast=True)
+    cluster.run(1.0)
+    cluster.crash(4)
+    cluster.run(3.0)
+    assert cluster.engines[0].stats["mode_changes"] >= 1

@@ -1,0 +1,96 @@
+"""Property-based safety tests: random fault schedules must never break
+the total order, lose acknowledged commands, or duplicate deliveries."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.paxos.helpers import PaxosCluster
+
+
+def run_schedule(n, enable_fast, schedule, seed):
+    """Drive a cluster through a random interleaving of submissions,
+    crashes, reboots, and idle periods; return the cluster."""
+    cluster = PaxosCluster(n, enable_fast=enable_fast, seed=seed)
+    cluster.run(1.0)
+    down = set()
+    for op, arg in schedule:
+        if op == "submit":
+            replica = arg % n
+            if replica not in down:
+                cluster.submit(replica)
+        elif op == "crash":
+            replica = arg % n
+            # Keep a majority alive so the run terminates with progress.
+            if replica not in down and len(down) + 1 <= (n - 1) // 2:
+                cluster.crash(replica)
+                down.add(replica)
+        elif op == "reboot":
+            if down:
+                replica = sorted(down)[arg % len(down)]
+                cluster.reboot(replica)
+                down.discard(replica)
+        elif op == "wait":
+            cluster.run(0.1 + (arg % 10) * 0.1)
+    for replica in sorted(down):
+        cluster.reboot(replica)
+    cluster.run(20.0)
+    return cluster
+
+
+operation = st.tuples(
+    st.sampled_from(["submit", "submit", "submit", "crash", "reboot", "wait"]),
+    st.integers(min_value=0, max_value=1000),
+)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=st.lists(operation, min_size=5, max_size=25),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_classic_paxos_safety_under_random_faults(schedule, seed):
+    cluster = run_schedule(3, False, schedule, seed)
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=st.lists(operation, min_size=5, max_size=25),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_fast_paxos_safety_under_random_faults(schedule, seed):
+    cluster = run_schedule(5, True, schedule, seed)
+    cluster.assert_total_order()
+    cluster.assert_no_duplicates()
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=st.lists(operation, min_size=5, max_size=20),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_submitted_commands_on_stable_replicas_are_delivered(schedule, seed):
+    """Liveness: every command submitted on a replica that never crashed
+    afterwards must eventually be delivered everywhere."""
+    n = 3
+    cluster = PaxosCluster(n, enable_fast=False, seed=seed)
+    cluster.run(1.0)
+    stable_uids = []
+    down = set()
+    for op, arg in schedule:
+        replica = arg % n
+        if op == "submit" and replica == 0 and 0 not in down:
+            stable_uids.append(cluster.submit(0))
+        elif op == "crash" and replica != 0 and replica not in down and not down:
+            cluster.crash(replica)
+            down.add(replica)
+        elif op == "reboot" and down:
+            target = down.pop()
+            cluster.reboot(target)
+        elif op == "wait":
+            cluster.run(0.2)
+    for replica in sorted(down):
+        cluster.reboot(replica)
+    cluster.run(20.0)
+    for uid in stable_uids:
+        for i in range(n):
+            assert uid in cluster.delivered[i], (
+                f"command {uid} missing from replica {i}")

@@ -1,0 +1,69 @@
+"""Failure detector unit tests."""
+
+from repro.paxos.failure_detector import FailureDetector
+from repro.sim import Simulator
+
+
+def make(n=3, timeout=1.0):
+    sim = Simulator()
+    return sim, FailureDetector(sim, 0, list(range(n)), timeout)
+
+
+def test_initial_view_trusts_everyone():
+    _sim, fd = make()
+    assert fd.view == frozenset({0, 1, 2})
+    assert fd.leader() == 0
+
+
+def test_silence_leads_to_suspicion():
+    sim, fd = make(timeout=1.0)
+    sim.run(until=2.0)
+    fd.check()
+    assert fd.view == frozenset({0})
+
+
+def test_heartbeats_keep_peers_trusted():
+    sim, fd = make(timeout=1.0)
+    for step in range(10):
+        sim.run(until=sim.now + 0.5)
+        fd.heard_from(1)
+        fd.check()
+    assert fd.is_alive(1)
+    assert not fd.is_alive(2)
+
+
+def test_self_is_always_alive():
+    sim, fd = make(timeout=0.1)
+    sim.run(until=10.0)
+    fd.check()
+    assert fd.is_alive(0)
+
+
+def test_leader_is_lowest_live_id():
+    sim, fd = make(n=4, timeout=1.0)
+    sim.run(until=0.9)
+    fd.heard_from(2)
+    fd.heard_from(3)
+    sim.run(until=1.5)
+    fd.check()
+    assert fd.view == frozenset({0, 2, 3})
+    assert fd.leader() == 0
+
+
+def test_view_change_listener_fires_once_per_change():
+    sim, fd = make(timeout=1.0)
+    changes = []
+    fd.on_view_change(lambda view: changes.append(set(view)))
+    sim.run(until=2.0)
+    fd.check()
+    fd.check()  # no further change
+    assert changes == [{0}]
+
+
+def test_recovered_peer_rejoins_view():
+    sim, fd = make(timeout=1.0)
+    sim.run(until=2.0)
+    fd.check()
+    assert fd.view == frozenset({0})
+    fd.heard_from(1)
+    assert fd.view == frozenset({0, 1})

@@ -1,0 +1,111 @@
+"""Unit tests for the Fast Paxos value-picking rule and the mode rule."""
+
+import pytest
+
+from repro.paxos import Ballot, Batch, Command, PaxosConfig, PaxosEngine
+from repro.paxos.engine import MODE_BLOCKED, MODE_CLASSIC, MODE_FAST
+from repro.paxos.messages import NOOP
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+
+from tests.paxos.helpers import PaxosCluster
+
+
+def standalone_engine(n=5):
+    sim = Simulator()
+    seed = SeedTree(0)
+    network = Network(sim, NetworkParams(), seed=seed)
+    nodes = [Node(sim, network, f"r{i}") for i in range(n)]
+    names = [node.name for node in nodes]
+    return PaxosEngine(nodes[0], names, 0, PaxosConfig(), seed)
+
+
+def batch(*uids):
+    return Batch(tuple(Command(uid, None) for uid in uids))
+
+
+# ----------------------------------------------------------------------
+# the picking rule (coordinator recovery, Fast Paxos O4)
+# ----------------------------------------------------------------------
+def test_pick_no_votes_returns_noop():
+    engine = standalone_engine()
+    assert engine._pick_value([]).is_noop
+
+
+def test_pick_classic_round_takes_highest_ballot_value():
+    engine = standalone_engine()
+    low = (Ballot(1, 0), batch("old"))
+    high = (Ballot(3, 1), batch("new"))
+    assert engine._pick_value([low, high]).key == ("new",)
+
+
+def test_pick_fast_round_choosable_value_wins():
+    # N=5: threshold = cq + fq - n = 3 + 4 - 5 = 2.
+    engine = standalone_engine(5)
+    fast = Ballot(2, 0, fast=True)
+    votes = [(fast, batch("a")), (fast, batch("a")), (fast, batch("b"))]
+    assert engine._pick_value(votes).key == ("a",)
+
+
+def test_pick_fast_round_collision_merges_batches():
+    engine = standalone_engine(5)
+    fast = Ballot(2, 0, fast=True)
+    votes = [(fast, batch("x")), (fast, batch("y"))]
+    merged = engine._pick_value(votes)
+    assert merged.key == ("x", "y")  # nothing lost, deterministic order
+
+
+def test_pick_fast_votes_beaten_by_higher_classic_round():
+    engine = standalone_engine(5)
+    fast = Ballot(2, 0, fast=True)
+    classic = Ballot(5, 1)
+    votes = [(fast, batch("fastval")), (fast, batch("fastval")),
+             (classic, batch("chosen"))]
+    assert engine._pick_value(votes).key == ("chosen",)
+
+
+def test_pick_single_fast_vote_below_threshold_still_preserved():
+    engine = standalone_engine(5)
+    fast = Ballot(2, 0, fast=True)
+    picked = engine._pick_value([(fast, batch("only"))])
+    assert picked.key == ("only",)  # merge of one batch is that batch
+
+
+# ----------------------------------------------------------------------
+# the Treplica mode rule at exact thresholds (N=8: fq=6, majority=5)
+# ----------------------------------------------------------------------
+def test_mode_thresholds_n8():
+    cluster = PaxosCluster(8, enable_fast=True)
+    cluster.run(1.0)
+    engine = cluster.engines[0]
+    assert engine.mode == MODE_FAST
+    cluster.crash(7)
+    cluster.crash(6)
+    cluster.run(3.0)
+    assert engine.mode == MODE_FAST  # 6 alive == ceil(3*8/4): still fast
+    cluster.crash(5)
+    cluster.run(3.0)
+    assert engine.mode == MODE_CLASSIC  # 5 alive: majority, not fast quorum
+    cluster.crash(4)
+    cluster.run(3.0)
+    assert engine.mode == MODE_BLOCKED  # 4 alive < floor(8/2)+1 = 5
+
+
+def test_mode_blocked_recovers_to_classic_then_fast():
+    cluster = PaxosCluster(4, enable_fast=True)  # fq=3, majority=3
+    cluster.run(1.0)
+    cluster.crash(3)
+    cluster.crash(2)
+    cluster.run(3.0)
+    assert cluster.engines[0].mode == MODE_BLOCKED
+    cluster.reboot(2)
+    cluster.run(4.0)
+    assert cluster.engines[0].mode in (MODE_CLASSIC, MODE_FAST)
+    cluster.reboot(3)
+    cluster.run(4.0)
+    assert cluster.engines[0].mode == MODE_FAST
+
+
+def test_fast_disabled_never_reports_fast():
+    cluster = PaxosCluster(5, enable_fast=False)
+    cluster.run(2.0)
+    assert all(engine.mode == MODE_CLASSIC for engine in cluster.engines)

@@ -1,0 +1,114 @@
+"""Single-decree synod: safety and liveness, including property tests."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.paxos.single import SynodAcceptor, SynodLearner, SynodProposer
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+
+
+class Synod:
+    """n acceptors, m proposers (on their own nodes), one learner each."""
+
+    def __init__(self, n_acceptors=3, n_proposers=2, seed=1):
+        self.sim = Simulator()
+        self.network = Network(self.sim, NetworkParams(), seed=SeedTree(seed))
+        self.acceptor_nodes = [Node(self.sim, self.network, f"acc{i}")
+                               for i in range(n_acceptors)]
+        self.acceptors = [SynodAcceptor(node) for node in self.acceptor_nodes]
+        self.proposer_nodes = [Node(self.sim, self.network, f"prop{i}")
+                               for i in range(n_proposers)]
+        self.proposers = [
+            SynodProposer(node, i, [a.name for a in self.acceptor_nodes])
+            for i, node in enumerate(self.proposer_nodes)]
+        self.chosen = []
+        self.learners = [SynodLearner(node, n_acceptors,
+                                      on_chosen=self.chosen.append)
+                         for node in self.proposer_nodes]
+        self.decisions = []
+
+    def propose(self, proposer_index, value):
+        proposer = self.proposers[proposer_index]
+
+        def body():
+            decided = yield from proposer.propose(value)
+            self.decisions.append((proposer_index, decided))
+
+        self.proposer_nodes[proposer_index].spawn(body())
+
+    def run(self, seconds):
+        self.sim.run(until=self.sim.now + seconds)
+
+
+def test_single_proposer_decides_its_value():
+    synod = Synod()
+    synod.propose(0, "alpha")
+    synod.run(2.0)
+    assert synod.decisions == [(0, "alpha")]
+    assert set(synod.chosen) == {"alpha"}
+
+
+def test_second_proposer_adopts_the_chosen_value():
+    synod = Synod()
+    synod.propose(0, "first")
+    synod.run(2.0)
+    synod.propose(1, "second")
+    synod.run(2.0)
+    values = {value for _p, value in synod.decisions}
+    assert values == {"first"}  # the later proposal adopted it
+
+
+def test_racing_proposers_agree_on_one_value():
+    synod = Synod()
+    synod.propose(0, "red")
+    synod.propose(1, "blue")
+    synod.run(10.0)
+    assert len(synod.decisions) == 2
+    values = {value for _p, value in synod.decisions}
+    assert len(values) == 1
+    assert values <= {"red", "blue"}  # validity
+
+
+def test_acceptor_crash_recovery_keeps_promise():
+    synod = Synod(n_acceptors=3)
+    synod.propose(0, "durable")
+    synod.run(2.0)
+    node = synod.acceptor_nodes[0]
+    node.crash()
+    node.restart()
+    recovered = SynodAcceptor(node)  # rebuilds from its WAL
+    assert recovered.vvalue == "durable"
+    assert recovered.promised.round >= 1
+    synod.propose(1, "usurper")
+    synod.run(3.0)
+    values = {value for _p, value in synod.decisions}
+    assert values == {"durable"}
+
+
+def test_minority_acceptor_crash_does_not_block():
+    synod = Synod(n_acceptors=5)
+    synod.acceptor_nodes[4].crash()
+    synod.acceptor_nodes[3].crash()
+    synod.propose(0, "still-works")
+    synod.run(3.0)
+    assert synod.decisions == [(0, "still-works")]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**16),
+       values=st.lists(st.text(min_size=1, max_size=5),
+                       min_size=2, max_size=4, unique=True),
+       crash_first=st.booleans())
+def test_property_agreement_and_validity(seed, values, crash_first):
+    synod = Synod(n_acceptors=3, n_proposers=len(values), seed=seed)
+    for index, value in enumerate(values):
+        synod.propose(index, value)
+    if crash_first:
+        synod.sim.call_after(0.004, synod.acceptor_nodes[0].crash)
+    synod.run(30.0)
+    assert len(synod.decisions) == len(values), "liveness: all proposals end"
+    decided = {value for _p, value in synod.decisions}
+    assert len(decided) == 1, "agreement"
+    assert decided <= set(values), "validity"

@@ -1,0 +1,59 @@
+"""The AllOf combinator: waiting for several events at once."""
+
+import pytest
+
+from repro.sim import AllOf, Simulator
+
+
+def test_allof_waits_for_every_event():
+    sim = Simulator()
+    events = [sim.event() for _ in range(3)]
+    done = []
+
+    def waiter():
+        values = yield AllOf(sim, events)
+        done.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.call_after(1.0, events[0].succeed, "a")
+    sim.call_after(3.0, events[2].succeed, "c")
+    sim.call_after(2.0, events[1].succeed, "b")
+    sim.run()
+    assert done == [(3.0, ["a", "b", "c"])]  # values in given order
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        values = yield AllOf(sim, [])
+        return values
+
+    assert sim.run_process(waiter()) == []
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    events = [sim.event(), sim.event()]
+
+    def waiter():
+        yield AllOf(sim, events)
+
+    sim.call_after(1.0, events[0].fail, ValueError("nope"))
+    proc = sim.spawn(waiter())
+    with pytest.raises(ValueError):
+        sim.run()
+    assert proc.finished
+
+
+def test_allof_with_already_triggered_events():
+    sim = Simulator()
+    events = [sim.event(), sim.event()]
+    events[0].succeed(1)
+    events[1].succeed(2)
+
+    def waiter():
+        values = yield AllOf(sim, events)
+        return values
+
+    assert sim.run_process(waiter()) == [1, 2]

@@ -1,0 +1,90 @@
+"""Two-class scheduling in the service station (middleware vs requests)."""
+
+import pytest
+
+from repro.sim import ServiceStation, Simulator
+
+
+def test_priority_zero_skips_the_bulk_queue():
+    sim = Simulator()
+    station = ServiceStation(sim)
+    done = []
+
+    def job(tag, cost, priority):
+        yield station.request(cost, priority=priority)
+        done.append((tag, sim.now))
+
+    sim.spawn(job("bulk1", 1.0, 1))
+    sim.spawn(job("bulk2", 1.0, 1))
+    sim.spawn(job("urgent", 0.1, 0))
+    sim.run()
+    # bulk1 is already in service (no preemption), urgent then jumps bulk2.
+    assert [tag for tag, _t in done] == ["bulk1", "urgent", "bulk2"]
+
+
+def test_no_preemption_of_job_in_service():
+    sim = Simulator()
+    station = ServiceStation(sim)
+    done = []
+
+    def bulk():
+        yield station.request(2.0, priority=1)
+        done.append(("bulk", sim.now))
+
+    def urgent():
+        yield sim.timeout(0.5)
+        yield station.request(0.1, priority=0)
+        done.append(("urgent", sim.now))
+
+    sim.spawn(bulk())
+    sim.spawn(urgent())
+    sim.run()
+    assert done == [("bulk", 2.0), ("urgent", 2.1)]
+
+
+def test_fifo_within_each_class():
+    sim = Simulator()
+    station = ServiceStation(sim)
+    done = []
+
+    def job(tag, priority):
+        yield station.request(0.5, priority=priority)
+        done.append(tag)
+
+    for tag in ("a0", "b0"):
+        sim.spawn(job(tag, 0))
+    for tag in ("a1", "b1"):
+        sim.spawn(job(tag, 1))
+    sim.run()
+    assert done == ["a0", "b0", "a1", "b1"]
+
+
+def test_speed_scales_occupancy():
+    sim = Simulator()
+    station = ServiceStation(sim, speed=0.25)
+    done = []
+
+    def job():
+        yield station.request(1.0)
+        done.append(sim.now)
+
+    sim.spawn(job())
+    sim.run()
+    assert done == [4.0]
+    assert station.total_busy_time == pytest.approx(4.0)
+
+
+def test_invalid_speed_rejected():
+    from repro.sim.core import SimulationError
+    with pytest.raises(SimulationError):
+        ServiceStation(Simulator(), speed=0.0)
+
+
+def test_reset_clears_both_classes():
+    sim = Simulator()
+    station = ServiceStation(sim)
+    station.request(5.0, priority=0)
+    station.request(5.0, priority=1)
+    station.reset()
+    assert station.queue_length == 0
+    assert not station.busy

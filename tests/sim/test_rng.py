@@ -1,0 +1,37 @@
+"""Tests for deterministic named random streams."""
+
+from repro.sim import SeedTree
+
+
+def test_same_seed_same_stream():
+    a = SeedTree(42).fork_random("x")
+    b = SeedTree(42).fork_random("x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_different_streams():
+    tree = SeedTree(42)
+    a = tree.fork_random("a")
+    b = tree.fork_random("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_different_streams():
+    a = SeedTree(1).fork_random("x")
+    b = SeedTree(2).fork_random("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_hierarchical_and_stable():
+    tree = SeedTree(7)
+    child = tree.fork("layer")
+    grand1 = child.fork("leaf").seed
+    grand2 = SeedTree(7).fork("layer").fork("leaf").seed
+    assert grand1 == grand2
+
+
+def test_fork_does_not_mutate_parent():
+    tree = SeedTree(7)
+    before = tree.seed
+    tree.fork("anything")
+    assert tree.seed == before

@@ -1,0 +1,96 @@
+"""Tracing: collection, filtering, and the instrumented components."""
+
+import pytest
+
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.sim.trace import TraceEvent, Tracer, emit
+
+
+def test_emit_without_tracer_is_noop():
+    sim = Simulator()
+    emit(sim, "anything", "src", x=1)  # must not raise
+
+
+def test_tracer_records_events_with_time():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    sim.call_after(2.5, lambda: emit(sim, "custom", "me", detail="hello"))
+    sim.run()
+    assert len(tracer.events) == 1
+    event = tracer.events[0]
+    assert event.time == 2.5
+    assert event["detail"] == "hello"
+    with pytest.raises(KeyError):
+        event["missing"]
+
+
+def test_category_filter():
+    sim = Simulator()
+    tracer = Tracer(sim, categories=["keep"])
+    sim.tracer = tracer
+    emit(sim, "keep", "s", k=1)
+    emit(sim, "drop", "s", k=2)
+    assert tracer.counts() == {"keep": 1}
+
+
+def test_select_by_category_and_source():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    emit(sim, "a", "x", v=1)
+    emit(sim, "a", "y", v=2)
+    emit(sim, "b", "x", v=3)
+    assert len(tracer.select("a")) == 2
+    assert len(tracer.select("a", source="y")) == 1
+    assert len(tracer.select(source="x")) == 2
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    tracer = Tracer(sim, max_events=3)
+    sim.tracer = tracer
+    for k in range(10):
+        emit(sim, "c", "s", k=k)
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 7
+
+
+def test_listener_fires_live():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    seen = []
+    tracer.on_event(seen.append)
+    emit(sim, "c", "s", k=1)
+    assert len(seen) == 1
+
+
+def test_node_lifecycle_is_traced():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    network = Network(sim, NetworkParams(), seed=SeedTree(0))
+    node = Node(sim, network, "n0")
+    node.crash()
+    node.restart()
+    events = [(e["event"], e.source) for e in tracer.select("node")]
+    assert events == [("crash", "n0"), ("restart", "n0")]
+
+
+def test_full_experiment_emits_traces():
+    from repro.harness.cluster import RobustStoreCluster
+    from tests.harness.helpers import tiny_config
+    config = tiny_config(replicas=3, offered_wips=200.0)
+    cluster = RobustStoreCluster(config)
+    tracer = Tracer(cluster.sim)
+    cluster.sim.tracer = tracer
+    cluster.sim.call_after(5.0, cluster.replica_nodes[2].crash)
+    cluster.run_until(config.scale.total_s)
+    counts = tracer.counts()
+    assert counts.get("node", 0) >= 2          # crash + watchdog restart
+    assert counts.get("treplica", 0) >= 1      # recovery ready
+    assert counts.get("checkpoint", 0) >= 1
+    ready = [e for e in tracer.select("treplica") if e["recovered"]]
+    assert ready, "the rebooted replica should trace its recovery"
+    assert ready[0]["took_s"] > 0

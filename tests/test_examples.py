@@ -1,0 +1,25 @@
+"""Smoke tests: every example script must run clean from the repo root."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples")
+                  .glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=600)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should narrate what they do"

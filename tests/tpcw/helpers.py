@@ -1,0 +1,96 @@
+"""A replicated bookstore (no web tier) for facade/action tests."""
+
+from __future__ import annotations
+
+import pickle
+from typing import List, Optional
+
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.tpcw.app import BookstoreApplication
+from repro.tpcw.bookstore import BookstoreServlets
+from repro.tpcw.database import TPCWDatabase
+from repro.tpcw.population import PopulationParams, populate
+from repro.treplica import TreplicaConfig, TreplicaRuntime
+
+
+class BookstoreCluster:
+    """N replicas each running the bookstore under Treplica."""
+
+    def __init__(self, n: int = 3, seed: int = 5,
+                 params: Optional[PopulationParams] = None,
+                 config: Optional[TreplicaConfig] = None):
+        self.sim = Simulator()
+        self.seed = SeedTree(seed)
+        self.network = Network(self.sim, NetworkParams(), seed=self.seed)
+        self.params = params or PopulationParams(
+            num_items=150, num_ebs=1, entity_scale=0.02, seed=seed)
+        self.config = config or TreplicaConfig(checkpoint_interval_s=30.0)
+        self._blob = pickle.dumps(populate(self.params))
+        self.n = n
+        self.nodes: List[Node] = [
+            Node(self.sim, self.network, f"r{i}") for i in range(n)]
+        self.names = [node.name for node in self.nodes]
+        self.runtimes: List[Optional[TreplicaRuntime]] = [None] * n
+        self.dbs: List[Optional[TPCWDatabase]] = [None] * n
+        self.servlets: List[Optional[BookstoreServlets]] = [None] * n
+        for i in range(n):
+            self._boot(i)
+
+    def _boot(self, i: int) -> None:
+        node = self.nodes[i]
+        app = BookstoreApplication(pickle.loads(self._blob),
+                                   self.params.size_multiplier)
+        runtime = TreplicaRuntime(node, self.names, i, app,
+                                  config=self.config, seed=self.seed)
+        db = TPCWDatabase(runtime, clock=lambda: self.sim.now,
+                          rng=self.seed.fork_random(
+                              f"db-{i}-{node.incarnation}"))
+        self.runtimes[i] = runtime
+        self.dbs[i] = db
+        self.servlets[i] = BookstoreServlets(
+            db, self.seed.fork_random(f"servlet-{i}-{node.incarnation}"))
+        runtime.start()
+
+    # ------------------------------------------------------------------
+    def run(self, seconds: float) -> None:
+        self.sim.run(until=self.sim.now + seconds)
+
+    def call(self, replica: int, generator, timeout: float = 15.0):
+        """Run a facade write generator to completion and return its value."""
+        results = []
+
+        def client():
+            value = yield from generator
+            results.append(value)
+
+        self.nodes[replica].spawn(client())
+        deadline = self.sim.now + timeout
+        while not results and self.sim.now < deadline:
+            self.sim.run(until=self.sim.now + 0.1)
+        assert results, "facade call did not complete in time"
+        return results[0]
+
+    def crash(self, replica: int) -> None:
+        self.nodes[replica].crash()
+        self.runtimes[replica] = None
+        self.dbs[replica] = None
+
+    def reboot(self, replica: int) -> None:
+        self.nodes[replica].restart()
+        self._boot(replica)
+
+    def states(self):
+        return [rt.app.state for rt in self.runtimes if rt is not None]
+
+    def assert_converged(self):
+        states = self.states()
+        reference = states[0]
+        for state in states[1:]:
+            assert len(state.orders) == len(reference.orders)
+            assert len(state.customers) == len(reference.customers)
+            assert len(state.carts) == len(reference.carts)
+            assert state.next_order_id == reference.next_order_id
+            for o_id, order in reference.orders.items():
+                other = state.orders[o_id]
+                assert other.o_total == order.o_total
+                assert other.o_date == order.o_date

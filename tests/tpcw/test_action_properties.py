@@ -1,0 +1,134 @@
+"""Property-based tests: deterministic replication of the bookstore.
+
+The core obligation from Section 4 of the paper: applying the same action
+sequence to two copies of the state must produce byte-identical states --
+with all non-determinism (clocks, random draws) frozen into the actions.
+"""
+
+import pickle
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.tpcw import actions as acts
+from repro.tpcw.app import BookstoreApplication
+from repro.tpcw.population import PopulationParams, populate
+
+PARAMS = PopulationParams(num_items=60, num_ebs=1, entity_scale=0.003, seed=3)
+_BLOB = pickle.dumps(populate(PARAMS))
+
+
+def fresh_app() -> BookstoreApplication:
+    return BookstoreApplication(pickle.loads(_BLOB), 1.0)
+
+
+def canonical(app) -> tuple:
+    """A structural digest of the state, insensitive to pickle's object-
+    sharing memoization (two semantically identical states can differ in
+    raw pickle bytes when one was rebuilt via restore)."""
+    state = app.state
+
+    def slots(obj):
+        return tuple((name, getattr(obj, name))
+                     for name in obj.__slots__ if name != "lines")
+
+    return (
+        tuple((k, slots(v)) for k, v in sorted(state.customers.items())),
+        tuple((k, slots(v)) for k, v in sorted(state.items.items())),
+        tuple((k, slots(v), tuple(slots(line) for line in v.lines))
+              for k, v in sorted(state.orders.items())),
+        tuple((k, slots(v)) for k, v in sorted(state.ccxacts.items())),
+        tuple((k, v.sc_time, tuple(sorted(v.lines.items())))
+              for k, v in sorted(state.carts.items())),
+        tuple((k, slots(v)) for k, v in sorted(state.addresses.items())),
+        tuple(state.recent_orders),
+        tuple(sorted(state.bestseller_counts.items())),
+        (state.next_customer_id, state.next_address_id,
+         state.next_order_id, state.next_cart_id),
+    )
+
+
+# Action generators: all "random" fields are drawn by hypothesis and
+# frozen into the action, exactly like the facade does with its RNG.
+def action_strategy(num_items, num_customers):
+    item = st.integers(1, num_items)
+    cart = st.integers(1, 12)
+    customer = st.integers(1, num_customers)
+    stamp = st.floats(0.0, 1e6, allow_nan=False)
+    create_cart = st.builds(acts.CreateEmptyCart, timestamp=stamp)
+    do_cart = st.builds(acts.DoCart, sc_id=cart, add_item=st.one_of(st.none(), item),
+                        updates=st.lists(st.tuples(item, st.integers(0, 4)),
+                                         max_size=3),
+                        fallback_item=item, timestamp=stamp)
+    refresh = st.builds(acts.RefreshSession, c_id=customer, timestamp=stamp)
+    buy = st.builds(acts.BuyConfirm, sc_id=cart, c_id=customer,
+                    cc_type=st.just("VISA"), cc_number=st.just("4"),
+                    cc_name=st.just("N"), cc_expire=stamp,
+                    shipping_type=st.just("AIR"), timestamp=stamp,
+                    ship_date_offset=st.floats(0, 1e5, allow_nan=False),
+                    auth_id=st.text(min_size=1, max_size=6))
+    admin = st.builds(acts.AdminConfirm, i_id=item,
+                      new_cost=st.floats(1.0, 300.0, allow_nan=False),
+                      new_image=st.just("i"), new_thumbnail=st.just("t"),
+                      timestamp=stamp)
+    register = st.builds(
+        acts.CreateNewCustomer,
+        fname=st.just("F"), lname=st.just("L"), street1=st.text(max_size=8),
+        street2=st.just(""), city=st.just("C"), state_code=st.just("SP"),
+        zip_code=st.just("1"), co_id=st.integers(1, 92), phone=st.just("1"),
+        email=st.just("e"), birthdate=stamp, data=st.just("d"),
+        discount=st.floats(0.0, 0.5, allow_nan=False), timestamp=stamp)
+    return st.one_of(create_cart, do_cart, refresh, buy, admin, register)
+
+
+sequences = st.lists(
+    action_strategy(PARAMS.real_items, PARAMS.num_customers),
+    min_size=1, max_size=30)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=sequences)
+def test_same_sequence_yields_identical_state(sequence):
+    a, b = fresh_app(), fresh_app()
+    for action in sequence:
+        action.apply(a)
+        action.apply(b)
+    assert a.snapshot() == b.snapshot()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=sequences)
+def test_invariants_hold_under_any_sequence(sequence):
+    app = fresh_app()
+    for action in sequence:
+        action.apply(app)
+    app.state.check_invariants()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=sequences)
+def test_snapshot_restore_roundtrip_mid_sequence(sequence):
+    app = fresh_app()
+    half = len(sequence) // 2
+    for action in sequence[:half]:
+        action.apply(app)
+    snapshot = app.snapshot()
+    replica = fresh_app()
+    replica.restore(snapshot)
+    for action in sequence[half:]:
+        action.apply(app)
+        action.apply(replica)
+    assert canonical(app) == canonical(replica)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sequence=sequences)
+def test_results_are_deterministic_too(sequence):
+    a, b = fresh_app(), fresh_app()
+    results_a = [action.apply(a) for action in sequence]
+    results_b = [action.apply(b) for action in sequence]
+    assert results_a == results_b

@@ -1,0 +1,175 @@
+"""The TPCW_Database facade: queries and totally ordered updates."""
+
+import pytest
+
+from repro.tpcw.population import SUBJECTS, digsyl
+
+from tests.tpcw.helpers import BookstoreCluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = BookstoreCluster(3)
+    cluster.run(1.0)
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# reads
+# ----------------------------------------------------------------------
+def test_get_book(cluster):
+    item = cluster.dbs[0].get_book(1)
+    assert item.i_id == 1
+    assert item.i_title
+
+
+def test_get_customer_by_uname(cluster):
+    customer = cluster.dbs[0].get_customer(digsyl(1))
+    assert customer.c_id == 1
+
+
+def test_get_name_and_username(cluster):
+    db = cluster.dbs[0]
+    fname, lname = db.get_name(1)
+    assert fname and lname
+    assert db.get_username(1) == digsyl(1)
+    assert db.get_password(digsyl(1)) == digsyl(1).lower()
+
+
+def test_subject_search_respects_subject_and_limit(cluster):
+    db = cluster.dbs[0]
+    for subject in SUBJECTS[:5]:
+        items = db.do_subject_search(subject)
+        assert len(items) <= 50
+        assert all(item.i_subject == subject for item in items)
+
+
+def test_title_search_finds_tokens(cluster):
+    db = cluster.dbs[0]
+    item = db.get_book(1)
+    token = item.i_title.split()[0]
+    results = db.do_title_search(token)
+    assert any(found.i_id == 1 for found in results)
+
+
+def test_author_search_finds_items_by_author(cluster):
+    db = cluster.dbs[0]
+    item = db.get_book(1)
+    author_state = cluster.states()[0].authors[item.i_a_id]
+    results = db.do_author_search(author_state.a_lname)
+    assert any(found.i_a_id == item.i_a_id for found in results)
+
+
+def test_new_products_sorted_by_pub_date(cluster):
+    db = cluster.dbs[0]
+    items = db.get_new_products(SUBJECTS[0])
+    dates = [item.i_pub_date for item in items]
+    assert dates == sorted(dates, reverse=True)
+
+
+def test_best_sellers_only_from_subject(cluster):
+    db = cluster.dbs[0]
+    sellers = db.get_best_sellers(SUBJECTS[0])
+    assert all(item.i_subject == SUBJECTS[0] for item, _qty in sellers)
+
+
+def test_get_related(cluster):
+    related = cluster.dbs[0].get_related(1)
+    assert len(related) == 5
+
+
+def test_get_most_recent_order(cluster):
+    state = cluster.states()[0]
+    c_id = next(iter(state.orders_by_customer))
+    uname = state.customers[c_id].c_uname
+    order = cluster.dbs[0].get_most_recent_order(uname)
+    assert order is not None
+    assert order.o_id == state.orders_by_customer[c_id][-1]
+
+
+# ----------------------------------------------------------------------
+# writes
+# ----------------------------------------------------------------------
+def test_create_empty_cart_allocates_on_all_replicas(cluster):
+    sc_id = cluster.call(0, cluster.dbs[0].create_empty_cart())
+    cluster.run(2.0)
+    for state in cluster.states():
+        assert sc_id in state.carts
+
+
+def test_do_cart_adds_item_everywhere(cluster):
+    sc_id = cluster.call(0, cluster.dbs[0].create_empty_cart())
+    cart = cluster.call(0, cluster.dbs[0].do_cart(sc_id, add_item=3))
+    assert cart[3] == 1
+    cluster.run(2.0)
+    for state in cluster.states():
+        assert state.carts[sc_id].lines[3] == 1
+
+
+def test_do_cart_empty_gets_fallback_item(cluster):
+    sc_id = cluster.call(1, cluster.dbs[1].create_empty_cart())
+    cart = cluster.call(1, cluster.dbs[1].do_cart(sc_id, add_item=None))
+    assert len(cart) == 1  # the spec's random fallback item
+
+
+def test_create_new_customer_is_replicated_identically(cluster):
+    c_id = cluster.call(0, cluster.dbs[0].create_new_customer(
+        "New", "Customer", "1 Way", "Apt 2", "Town", "SP", "12345", 1,
+        "555-1234567", "new@example.com", -1e8, "data"))
+    cluster.run(2.0)
+    discounts = {state.customers[c_id].c_discount
+                 for state in cluster.states()}
+    assert len(discounts) == 1  # random discount resolved before the action
+
+
+def test_buy_confirm_creates_order_and_decrements_stock(cluster):
+    db = cluster.dbs[0]
+    sc_id = cluster.call(0, db.create_empty_cart())
+    cluster.call(0, db.do_cart(sc_id, add_item=7))
+    stock_before = db.get_stock(7)
+    o_id = cluster.call(0, db.buy_confirm(sc_id, c_id=1))
+    assert o_id is not None
+    cluster.run(2.0)
+    for state in cluster.states():
+        order = state.orders[o_id]
+        assert order.o_c_id == 1
+        assert order.lines and order.lines[0].ol_i_id == 7
+        assert not state.carts[sc_id].lines  # cart cleared
+    stock_after = cluster.dbs[0].get_stock(7)
+    assert stock_after in (stock_before - 1, stock_before - 1 + 21)
+
+
+def test_buy_confirm_timestamps_identical_across_replicas(cluster):
+    db = cluster.dbs[1]
+    sc_id = cluster.call(1, db.create_empty_cart())
+    cluster.call(1, db.do_cart(sc_id, add_item=9))
+    o_id = cluster.call(1, db.buy_confirm(sc_id, c_id=2))
+    cluster.run(2.0)
+    dates = {state.orders[o_id].o_date for state in cluster.states()}
+    auths = {state.ccxacts[o_id].cx_auth_id for state in cluster.states()}
+    assert len(dates) == 1 and len(auths) == 1
+
+
+def test_admin_confirm_updates_cost_and_related(cluster):
+    updated = cluster.call(0, cluster.dbs[0].admin_confirm(5, 42.5))
+    assert updated == 5
+    cluster.run(2.0)
+    for state in cluster.states():
+        assert state.items[5].i_cost == 42.5
+        assert len(state.items[5].i_related) == 5
+
+
+def test_stock_never_negative_under_many_buys(cluster):
+    db = cluster.dbs[0]
+    for _round in range(8):
+        sc_id = cluster.call(0, db.create_empty_cart())
+        cluster.call(0, db.do_cart(sc_id, add_item=11))
+        cluster.call(0, db.buy_confirm(sc_id, c_id=3))
+    cluster.run(2.0)
+    for state in cluster.states():
+        state.check_invariants()
+
+
+def test_cluster_converges_after_mixed_updates(cluster):
+    cluster.run(3.0)
+    cluster.assert_converged()

@@ -1,0 +1,54 @@
+"""Entity-level unit tests for the object model."""
+
+import pytest
+
+from repro.tpcw.model import Address, Item, Order, OrderLine, ShoppingCart
+
+
+def make_item(i_id=1, cost=10.0):
+    return Item(i_id, f"Title {i_id}", 1, 0.0, "Pub", "ARTS", "desc",
+                (1, 2, 3, 4, 5), "t.gif", "i.gif", cost * 1.5, cost, 0.0,
+                20, "ISBN", 100, "PAPERBACK", "10x10")
+
+
+def test_cart_quantity_and_subtotal():
+    cart = ShoppingCart(1, 0.0)
+    items = {1: make_item(1, cost=10.0), 2: make_item(2, cost=2.5)}
+    cart.lines[1] = 2
+    cart.lines[2] = 4
+    assert cart.total_quantity() == 6
+    assert cart.subtotal(items) == pytest.approx(2 * 10.0 + 4 * 2.5)
+
+
+def test_cart_subtotal_applies_discount():
+    cart = ShoppingCart(1, 0.0)
+    items = {1: make_item(1, cost=100.0)}
+    cart.lines[1] = 1
+    assert cart.subtotal(items, discount=0.25) == pytest.approx(75.0)
+
+
+def test_empty_cart_subtotal_is_zero():
+    cart = ShoppingCart(1, 0.0)
+    assert cart.subtotal({}) == 0.0
+    assert cart.total_quantity() == 0
+
+
+def test_address_key_identifies_duplicates():
+    a = Address(1, "1 St", "Apt 1", "City", "SP", "11111", 3)
+    b = Address(2, "1 St", "Apt 1", "City", "SP", "11111", 3)
+    c = Address(3, "2 St", "Apt 1", "City", "SP", "11111", 3)
+    assert a.key() == b.key()
+    assert a.key() != c.key()
+
+
+def test_order_starts_with_no_lines():
+    order = Order(1, 1, 0.0, 0.0, 0.0, 0.0, "AIR", 0.0, 1, 1, "PENDING")
+    assert order.lines == []
+    order.lines.append(OrderLine(1, 1, 5, 2, 0.0, ""))
+    assert order.lines[0].ol_i_id == 5
+
+
+def test_entities_use_slots():
+    item = make_item()
+    with pytest.raises(AttributeError):
+        item.surprise_field = 1

@@ -1,0 +1,92 @@
+"""CBMG navigation: structure, stochasticity, stationarity, sampling."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.tpcw.navigation import (
+    PAGE_LINKS,
+    Navigator,
+    fit_transition_matrix,
+    link_mask,
+    stationary_distribution,
+    target_mix_vector,
+)
+from repro.tpcw.workload import BROWSING, Interaction, ORDERING, PROFILES, SHOPPING
+
+
+def test_every_interaction_is_a_page_with_links():
+    assert set(PAGE_LINKS) == set(Interaction)
+    for src, dsts in PAGE_LINKS.items():
+        assert dsts, f"{src} has no outgoing links"
+        assert Interaction.HOME in dsts  # the site header links home
+
+
+def test_link_structure_respects_checkout_funnel():
+    assert Interaction.BUY_CONFIRM in PAGE_LINKS[Interaction.BUY_REQUEST]
+    for src, dsts in PAGE_LINKS.items():
+        if src is not Interaction.BUY_REQUEST:
+            assert Interaction.BUY_CONFIRM not in dsts
+    assert Interaction.ADMIN_CONFIRM in PAGE_LINKS[Interaction.ADMIN_REQUEST]
+
+
+def test_graph_is_strongly_connected():
+    mask = link_mask()
+    n = mask.shape[0]
+    reach = np.linalg.matrix_power(mask + np.eye(n), n)
+    assert (reach > 0).all()
+
+
+@pytest.mark.parametrize("profile", list(PROFILES.values()),
+                         ids=lambda p: p.name)
+def test_fitted_matrix_is_row_stochastic_on_links(profile):
+    matrix = fit_transition_matrix(profile)
+    mask = link_mask()
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    assert (matrix[mask == 0] == 0).all()
+    assert (matrix >= 0).all()
+
+
+@pytest.mark.parametrize("profile", list(PROFILES.values()),
+                         ids=lambda p: p.name)
+def test_stationary_distribution_matches_spec_mix(profile):
+    matrix = fit_transition_matrix(profile)
+    pi = stationary_distribution(matrix)
+    target = target_mix_vector(profile)
+    assert np.abs(pi - target).max() < 0.01, profile.name
+
+
+@pytest.mark.parametrize("profile", [BROWSING, SHOPPING, ORDERING],
+                         ids=lambda p: p.name)
+def test_sampled_walk_reproduces_update_fraction(profile):
+    from repro.tpcw.workload import UPDATE_INTERACTIONS
+    navigator = Navigator(profile, random.Random(1))
+    draws = 60_000
+    updates = sum(1 for _ in range(draws)
+                  if navigator.next_interaction() in UPDATE_INTERACTIONS)
+    assert updates / draws == pytest.approx(profile.update_fraction(),
+                                            abs=0.02)
+
+
+def test_navigator_only_follows_links():
+    navigator = Navigator(SHOPPING, random.Random(2))
+    previous = navigator.current
+    for _ in range(5000):
+        nxt = navigator.next_interaction()
+        assert nxt in PAGE_LINKS[previous], (previous, nxt)
+        previous = nxt
+
+
+def test_navigator_reset_returns_home():
+    navigator = Navigator(SHOPPING, random.Random(3))
+    for _ in range(10):
+        navigator.next_interaction()
+    navigator.reset()
+    assert navigator.current is Interaction.HOME
+
+
+def test_navigator_matrix_cached_per_profile():
+    a = Navigator(SHOPPING, random.Random(0))
+    b = Navigator(SHOPPING, random.Random(1))
+    assert a._matrix is b._matrix

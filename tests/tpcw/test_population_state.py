@@ -1,0 +1,111 @@
+"""Tests for the TPC-W population generator and the object store."""
+
+import pickle
+
+import pytest
+
+from repro.tpcw.population import PopulationParams, SUBJECTS, digsyl, populate
+from repro.tpcw.state import BESTSELLER_WINDOW, BookstoreState
+
+
+def small_params(**overrides):
+    defaults = dict(num_items=200, num_ebs=1, entity_scale=0.05, seed=7)
+    defaults.update(overrides)
+    return PopulationParams(**defaults)
+
+
+def test_digsyl_encoding():
+    assert digsyl(0) == "BA"
+    assert digsyl(1) == "OG"
+    assert digsyl(109) == "OGBANG"
+    assert digsyl(5, width=3) == "BABASE"
+
+
+def test_population_counts_follow_spec_ratios():
+    params = small_params()
+    state = populate(params)
+    customers = len(state.customers)
+    assert customers == params.num_customers
+    assert len(state.addresses) == 2 * customers
+    assert len(state.orders) == int(0.9 * customers)
+    assert len(state.items) == params.real_items
+    assert len(state.authors) == max(5, int(0.25 * params.real_items))
+    assert len(state.countries) == 92
+    assert len(state.ccxacts) == len(state.orders)
+
+
+def test_population_is_deterministic():
+    a = populate(small_params())
+    b = populate(small_params())
+    assert pickle.dumps(a) == pickle.dumps(b)
+
+
+def test_population_differs_across_seeds():
+    a = populate(small_params(seed=1))
+    b = populate(small_params(seed=2))
+    assert pickle.dumps(a) != pickle.dumps(b)
+
+
+def test_population_invariants_hold():
+    state = populate(small_params())
+    state.check_invariants()
+
+
+def test_usernames_are_digsyl_of_customer_id():
+    state = populate(small_params())
+    for c_id in (1, 2, len(state.customers)):
+        assert state.customers[c_id].c_uname == digsyl(c_id)
+        assert state.customer_by_uname[digsyl(c_id)] == c_id
+
+
+def test_items_have_valid_subjects_and_stock():
+    state = populate(small_params())
+    for item in state.items.values():
+        assert item.i_subject in SUBJECTS
+        assert 10 <= item.i_stock <= 30
+        assert item.i_cost <= item.i_srp
+
+
+def test_nominal_size_tracks_paper_populations():
+    """30/50/70 EBs must land near 300/500/700 MB (Section 5.1)."""
+    for num_ebs, expected_mb in ((30, 300.0), (50, 500.0), (70, 700.0)):
+        params = PopulationParams(num_items=10_000, num_ebs=num_ebs,
+                                  entity_scale=0.02)
+        state = populate(params)
+        nominal = state.nominal_size_mb() * params.size_multiplier
+        assert expected_mb * 0.80 <= nominal <= expected_mb * 1.20, (
+            f"{num_ebs} EBs -> {nominal:.0f} MB, expected ~{expected_mb}")
+
+
+def test_nominal_size_grows_with_orders():
+    from repro.tpcw.model import Order, OrderLine
+    state = populate(small_params())
+    before = state.nominal_size_mb()
+    order = Order(state.next_order_id, 1, 0.0, 10.0, 1.0, 11.0, "AIR",
+                  1.0, 1, 1, "PENDING")
+    order.lines.append(OrderLine(1, order.o_id, 1, 2, 0.0, ""))
+    state.add_order(order)
+    assert state.nominal_size_mb() > before
+
+
+def test_bestseller_window_eviction():
+    from repro.tpcw.model import Order, OrderLine
+    state = populate(small_params())
+    # Saturate the window with orders for item 1, then push them out.
+    for k in range(BESTSELLER_WINDOW + 10):
+        o_id = state.next_order_id
+        order = Order(o_id, 1, 0.0, 1.0, 0.0, 1.0, "AIR", 1.0, 1, 1, "PENDING")
+        i_id = 1 if k < 5 else 2
+        order.lines.append(OrderLine(1, o_id, i_id, 1, 0.0, ""))
+        state.add_order(order)
+    assert len(state.recent_orders) == BESTSELLER_WINDOW
+    assert 1 not in state.bestseller_counts  # early orders evicted
+    assert state.bestseller_counts[2] > 0
+
+
+def test_state_pickle_roundtrip():
+    state = populate(small_params())
+    clone = pickle.loads(pickle.dumps(state))
+    assert len(clone.items) == len(state.items)
+    assert clone.customers[1].c_uname == state.customers[1].c_uname
+    clone.check_invariants()

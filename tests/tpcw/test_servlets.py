@@ -1,0 +1,110 @@
+"""All 14 web interactions through the servlet layer."""
+
+import pytest
+
+from repro.tpcw.workload import Interaction
+
+from tests.tpcw.helpers import BookstoreCluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = BookstoreCluster(3)
+    cluster.run(1.0)
+    return cluster
+
+
+def handle(cluster, interaction, session=None, replica=0):
+    return cluster.call(replica,
+                        cluster.servlets[replica].handle(interaction,
+                                                         session or {}))
+
+
+def test_home_returns_name_and_promotions(cluster):
+    data = handle(cluster, Interaction.HOME, {"c_id": 1})
+    assert data["name"] is not None
+    assert len(data["promotions"]) == 5
+
+
+def test_new_products(cluster):
+    data = handle(cluster, Interaction.NEW_PRODUCTS)
+    assert data["items"]
+
+
+def test_best_sellers(cluster):
+    data = handle(cluster, Interaction.BEST_SELLERS)
+    assert isinstance(data["items"], list)
+
+
+def test_product_detail(cluster):
+    data = handle(cluster, Interaction.PRODUCT_DETAIL, {"i_id": 1})
+    assert data["i_id"] == 1
+    assert data["stock"] >= 0
+
+
+def test_search_request_serves_form(cluster):
+    assert handle(cluster, Interaction.SEARCH_REQUEST)["form"] == "search"
+
+
+def test_search_results(cluster):
+    data = handle(cluster, Interaction.SEARCH_RESULTS)
+    assert data["kind"] in ("title", "author", "subject")
+
+
+def test_shopping_cart_creates_cart_and_adds_item(cluster):
+    data = handle(cluster, Interaction.SHOPPING_CART, {"i_id": 3})
+    assert data["sc_id"] is not None
+    assert data["cart"]
+
+
+def test_shopping_cart_reuses_session_cart(cluster):
+    first = handle(cluster, Interaction.SHOPPING_CART, {"i_id": 3})
+    second = handle(cluster, Interaction.SHOPPING_CART,
+                    {"i_id": 4, "sc_id": first["sc_id"]})
+    assert second["sc_id"] == first["sc_id"]
+
+
+def test_customer_registration_creates_customer(cluster):
+    data = handle(cluster, Interaction.CUSTOMER_REGISTRATION)
+    assert data["c_id"] in cluster.states()[0].customers
+
+
+def test_buy_request_refreshes_session(cluster):
+    data = handle(cluster, Interaction.BUY_REQUEST, {"c_id": 2})
+    assert data["c_id"] == 2
+    assert data["sc_id"] is not None
+    assert data["discount"] is not None
+
+
+def test_buy_confirm_places_order(cluster):
+    cart = handle(cluster, Interaction.SHOPPING_CART, {"i_id": 5})
+    data = handle(cluster, Interaction.BUY_CONFIRM,
+                  {"c_id": 1, "sc_id": cart["sc_id"]})
+    assert data["o_id"] is not None
+    assert data["o_id"] in cluster.states()[0].orders
+
+
+def test_buy_confirm_without_cart_still_orders(cluster):
+    data = handle(cluster, Interaction.BUY_CONFIRM, {"c_id": 3})
+    assert data["o_id"] is not None
+
+
+def test_order_inquiry_and_display(cluster):
+    assert handle(cluster, Interaction.ORDER_INQUIRY)["form"]
+    state = cluster.states()[0]
+    c_id = next(iter(state.orders_by_customer))
+    data = handle(cluster, Interaction.ORDER_DISPLAY, {"c_id": c_id})
+    assert data["order"] is not None
+
+
+def test_admin_request_and_confirm(cluster):
+    before = handle(cluster, Interaction.ADMIN_REQUEST, {"i_id": 9})
+    assert before["cost"] is not None
+    data = handle(cluster, Interaction.ADMIN_CONFIRM, {"i_id": 9})
+    assert data["i_id"] == 9
+    assert cluster.states()[0].items[9].i_cost == data["cost"]
+
+
+def test_all_writes_converge_across_replicas(cluster):
+    cluster.run(3.0)
+    cluster.assert_converged()

@@ -1,0 +1,61 @@
+"""Application contract: snapshots, restores, nominal sizes."""
+
+import pytest
+
+from repro.treplica import Application, InMemoryApplication
+from repro.tpcw.app import BookstoreApplication
+from repro.tpcw.population import PopulationParams, populate
+
+
+def test_base_application_is_abstract():
+    app = Application()
+    with pytest.raises(NotImplementedError):
+        app.snapshot()
+    with pytest.raises(NotImplementedError):
+        app.restore(None)
+    with pytest.raises(NotImplementedError):
+        app.state_size_mb()
+
+
+def test_inmemory_snapshot_is_isolated():
+    app = InMemoryApplication(state={"a": [1, 2]}, nominal_size_mb=2.0)
+    snapshot = app.snapshot()
+    app.state["a"].append(3)
+    clone = InMemoryApplication()
+    clone.restore(snapshot)
+    assert clone.state == {"a": [1, 2]}
+    assert app.state == {"a": [1, 2, 3]}
+
+
+def test_inmemory_nominal_size():
+    app = InMemoryApplication(state=None, nominal_size_mb=7.5)
+    assert app.state_size_mb() == 7.5
+
+
+def test_bookstore_size_multiplier_scales_nominal_size():
+    params = PopulationParams(num_items=100, num_ebs=1, entity_scale=0.01)
+    state = populate(params)
+    small = BookstoreApplication(state, size_multiplier=1.0)
+    scaled = BookstoreApplication(state, size_multiplier=100.0)
+    assert scaled.state_size_mb() == pytest.approx(
+        100.0 * small.state_size_mb())
+
+
+def test_bookstore_snapshot_roundtrip_preserves_multiplier():
+    params = PopulationParams(num_items=50, num_ebs=1, entity_scale=0.005)
+    app = BookstoreApplication.populated(params)
+    snapshot = app.snapshot()
+    other = BookstoreApplication.populated(params)
+    other.size_multiplier = 1.0
+    other.restore(snapshot)
+    assert other.size_multiplier == params.size_multiplier
+    assert len(other.state.items) == len(app.state.items)
+
+
+def test_bookstore_nominal_size_grows_with_activity():
+    params = PopulationParams(num_items=50, num_ebs=1, entity_scale=0.005)
+    app = BookstoreApplication.populated(params)
+    before = app.state_size_mb()
+    from repro.tpcw.actions import CreateEmptyCart
+    CreateEmptyCart(timestamp=0.0).apply(app)
+    assert app.state_size_mb() > before

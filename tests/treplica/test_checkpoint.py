@@ -1,0 +1,71 @@
+"""Checkpoint manager details: cadence, truncation, shadow updates."""
+
+import pytest
+
+from repro.treplica import TreplicaConfig
+from repro.treplica.checkpoint import CHECKPOINT_KEY, CheckpointManager
+
+from tests.treplica.helpers import TreplicaCluster
+
+
+def test_checkpoint_record_contents():
+    cluster = TreplicaCluster(3, nominal_size_mb=5.0)
+    cluster.run(2.0)
+    cluster.put_blocking(0, "x", 1)
+    cluster.run(3.0)
+    record = CheckpointManager.stored_record(cluster.nodes[0].disk)
+    assert record is not None
+    assert record.size_mb == 5.0
+    assert record.taken_at <= cluster.sim.now
+    assert record.instance >= -1
+
+
+def test_no_new_checkpoint_without_progress():
+    config = TreplicaConfig(checkpoint_interval_s=2.0)
+    cluster = TreplicaCluster(3, config=config)
+    cluster.run(3.0)
+    first = CheckpointManager.stored_record(cluster.nodes[0].disk)
+    cluster.run(6.0)  # several intervals, zero actions executed
+    second = CheckpointManager.stored_record(cluster.nodes[0].disk)
+    assert second.instance == first.instance
+
+
+def test_checkpoint_truncates_engine_log():
+    config = TreplicaConfig(checkpoint_interval_s=2.0, log_retain_instances=1)
+    cluster = TreplicaCluster(3, config=config)
+    cluster.run(2.0)
+    for k in range(20):
+        cluster.put(0, f"k{k}", k)
+        cluster.run(0.3)  # spread over several consensus instances
+    cluster.run(8.0)
+    engine = cluster.runtimes[0].engine
+    assert engine.log_start > 0
+    # Retention: exactly one instance kept below the checkpoint.
+    assert engine.log_start == cluster.runtimes[0].checkpoints.last_instance
+
+
+def test_checkpoint_counts_and_cadence():
+    config = TreplicaConfig(checkpoint_interval_s=2.0)
+    cluster = TreplicaCluster(3, config=config)
+    cluster.run(1.0)
+    for k in range(3):
+        cluster.put_blocking(0, f"a{k}", k)
+        cluster.run(2.5)
+    manager = cluster.runtimes[0].checkpoints
+    assert manager.checkpoints_taken >= 2
+
+
+def test_wal_entries_survive_for_unreplayed_suffix_only():
+    """After a checkpoint truncation the WAL holds only recent votes."""
+    config = TreplicaConfig(checkpoint_interval_s=2.0, log_retain_instances=1)
+    cluster = TreplicaCluster(3, config=config)
+    cluster.run(2.0)
+    for k in range(30):
+        cluster.put(0, f"k{k}", k)
+    cluster.run(10.0)
+    wal = cluster.runtimes[0].engine.wal
+    vote_instances = [entry[1] for entry in wal.entries()
+                      if entry[0] == "vote"]
+    engine = cluster.runtimes[0].engine
+    assert vote_instances, "some recent votes must remain"
+    assert min(vote_instances) >= engine.log_start

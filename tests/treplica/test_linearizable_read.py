@@ -1,0 +1,62 @@
+"""Linearizable reads via the barrier action."""
+
+import pytest
+
+from repro.treplica import Barrier
+
+from tests.treplica.helpers import Put, TreplicaCluster
+
+
+def test_barrier_is_a_noop_on_state():
+    cluster = TreplicaCluster(3)
+    cluster.run(1.0)
+    before = dict(cluster.runtimes[0].app.state["data"])
+
+    def client():
+        yield from cluster.runtimes[0].execute(Barrier())
+
+    cluster.nodes[0].spawn(client())
+    cluster.run(2.0)
+    assert cluster.runtimes[0].app.state["data"] == before
+
+
+def test_local_read_can_be_stale_linearizable_read_is_not():
+    cluster = TreplicaCluster(3)
+    cluster.run(1.0)
+    # Isolate replica 2 from its peers: it keeps serving stale state.
+    for other in ("r0", "r1"):
+        cluster.network.block("r2", other)
+    cluster.put_blocking(0, "x", 99)
+    stale = cluster.runtimes[2].read(lambda app: app.state["data"].get("x"))
+    assert stale is None  # the write never reached the isolated replica
+
+    results = []
+
+    def linear_client():
+        value = yield from cluster.runtimes[2].linearizable_read(
+            lambda app: app.state["data"].get("x"))
+        results.append(value)
+
+    cluster.nodes[2].spawn(linear_client())
+    cluster.run(2.0)
+    assert results == []  # blocked: the barrier cannot be ordered
+    for other in ("r0", "r1"):
+        cluster.network.unblock("r2", other)
+    cluster.run(10.0)
+    assert results == [(99, None)] or results and results[0][0] == 99
+
+
+def test_linearizable_read_sees_own_prior_write():
+    cluster = TreplicaCluster(3)
+    cluster.run(1.0)
+    results = []
+
+    def client():
+        yield from cluster.runtimes[1].execute(Put("k", 5))
+        value = yield from cluster.runtimes[1].linearizable_read(
+            lambda app: app.state["data"]["k"][0])
+        results.append(value)
+
+    cluster.nodes[1].spawn(client())
+    cluster.run(5.0)
+    assert results == [5]

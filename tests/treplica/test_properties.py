@@ -1,0 +1,75 @@
+"""Property-based tests at the middleware layer: random fault schedules
+against the replicated KV application must preserve convergence and
+exactly-once application."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.treplica.helpers import TreplicaCluster
+
+
+operation = st.tuples(
+    st.sampled_from(["put", "put", "put", "crash", "reboot", "wait"]),
+    st.integers(min_value=0, max_value=999),
+)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=st.lists(operation, min_size=4, max_size=18),
+       seed=st.integers(0, 2**16))
+def test_kv_replicas_converge_under_random_faults(schedule, seed):
+    cluster = TreplicaCluster(3, seed=seed)
+    cluster.run(1.0)
+    down = set()
+    puts = 0
+    for op, arg in schedule:
+        replica = arg % 3
+        if op == "put" and replica not in down:
+            cluster.put(replica, f"k{puts}", puts)
+            puts += 1
+        elif op == "crash" and not down and replica != 0:
+            cluster.crash(replica)
+            down.add(replica)
+        elif op == "reboot" and down:
+            target = down.pop()
+            cluster.reboot(target)
+        elif op == "wait":
+            cluster.run(0.2 + (arg % 5) * 0.2)
+    for replica in sorted(down):
+        cluster.reboot(replica)
+    cluster.run(25.0)
+    cluster.assert_converged()
+    # Exactly-once: every live replica applied each surviving put once.
+    logs = cluster.logs()
+    for log in logs.values():
+        keys = [key for key, _value in log]
+        assert len(keys) == len(set(keys)), "duplicate application"
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n_puts=st.integers(1, 12), crash_at=st.integers(0, 12),
+       seed=st.integers(0, 2**12))
+def test_acknowledged_writes_survive_any_single_crash(n_puts, crash_at, seed):
+    """Durability: once put_blocking returned, the write is never lost,
+    no matter which replica crashes afterwards."""
+    cluster = TreplicaCluster(3, seed=seed)
+    cluster.run(1.0)
+    acknowledged = []
+    for k in range(n_puts):
+        value = cluster.put_blocking(0, f"k{k}", k)
+        assert value == k
+        acknowledged.append(f"k{k}")
+        if k == min(crash_at, n_puts - 1):
+            victim = 1 + (seed % 2)
+            cluster.crash(victim)
+            cluster.run(1.0)
+            cluster.reboot(victim)
+    cluster.run(20.0)
+    cluster.assert_converged()
+    for runtime in cluster.runtimes:
+        if runtime is not None:
+            data = runtime.app.state["data"]
+            for key in acknowledged:
+                assert key in data, f"acknowledged write {key} lost"

@@ -1,0 +1,119 @@
+"""The asynchronous persistent queue's public interface."""
+
+import pytest
+
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.treplica import PersistentQueue
+
+
+def make_cluster(n=3, seed=4):
+    sim = Simulator()
+    tree = SeedTree(seed)
+    network = Network(sim, NetworkParams(), seed=tree)
+    nodes = [Node(sim, network, f"q{i}") for i in range(n)]
+    names = [node.name for node in nodes]
+    queues = []
+    for i, node in enumerate(nodes):
+        queue = PersistentQueue(node, names, i, seed=tree)
+        queue.start()
+        queues.append(queue)
+    return sim, nodes, queues
+
+
+def collect(sim, node, queue, out):
+    def consumer():
+        while True:
+            _instance, uid, payload = yield queue.dequeue()
+            out.append(payload)
+    node.spawn(consumer())
+
+
+def test_enqueue_returns_unique_uids():
+    sim, nodes, queues = make_cluster()
+    uids = {queues[0].enqueue(k) for k in range(10)}
+    assert len(uids) == 10
+
+
+def test_dequeue_sees_items_in_identical_order_everywhere():
+    sim, nodes, queues = make_cluster()
+    outs = [[], [], []]
+    for node, queue, out in zip(nodes, queues, outs):
+        collect(sim, node, queue, out)
+    sim.run(until=1.0)
+    for k in range(12):
+        queues[k % 3].enqueue(f"item-{k}")
+    sim.run(until=6.0)
+    assert len(outs[0]) == 12
+    assert outs[0] == outs[1] == outs[2]
+
+
+def test_enqueue_is_asynchronous():
+    sim, nodes, queues = make_cluster()
+    sim.run(until=1.0)
+    before = sim.now
+    queues[0].enqueue("x")  # returns immediately, no simulated time passes
+    assert sim.now == before
+
+
+def test_dequeue_blocks_until_something_is_enqueued():
+    sim, nodes, queues = make_cluster()
+    out = []
+    collect(sim, nodes[0], queues[0], out)
+    sim.run(until=2.0)
+    assert out == []
+    queues[1].enqueue("late")
+    sim.run(until=4.0)
+    assert out == ["late"]
+
+
+def test_decided_watermark_and_mode_exposed():
+    sim, nodes, queues = make_cluster()
+    sim.run(until=1.0)
+    queues[0].enqueue("a")
+    sim.run(until=2.0)
+    assert queues[0].decided_watermark >= 0
+    assert queues[0].mode in ("fast", "classic")
+
+
+def test_rebind_after_crash_replays_the_same_order():
+    sim, nodes, queues = make_cluster()
+    outs = [[], [], []]
+    for node, queue, out in zip(nodes, queues, outs):
+        collect(sim, node, queue, out)
+    sim.run(until=1.0)
+    for k in range(5):
+        queues[0].enqueue(f"pre-{k}")
+    sim.run(until=3.0)
+    nodes[2].crash()
+    for k in range(5):
+        queues[0].enqueue(f"during-{k}")
+    sim.run(until=5.0)
+    nodes[2].restart()
+    tree = SeedTree(4)
+    rebound = PersistentQueue(nodes[2], [n.name for n in nodes], 2, seed=tree)
+    rebound.start()
+    replay = []
+    collect(sim, nodes[2], rebound, replay)
+    sim.run(until=15.0)
+    assert replay == outs[0]
+    assert len(replay) == 10
+
+
+def test_double_bind_rejected():
+    sim, nodes, queues = make_cluster()
+    with pytest.raises(RuntimeError):
+        queues[0].start()
+
+
+def test_truncate_below_shrinks_log():
+    sim, nodes, queues = make_cluster()
+    outs = [[], [], []]
+    for node, queue, out in zip(nodes, queues, outs):
+        collect(sim, node, queue, out)
+    sim.run(until=1.0)
+    for k in range(8):
+        queues[0].enqueue(k)
+    sim.run(until=4.0)
+    watermark = queues[0].decided_watermark
+    queues[0].truncate_below(watermark + 1)
+    assert queues[0].engine.log_start == watermark + 1

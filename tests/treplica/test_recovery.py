@@ -1,0 +1,187 @@
+"""Treplica crash, failover, and recovery behaviour."""
+
+import pytest
+
+from repro.paxos.config import PaxosConfig
+from repro.treplica import TreplicaConfig
+from repro.treplica.checkpoint import CheckpointManager
+
+from tests.treplica.helpers import TreplicaCluster
+
+
+def quick_checkpoint_config(**overrides):
+    defaults = dict(checkpoint_interval_s=5.0)
+    defaults.update(overrides)
+    return TreplicaConfig(**defaults)
+
+
+def test_initial_checkpoint_written_at_boot():
+    cluster = TreplicaCluster(3)
+    cluster.run(3.0)
+    for node in cluster.nodes:
+        assert CheckpointManager.stored_record(node.disk) is not None
+
+
+def test_periodic_checkpoints_advance():
+    cluster = TreplicaCluster(3, config=quick_checkpoint_config())
+    cluster.run(2.0)
+    cluster.put_blocking(0, "a", 1)
+    first = CheckpointManager.stored_record(cluster.nodes[0].disk)
+    cluster.run(8.0)
+    second = CheckpointManager.stored_record(cluster.nodes[0].disk)
+    assert second.instance > first.instance
+
+
+def test_rebooted_replica_recovers_state_from_checkpoint_and_backlog():
+    cluster = TreplicaCluster(3, config=quick_checkpoint_config())
+    cluster.run(2.0)
+    for k in range(5):
+        cluster.put(0, f"pre{k}", k)
+    cluster.run(8.0)  # applied + checkpointed
+    cluster.crash(2)
+    for k in range(5):
+        cluster.put(0, f"during{k}", k)
+    cluster.run(3.0)
+    cluster.reboot(2)
+    cluster.run(15.0)
+    assert cluster.runtimes[2].ready
+    cluster.assert_converged()
+    data = cluster.runtimes[2].app.state["data"]
+    assert len(data) == 10
+
+
+def test_recovery_applies_backlog_not_everything():
+    """After recovery from a checkpoint, only the suffix is re-executed."""
+    cluster = TreplicaCluster(3, config=quick_checkpoint_config())
+    cluster.run(2.0)
+    for k in range(20):
+        cluster.put(0, f"pre{k}", k)
+    cluster.run(10.0)  # checkpoint covers these
+    cluster.crash(2)
+    for k in range(3):
+        cluster.put(0, f"post{k}", k)
+    cluster.run(3.0)
+    cluster.reboot(2)
+    cluster.run(15.0)
+    runtime = cluster.runtimes[2]
+    assert runtime.ready
+    assert len(runtime.app.state["data"]) == 23
+    # Re-executed actions are only those past the checkpoint.
+    assert runtime.stats["executed"] <= 10
+
+
+def test_recovery_time_grows_with_state_size():
+    """The paper's Figure 6 mechanism: checkpoint load dominates recovery
+    for read-mostly workloads, and it scales with the state size."""
+    durations = {}
+    for size in (50.0, 200.0):
+        cluster = TreplicaCluster(3, nominal_size_mb=size,
+                                  config=quick_checkpoint_config())
+        cluster.run(2.0)
+        cluster.put_blocking(0, "x", 1)
+        cluster.run(10.0)
+        cluster.crash(2)
+        cluster.run(1.0)
+        started = cluster.sim.now
+        cluster.reboot(2)
+        cluster.run(60.0)
+        assert cluster.runtimes[2].ready
+        durations[size] = cluster.runtimes[2].recovered_at - started
+    assert durations[200.0] > durations[50.0] * 2
+
+
+def test_ready_false_until_caught_up():
+    cluster = TreplicaCluster(3, nominal_size_mb=100.0,
+                              config=quick_checkpoint_config())
+    cluster.run(2.0)
+    cluster.put_blocking(0, "x", 1)
+    cluster.run(10.0)
+    cluster.crash(2)
+    cluster.run(1.0)
+    cluster.reboot(2)
+    cluster.run(0.5)  # checkpoint load takes many seconds
+    assert not cluster.runtimes[2].ready
+    cluster.run(60.0)
+    assert cluster.runtimes[2].ready
+
+
+def test_remote_checkpoint_transfer_when_peers_truncated():
+    config = TreplicaConfig(checkpoint_interval_s=2.0, log_retain_instances=1)
+    cluster = TreplicaCluster(3, config=config)
+    cluster.run(2.0)
+    for k in range(10):
+        cluster.put(0, f"pre{k}", k)
+    cluster.run(4.0)
+    cluster.crash(2)
+    for k in range(30):
+        cluster.put(0, f"during{k}", k)
+        cluster.run(0.3)
+    cluster.run(6.0)  # survivors checkpoint + truncate past the backlog
+    cluster.reboot(2)
+    cluster.run(30.0)
+    runtime = cluster.runtimes[2]
+    assert runtime.ready
+    assert runtime.stats["remote_transfers"] >= 1
+    cluster.assert_converged()
+
+
+def test_two_concurrent_crashes_and_recoveries_converge():
+    cluster = TreplicaCluster(5, config=quick_checkpoint_config())
+    cluster.run(2.0)
+    for k in range(10):
+        cluster.put(k % 5, f"k{k}", k)
+    cluster.run(8.0)
+    cluster.crash(3)
+    cluster.crash(4)
+    for k in range(5):
+        cluster.put(0, f"mid{k}", k)
+    cluster.run(3.0)
+    cluster.reboot(3)
+    cluster.run(1.0)
+    cluster.reboot(4)
+    cluster.run(25.0)
+    assert cluster.runtimes[3].ready and cluster.runtimes[4].ready
+    cluster.assert_converged()
+    assert len(cluster.runtimes[3].app.state["data"]) == 15
+
+
+def test_client_blocked_during_unavailability_completes_after_recovery():
+    cluster = TreplicaCluster(3, config=quick_checkpoint_config())
+    cluster.run(2.0)
+    cluster.crash(1)
+    cluster.crash(2)
+    cluster.run(3.0)
+    results = []
+
+    def client():
+        from tests.treplica.helpers import Put
+        value = yield from cluster.runtimes[0].execute(Put("late", 7))
+        results.append(value)
+
+    cluster.nodes[0].spawn(client())
+    cluster.run(5.0)
+    assert results == []  # below majority: execute blocks
+    cluster.reboot(1)
+    cluster.run(20.0)
+    assert results == [7]
+
+
+def test_checkpoint_shadow_update_survives_crash_mid_checkpoint():
+    """A crash during checkpointing must leave the previous record usable."""
+    config = TreplicaConfig(checkpoint_interval_s=3.0)
+    cluster = TreplicaCluster(3, nominal_size_mb=200.0, config=config)
+    cluster.run(12.0)  # initial 200 MB checkpoint takes several seconds
+    record_before = CheckpointManager.stored_record(cluster.nodes[2].disk)
+    assert record_before is not None
+    cluster.put_blocking(0, "x", 1)
+    # Crash replica 2 in the middle of its next checkpoint write window
+    # (the next checkpoint starts within 3 s and writes for ~5 s).
+    cluster.run(4.0)
+    cluster.crash(2)
+    record_after = CheckpointManager.stored_record(cluster.nodes[2].disk)
+    assert record_after is not None
+    assert record_after.instance >= record_before.instance
+    cluster.reboot(2)
+    cluster.run(40.0)
+    assert cluster.runtimes[2].ready
+    cluster.assert_converged()

@@ -1,0 +1,94 @@
+"""Application-server behaviour: readiness gating, probes, errors."""
+
+import pytest
+
+from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.tpcw.workload import Interaction
+from repro.web.http import Request, Response
+from repro.web.server import ApplicationServer, HTTP_PORT, PROBE_PORT, PROBE_REPLY_PORT
+
+
+class FakeRuntime:
+    def __init__(self, ready=True):
+        self.ready = ready
+
+
+class FakeServlets:
+    def __init__(self, fail=False):
+        self.fail = fail
+        self.calls = []
+
+    def handle(self, interaction, session):
+        self.calls.append(interaction)
+        if self.fail:
+            raise RuntimeError("servlet exploded")
+        return {"ok": True}
+        yield  # pragma: no cover
+
+
+def make_server(ready=True, fail=False):
+    sim = Simulator()
+    network = Network(sim, NetworkParams(), seed=SeedTree(0))
+    backend = Node(sim, network, "backend")
+    caller = Node(sim, network, "proxy")
+    servlets = FakeServlets(fail=fail)
+    server = ApplicationServer(backend, FakeRuntime(ready), servlets)
+    server.start()
+    responses = []
+    caller.handle("proxy-resp", lambda payload, src: responses.append(payload))
+    probe_replies = []
+    caller.handle(PROBE_REPLY_PORT,
+                  lambda payload, src: probe_replies.append(payload))
+    return sim, caller, server, servlets, responses, probe_replies
+
+
+def send_request(sim, caller):
+    request = Request("rq1", 1, "proxy", "proxy-resp", Interaction.HOME, {})
+    caller.send("backend", HTTP_PORT, request)
+    sim.run(until=sim.now + 1.0)
+
+
+def test_ready_server_serves_and_charges_cpu():
+    sim, caller, server, servlets, responses, _p = make_server()
+    send_request(sim, caller)
+    assert len(responses) == 1
+    assert responses[0].ok and responses[0].data == {"ok": True}
+    assert server.requests_served == 1
+    assert server.node.cpu.total_busy_time > 0
+
+
+def test_not_ready_server_refuses_without_cpu():
+    sim, caller, server, servlets, responses, _p = make_server(ready=False)
+    send_request(sim, caller)
+    assert len(responses) == 1
+    assert responses[0].refused and not responses[0].ok
+    assert server.requests_refused == 1
+    assert servlets.calls == []
+    assert server.node.cpu.total_busy_time == 0
+
+
+def test_servlet_exception_becomes_500_response():
+    sim, caller, server, servlets, responses, _p = make_server(fail=True)
+    send_request(sim, caller)
+    assert len(responses) == 1
+    assert not responses[0].ok and not responses[0].refused
+    assert "exploded" in responses[0].error
+    assert server.requests_failed == 1
+
+
+def test_probe_reports_readiness():
+    sim, caller, server, _s, _r, probe_replies = make_server(ready=True)
+    caller.send("backend", PROBE_PORT, 17)
+    sim.run(until=1.0)
+    assert probe_replies == [(17, "backend", True)]
+    server.runtime.ready = False
+    caller.send("backend", PROBE_PORT, 18)
+    sim.run(until=2.0)
+    assert probe_replies[-1] == (18, "backend", False)
+
+
+def test_crashed_server_never_responds():
+    sim, caller, server, _s, responses, _p = make_server()
+    server.node.crash()
+    send_request(sim, caller)
+    assert responses == []
