@@ -5,15 +5,19 @@ dependability benchmark = system spec + workload + **faultload** +
 **dependability measures**.  This package adds the last two to TPC-W:
 
 * :mod:`repro.faults.faultload` -- crash/reboot events injected at precise
-  simulated times;
+  simulated times, plus the nemesis extension kinds (probabilistic message
+  drop/duplication/delay windows and one-way partitions);
 * :mod:`repro.faults.watchdog` -- the per-replica watchdog that
   re-instantiates a crashed application server automatically (autonomy);
 * :mod:`repro.faults.metrics` -- WIPS/WIRT series and the four measures:
-  availability, performability, accuracy, autonomy.
+  availability, performability, accuracy, autonomy;
+* :mod:`repro.faults.checker` -- the mechanical consensus/queue safety
+  oracle (agreement, total order, exactly-once, acked durability).
 """
 
+from repro.faults.checker import SafetyChecker, SafetyViolation, Violation
 from repro.faults.faultload import FaultEvent, FaultInjector, Faultload
-from repro.faults.metrics import MetricsCollector, WindowStats
+from repro.faults.metrics import MetricsCollector, NemesisStats, WindowStats
 from repro.faults.watchdog import Watchdog
 
 __all__ = [
@@ -21,6 +25,10 @@ __all__ = [
     "FaultInjector",
     "Faultload",
     "MetricsCollector",
+    "NemesisStats",
+    "SafetyChecker",
+    "SafetyViolation",
+    "Violation",
     "Watchdog",
     "WindowStats",
 ]

@@ -1,0 +1,185 @@
+"""Mechanical safety oracle for the replicated queue.
+
+The paper argues Treplica keeps the bookstore consistent across crashes
+but verifies it only end-to-end (no order was lost, no page was wrong).
+This module asserts the underlying invariants *mechanically*, from the
+structured trace a :class:`~repro.sim.trace.Tracer` collects during a
+run, so any faultload -- crash, partition, or nemesis misbehaviour --
+can be checked for safety, not just for recovered throughput:
+
+* **agreement** -- no two replicas decide different values for one
+  consensus instance (the Paxos safety property);
+* **delivery order** -- each replica incarnation hands instances to the
+  application in strictly increasing order, and any instance delivered
+  by two replicas carries the same batch (one cluster-wide total order);
+* **no duplicates** -- no command uid enters a replica's delivery
+  stream twice (the queue's exactly-once contract);
+* **durability** -- a command whose local client saw it complete
+  ("acked") was decided, and no replica's delivery stream passed over
+  its instance without it (no client-acked command is lost across
+  crash + nemesis).
+
+Usage::
+
+    sim.tracer = Tracer(sim, categories=SafetyChecker.CATEGORIES)
+    ...run the experiment...
+    SafetyChecker(sim.tracer).assert_ok()
+
+The trace hooks live in :meth:`repro.paxos.engine.PaxosEngine._decide`
+(category ``decide``), the watermark advance (category ``deliver``,
+including checkpoint-transfer skips), and the Treplica applier
+(category ``ack``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class SafetyViolation(AssertionError):
+    """Raised by :meth:`SafetyChecker.assert_ok` when invariants fail."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough detail to debug the run."""
+
+    kind: str    # agreement | deliver-agreement | order | duplicate | lost-ack
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+class SafetyChecker:
+    """Checks consensus/queue safety invariants over a recorded trace."""
+
+    #: the trace categories the checker consumes; pass to ``Tracer`` to
+    #: keep long runs from recording anything else.
+    CATEGORIES = ("decide", "deliver", "ack")
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------
+    def violations(self, max_violations: int = 50) -> List[Violation]:
+        """All invariant breaches found in the trace (bounded)."""
+        found: List[Violation] = []
+        found += self._check_agreement("decide")
+        found += self._check_agreement("deliver")
+        found += self._check_delivery_streams()
+        found += self._check_acked_durability()
+        return found[:max_violations]
+
+    def assert_ok(self) -> None:
+        violations = self.violations()
+        if violations:
+            summary = "\n  ".join(str(v) for v in violations)
+            raise SafetyViolation(
+                f"{len(violations)} safety violation(s):\n  {summary}")
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations(max_violations=1)
+
+    # ------------------------------------------------------------------
+    # agreement: one value per instance, cluster-wide
+    # ------------------------------------------------------------------
+    def _check_agreement(self, category: str) -> List[Violation]:
+        chosen: Dict[int, Tuple[Tuple[str, ...], str]] = {}
+        violations = []
+        for event in self._tracer.select(category):
+            if event.get("event") == "transfer":
+                continue
+            instance, key = event["instance"], event["key"]
+            first = chosen.get(instance)
+            if first is None:
+                chosen[instance] = (key, event.source)
+            elif first[0] != key:
+                kind = ("agreement" if category == "decide"
+                        else "deliver-agreement")
+                violations.append(Violation(kind, (
+                    f"instance {instance}: {first[1]} has {first[0]!r} "
+                    f"but {event.source} has {key!r} (t={event.time:.4f})")))
+        return violations
+
+    # ------------------------------------------------------------------
+    # per-incarnation delivery: strictly increasing, no duplicate uids
+    # ------------------------------------------------------------------
+    def _delivery_streams(self) -> Dict[Tuple[str, int], List[TraceEvent]]:
+        streams: Dict[Tuple[str, int], List[TraceEvent]] = {}
+        for event in self._tracer.select("deliver"):
+            streams.setdefault((event.source, event["inc"]), []).append(event)
+        return streams
+
+    def _check_delivery_streams(self) -> List[Violation]:
+        violations = []
+        for (source, inc), events in self._delivery_streams().items():
+            who = f"{source}#inc{inc}"
+            last = None
+            seen_uids: Set[str] = set()
+            for event in events:
+                if event.get("event") == "transfer":
+                    upto = event["upto"]
+                    last = max(last, upto) if last is not None else upto
+                    continue
+                instance = event["instance"]
+                if last is not None and instance <= last:
+                    violations.append(Violation("order", (
+                        f"{who} delivered instance {instance} after "
+                        f"{last} (t={event.time:.4f})")))
+                last = instance
+                for uid in event["fresh"]:
+                    if uid in seen_uids:
+                        violations.append(Violation("duplicate", (
+                            f"{who} delivered uid {uid!r} twice "
+                            f"(second time in instance {instance}, "
+                            f"t={event.time:.4f})")))
+                    seen_uids.add(uid)
+        return violations
+
+    # ------------------------------------------------------------------
+    # durability of client-acked commands
+    # ------------------------------------------------------------------
+    def _check_acked_durability(self) -> List[Violation]:
+        decided_uids: Set[str] = set()
+        for event in self._tracer.select("decide"):
+            decided_uids.update(event["key"])
+
+        # Per incarnation: delivered instances, their range, and how far
+        # a checkpoint transfer skipped (instances at or below it are
+        # covered by the installed snapshot, not lost).
+        summaries = []
+        for (source, inc), events in self._delivery_streams().items():
+            delivered: Set[int] = set()
+            skipped_upto = -1
+            for event in events:
+                if event.get("event") == "transfer":
+                    skipped_upto = max(skipped_upto, event["upto"])
+                else:
+                    delivered.add(event["instance"])
+            if delivered:
+                summaries.append((f"{source}#inc{inc}", delivered,
+                                  min(delivered), max(delivered),
+                                  skipped_upto))
+
+        violations = []
+        acked: Dict[str, int] = {}
+        for event in self._tracer.select("ack"):
+            acked.setdefault(event["uid"], event["instance"])
+        for uid, instance in sorted(acked.items()):
+            if uid not in decided_uids:
+                violations.append(Violation("lost-ack", (
+                    f"uid {uid!r} was acked at instance {instance} "
+                    f"but never appears in any decided batch")))
+                continue
+            for who, delivered, low, high, skipped_upto in summaries:
+                if low <= instance <= high and instance > skipped_upto \
+                        and instance not in delivered:
+                    violations.append(Violation("lost-ack", (
+                        f"{who} delivered past instance {instance} "
+                        f"without it, losing acked uid {uid!r}")))
+        return violations

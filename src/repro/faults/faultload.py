@@ -1,4 +1,4 @@
-"""Faultloads: crash and reboot events injected at precise times.
+"""Faultloads: crash, reboot, partition, and nemesis events.
 
 The paper's faults are environment/operator-style: an abrupt server
 shutdown (kill at the OS level) and an abrupt reboot.  Targets may be
@@ -7,31 +7,123 @@ fixed replica indexes or drawn at random among currently-live replicas
 
 A ``reboot`` event models the *manual* recovery of the delayed-recovery
 experiment; it counts as a human intervention for the autonomy measure.
+
+Beyond the paper, the **nemesis extension** adds message-level faults
+(the kinds Vieira & Buzato's Fast Paxos study identifies as the ones
+that actually break implementations): probabilistic message ``drop``,
+``dup`` (duplication), and ``delay`` spikes over a time window, plus
+``oneway`` (asymmetric) partitions of a directed replica pair.
+
+Grammar (one comma-separated event per chunk)::
+
+    crash@240          crash a random live replica at t=240
+    crash@240:2        crash replica 2
+    reboot@390:2       manually reboot replica 2 (an intervention)
+    partition@300:1    isolate replica 1 from its peers (both ways)
+    heal@330:1         reconnect replica 1
+    drop@10-60:p=0.2   drop each message with probability 0.2 in [10,60)
+    dup@10-60:p=0.1    duplicate messages with probability 0.1
+    delay@10-60:p=0.3:m=0.05   30% of messages get an extra exponential
+                               delay of mean 50 ms (reordering)
+    drop@10-60:1>2:p=0.5       only the replica1 -> replica2 direction
+    oneway@30:2>3      cut the replica2 -> replica3 direction at t=30
+    oneway@30-90:2>3   the same, healed at t=90
+
+Targets are validated per kind at parse time: ``*`` (random live
+replica) is only meaningful for ``crash``; ``reboot``/``partition``/
+``heal`` need a fixed replica index; nemesis kinds need a time window
+and a probability; ``oneway`` needs a directed ``src>dst`` pair.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+#: kinds taken verbatim from the paper's faultload (plus the symmetric
+#: partition extension): point events against one replica.
+REPLICA_KINDS = ("crash", "reboot", "partition", "heal")
+
+#: windowed probabilistic message faults handled by the network nemesis.
+NEMESIS_KINDS = ("drop", "dup", "delay")
+
+#: the asymmetric partition: a directed pair, optionally windowed.
+ONEWAY_KIND = "oneway"
+
+ALL_KINDS = REPLICA_KINDS + NEMESIS_KINDS + (ONEWAY_KIND,)
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault.
 
-    ``kind`` is 'crash' or 'reboot' (the paper's faults), or the
-    extension kinds 'partition' (isolate a replica from its peers while
-    it stays up) and 'heal' (reconnect it).
+    ``kind`` is one of :data:`ALL_KINDS`.  The paper kinds use ``at`` and
+    ``replica`` (``None`` = random live replica, crash only).  Nemesis
+    kinds add ``until`` (window end), ``p`` (per-message probability),
+    and optionally a directed pair ``replica > dst``.  ``oneway`` uses
+    ``replica``/``dst`` as the cut direction and an optional ``until``.
     """
 
     at: float
     kind: str
     replica: Optional[int] = None  # None = random live replica (crash only)
+    until: Optional[float] = None
+    p: Optional[float] = None
+    dst: Optional[int] = None
+    delay_mean_s: Optional[float] = None
 
     def __post_init__(self):
-        if self.kind not in ("crash", "reboot", "partition", "heal"):
+        if self.kind not in ALL_KINDS:
             raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at!r}")
+        if self.kind in REPLICA_KINDS:
+            if self.kind != "crash" and self.replica is None:
+                raise ValueError(
+                    f"{self.kind!r} needs a fixed replica index "
+                    f"(random '*' targets are only valid for crash)")
+            if self.until is not None or self.p is not None \
+                    or self.dst is not None:
+                raise ValueError(
+                    f"{self.kind!r} takes a single replica target, "
+                    f"not a window/probability/pair")
+        elif self.kind in NEMESIS_KINDS:
+            if self.until is None:
+                raise ValueError(
+                    f"{self.kind!r} needs a time window, e.g. "
+                    f"'{self.kind}@10-60:p=0.2'")
+            if self.until <= self.at:
+                raise ValueError(
+                    f"{self.kind!r} window must end after it starts "
+                    f"({self.at} >= {self.until})")
+            if self.p is None:
+                raise ValueError(
+                    f"{self.kind!r} needs a probability, e.g. "
+                    f"'{self.kind}@10-60:p=0.2'")
+            if not 0.0 < self.p <= 1.0:
+                raise ValueError(
+                    f"{self.kind!r} probability must be in (0, 1], "
+                    f"got {self.p!r}")
+            if (self.replica is None) != (self.dst is None):
+                raise ValueError(
+                    f"{self.kind!r} pair must name both ends ('1>2') "
+                    f"or neither")
+        else:  # oneway
+            if self.replica is None or self.dst is None:
+                raise ValueError(
+                    "'oneway' needs a directed pair, e.g. 'oneway@30:2>3'")
+            if self.replica == self.dst:
+                raise ValueError(
+                    f"'oneway' pair must name two distinct replicas, "
+                    f"got {self.replica}>{self.dst}")
+            if self.until is not None and self.until <= self.at:
+                raise ValueError(
+                    f"'oneway' window must end after it starts "
+                    f"({self.at} >= {self.until})")
+            if self.p is not None:
+                raise ValueError("'oneway' does not take a probability")
 
 
 @dataclass(frozen=True)
@@ -47,39 +139,127 @@ class Faultload:
     def manual_interventions(self) -> int:
         return sum(1 for e in self.events if e.kind == "reboot")
 
+    def nemesis_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind in NEMESIS_KINDS)
+
     @classmethod
     def parse(cls, spec: str, name: str = "custom") -> "Faultload":
-        """Parse a compact faultload spec.
+        """Parse a compact faultload spec (see the module docstring).
 
-        Grammar: comma-separated ``kind@time[:target]`` events, where
-        ``kind`` is crash/reboot/partition/heal, ``time`` is seconds, and
-        ``target`` is a replica index or ``*`` for a random live replica
-        (crash only).  Example::
+        Example::
 
-            Faultload.parse("crash@240:*, crash@270:*, reboot@390:2")
+            Faultload.parse("crash@240:*, drop@10-60:p=0.2, oneway@30:2>3")
         """
         events = []
         for chunk in spec.split(","):
             chunk = chunk.strip()
             if not chunk:
                 continue
-            try:
-                kind, rest = chunk.split("@", 1)
-            except ValueError:
-                raise ValueError(f"bad fault event (missing '@'): {chunk!r}")
-            if ":" in rest:
-                time_text, target_text = rest.split(":", 1)
-                target = None if target_text.strip() == "*" \
-                    else int(target_text)
-            else:
-                time_text, target = rest, None
-            events.append(FaultEvent(float(time_text), kind.strip(), target))
+            events.append(_parse_event(chunk))
         return cls(name, tuple(events))
 
 
+def _parse_event(chunk: str) -> FaultEvent:
+    try:
+        kind, rest = chunk.split("@", 1)
+    except ValueError:
+        raise ValueError(f"bad fault event (missing '@'): {chunk!r}")
+    kind = kind.strip()
+    if kind not in ALL_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r} in {chunk!r} "
+                         f"(expected one of {', '.join(ALL_KINDS)})")
+    parts = [part.strip() for part in rest.split(":")]
+    at, until = _parse_time(parts[0], kind, chunk)
+    replica = dst = p = mean = None
+    for part in parts[1:]:
+        if "=" in part:
+            if kind not in NEMESIS_KINDS:
+                raise ValueError(
+                    f"{kind!r} takes no key=value options: {chunk!r}")
+            p, mean = _parse_options(part, p, mean, chunk)
+        elif ">" in part:
+            if kind in REPLICA_KINDS:
+                raise ValueError(
+                    f"{kind!r} takes a single replica target, "
+                    f"not a pair: {chunk!r}")
+            if replica is not None:
+                raise ValueError(f"duplicate pair in {chunk!r}")
+            src_text, dst_text = part.split(">", 1)
+            replica = _parse_index(src_text, chunk)
+            dst = _parse_index(dst_text, chunk)
+        elif part == "*":
+            if kind != "crash":
+                raise ValueError(
+                    f"random target '*' is only valid for crash, "
+                    f"not {kind!r}: {chunk!r}")
+            replica = None
+        else:
+            if kind not in REPLICA_KINDS:
+                raise ValueError(
+                    f"{kind!r} needs a directed pair 'src>dst', "
+                    f"got bare target {part!r}: {chunk!r}")
+            replica = _parse_index(part, chunk)
+    try:
+        return FaultEvent(at, kind, replica, until=until, p=p, dst=dst,
+                          delay_mean_s=mean)
+    except ValueError as error:
+        raise ValueError(f"{error} (in {chunk!r})") from None
+
+
+def _parse_time(text: str, kind: str,
+                chunk: str) -> Tuple[float, Optional[float]]:
+    start_text, dash, end_text = text.partition("-")
+    try:
+        at = float(start_text)
+    except ValueError:
+        raise ValueError(f"bad fault time {start_text!r} in {chunk!r}")
+    if not dash:
+        return at, None
+    if kind in REPLICA_KINDS:
+        raise ValueError(
+            f"{kind!r} is a point event and takes no time window: {chunk!r}")
+    try:
+        until = float(end_text)
+    except ValueError:
+        raise ValueError(f"bad window end {end_text!r} in {chunk!r}")
+    return at, until
+
+
+def _parse_options(part: str, p: Optional[float], mean: Optional[float],
+                   chunk: str) -> Tuple[Optional[float], Optional[float]]:
+    for option in part.split(","):
+        key, _eq, value_text = option.strip().partition("=")
+        key = key.strip()
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(f"bad value for {key!r} in {chunk!r}")
+        if key == "p":
+            p = value
+        elif key == "m":
+            mean = value
+        else:
+            raise ValueError(
+                f"unknown option {key!r} in {chunk!r} (expected p= or m=)")
+    return p, mean
+
+
+def _parse_index(text: str, chunk: str) -> int:
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(f"bad replica target {text!r} in {chunk!r}")
+
+
 class FaultInjector:
-    """Applies a faultload to a cluster (anything exposing
-    ``crash_replica``, ``reboot_replica`` and ``live_replicas``)."""
+    """Applies a faultload to a cluster.
+
+    The cluster must expose ``crash_replica``, ``reboot_replica``,
+    ``live_replicas``, and -- when the faultload uses the extension
+    kinds -- ``partition_replica``/``heal_replica``, ``apply_nemesis``
+    (windowed message faults), and ``block_oneway``/``unblock_oneway``.
+    """
 
     def __init__(self, sim, cluster, faultload: Faultload,
                  rng: Optional[random.Random] = None):
@@ -87,11 +267,22 @@ class FaultInjector:
         self._cluster = cluster
         self.faultload = faultload
         self._rng = rng or random.Random(0)
-        self.injected: List[tuple] = []  # (time, kind, replica)
+        self.injected: List[tuple] = []  # (time, kind, target)
+        self.nemesis_windows: List[FaultEvent] = []
 
     def arm(self) -> None:
         for event in self.faultload.events:
-            self._sim.call_at(event.at, self._fire, event)
+            if event.kind in NEMESIS_KINDS:
+                # Windowed faults are installed up front; the nemesis
+                # itself gates them by simulated time.
+                self._cluster.apply_nemesis(event)
+                self.nemesis_windows.append(event)
+            elif event.kind == ONEWAY_KIND:
+                self._sim.call_at(event.at, self._fire, event)
+                if event.until is not None and not math.isinf(event.until):
+                    self._sim.call_at(event.until, self._heal_oneway, event)
+            else:
+                self._sim.call_at(event.at, self._fire, event)
 
     def _fire(self, event: FaultEvent) -> None:
         replica = event.replica
@@ -106,9 +297,19 @@ class FaultInjector:
             self._cluster.reboot_replica(replica)
         elif event.kind == "partition":
             self._cluster.partition_replica(replica)
+        elif event.kind == ONEWAY_KIND:
+            self._cluster.block_oneway(event.replica, event.dst)
+            self.injected.append(
+                (self._sim.now, event.kind, (event.replica, event.dst)))
+            return
         else:
             self._cluster.heal_replica(replica)
         self.injected.append((self._sim.now, event.kind, replica))
+
+    def _heal_oneway(self, event: FaultEvent) -> None:
+        self._cluster.unblock_oneway(event.replica, event.dst)
+        self.injected.append(
+            (self._sim.now, "heal-oneway", (event.replica, event.dst)))
 
     @property
     def faults_injected(self) -> int:

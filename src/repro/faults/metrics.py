@@ -49,6 +49,45 @@ WIRT_CONSTRAINTS_S: Dict[Interaction, float] = {
 }
 
 
+@dataclass(frozen=True)
+class NemesisStats:
+    """Message-level fault totals for one run (nemesis extension).
+
+    Reported next to the dependability measures so a nemesis run states
+    how much adversity the safety checker's verdict covers."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    @classmethod
+    def from_network(cls, network) -> "NemesisStats":
+        """Snapshot the counters of a :class:`repro.sim.Network` (and its
+        attached nemesis, when present)."""
+        nemesis = getattr(network, "nemesis", None)
+        return cls(
+            messages_sent=network.messages_sent,
+            messages_delivered=network.messages_delivered,
+            dropped=nemesis.dropped if nemesis else 0,
+            duplicated=nemesis.duplicated if nemesis else 0,
+            delayed=nemesis.delayed if nemesis else 0)
+
+    @property
+    def drop_rate(self) -> float:
+        if self.messages_sent == 0:
+            return 0.0
+        return self.dropped / self.messages_sent
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"messages_sent": self.messages_sent,
+                "messages_delivered": self.messages_delivered,
+                "dropped": self.dropped, "duplicated": self.duplicated,
+                "delayed": self.delayed,
+                "drop_rate": round(self.drop_rate, 6)}
+
+
 @dataclass
 class WindowStats:
     """Aggregates over one time window."""

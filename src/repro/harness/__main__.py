@@ -62,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "'crash@240:*,crash@270:*,reboot@390:2' "
                              "(times in paper-timeline seconds; "
                              "overrides --experiment)")
+    parser.add_argument("--nemesis", metavar="SPEC", default=None,
+                        help="standing message-fault schedule applied on "
+                             "top of the faultload, e.g. "
+                             "'drop@60-300:p=0.1,oneway@120-180:2>3' "
+                             "(times in paper-timeline seconds)")
+    parser.add_argument("--check-safety", action="store_true",
+                        help="record decide/deliver/ack traces and run "
+                             "the consensus safety checker on the run")
     return parser
 
 
@@ -71,7 +79,8 @@ def main(argv=None) -> int:
     config = ClusterConfig(
         replicas=args.replicas, num_ebs=args.ebs, profile=args.profile,
         offered_wips=args.offered_wips, seed=args.seed,
-        enable_fast=not args.no_fast, scale=scale)
+        enable_fast=not args.no_fast, scale=scale,
+        nemesis_spec=args.nemesis, safety_tracing=args.check_safety)
     label = args.experiment if args.faultload is None else "custom"
     print(f"running {label} | {config.replicas} replicas | "
           f"{config.profile} | {config.num_rbes} RBEs | scale={scale.name}",
@@ -96,6 +105,16 @@ def main(argv=None) -> int:
                   ", ".join(f"{t:.1f}s" for t in result.recovery_times())],
                  ["faults / interventions",
                   f"{result.faults_injected} / {result.interventions}"]]
+    nemesis = result.nemesis
+    if nemesis is not None and (nemesis.dropped or nemesis.duplicated
+                                or nemesis.delayed):
+        rows += [["nemesis drop/dup/delay",
+                  f"{nemesis.dropped} / {nemesis.duplicated} / "
+                  f"{nemesis.delayed} of {nemesis.messages_sent} msgs"]]
+    if result.safety_violations is not None:
+        verdict = ("OK" if not result.safety_violations
+                   else f"{len(result.safety_violations)} VIOLATION(S)")
+        rows += [["safety checker", verdict]]
     print(format_table(f"{label} ({args.profile}, "
                        f"{args.replicas}R, {args.ebs} EB)",
                        ["measure", "value"], rows))
@@ -108,6 +127,11 @@ def main(argv=None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"wrote {args.json}")
+    if result.safety_violations:
+        print("\nsafety violations:")
+        for violation in result.safety_violations:
+            print(f"  {violation}")
+        return 1
     return 0
 
 

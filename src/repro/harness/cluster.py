@@ -13,13 +13,27 @@ the recovery-event log the dependability analysis reads.
 
 from __future__ import annotations
 
+import math
 import pickle
+from dataclasses import replace
 from typing import Dict, List, Optional
 
-from repro.faults.metrics import MetricsCollector
+from repro.faults.checker import SafetyChecker
+from repro.faults.faultload import NEMESIS_KINDS, ONEWAY_KIND, FaultEvent, Faultload
+from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.faults.watchdog import Watchdog
 from repro.harness.config import ClusterConfig
-from repro.sim import Network, NetworkParams, Node, SeedTree, Simulator
+from repro.sim import (
+    Nemesis,
+    NemesisParams,
+    NemesisWindow,
+    Network,
+    NetworkParams,
+    Node,
+    SeedTree,
+    Simulator,
+)
+from repro.sim.trace import Tracer
 from repro.tpcw.app import BookstoreApplication
 from repro.tpcw.bookstore import BookstoreServlets
 from repro.tpcw.database import TPCWDatabase
@@ -38,7 +52,12 @@ class RobustStoreCluster:
         self.config = config
         self.sim = Simulator()
         self.seed = SeedTree(config.seed)
-        self.network = Network(self.sim, NetworkParams(), seed=self.seed)
+        if config.safety_tracing:
+            self.sim.tracer = Tracer(
+                self.sim, categories=list(SafetyChecker.CATEGORIES)
+                + ["nemesis", "node"])
+        self.network = Network(self.sim, NetworkParams(), seed=self.seed,
+                               nemesis=Nemesis(self.sim, seed=self.seed))
         self.profile = profile_by_name(config.profile)
         self.collector = MetricsCollector()
 
@@ -103,6 +122,32 @@ class RobustStoreCluster:
             rbe.start()
             self.rbes.append(rbe)
 
+        # --- deployment-wide nemesis schedule --------------------------
+        if config.nemesis_spec:
+            self._arm_config_nemesis(config.nemesis_spec)
+
+    def _arm_config_nemesis(self, spec: str) -> None:
+        """Apply the config's standing message-fault schedule (paper-
+        timeline seconds, compressed like every other fault time)."""
+        scale = self.config.scale
+        for event in Faultload.parse(spec, name="config-nemesis").events:
+            scaled = replace(
+                event, at=scale.t(event.at),
+                until=None if event.until is None else scale.t(event.until))
+            if scaled.kind in NEMESIS_KINDS:
+                self.apply_nemesis(scaled)
+            elif scaled.kind == ONEWAY_KIND:
+                self.sim.call_at(scaled.at, self.block_oneway,
+                                 scaled.replica, scaled.dst)
+                if scaled.until is not None and not math.isinf(scaled.until):
+                    self.sim.call_at(scaled.until, self.unblock_oneway,
+                                     scaled.replica, scaled.dst)
+            else:
+                raise ValueError(
+                    f"nemesis_spec only takes message faults "
+                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}), "
+                    f"got {scaled.kind!r}")
+
     # ------------------------------------------------------------------
     # replica lifecycle
     # ------------------------------------------------------------------
@@ -166,8 +211,53 @@ class RobustStoreCluster:
             if other != isolated:
                 self.network.unblock(isolated, other)
 
+    def block_oneway(self, src: int, dst: int) -> None:
+        """Asymmetric cut: replica ``src`` can no longer reach ``dst``
+        (the reverse direction keeps working)."""
+        self.network.block_oneway(self.replica_names[src],
+                                  self.replica_names[dst])
+
+    def unblock_oneway(self, src: int, dst: int) -> None:
+        self.network.unblock_oneway(self.replica_names[src],
+                                    self.replica_names[dst])
+
+    def apply_nemesis(self, event: FaultEvent) -> None:
+        """Install one windowed message-fault event (times already on the
+        compressed timeline) on the switch's nemesis."""
+        if event.kind == "drop":
+            params = NemesisParams(drop_p=event.p)
+        elif event.kind == "dup":
+            params = NemesisParams(duplicate_p=event.p)
+        elif event.kind == "delay":
+            kwargs = {"delay_p": event.p}
+            if event.delay_mean_s is not None:
+                kwargs["delay_mean_s"] = event.delay_mean_s
+            params = NemesisParams(**kwargs)
+        else:
+            raise ValueError(f"not a nemesis window kind: {event.kind!r}")
+        pairs = None
+        if event.replica is not None:
+            pairs = frozenset({(self.replica_names[event.replica],
+                                self.replica_names[event.dst])})
+        end = event.until if event.until is not None else math.inf
+        self.network.nemesis.add_window(
+            NemesisWindow(event.at, end, params, pairs))
+
     def disable_watchdog(self, index: int) -> None:
         self.watchdogs[index].enabled = False
+
+    # ------------------------------------------------------------------
+    # run auditing
+    # ------------------------------------------------------------------
+    def nemesis_stats(self) -> NemesisStats:
+        return NemesisStats.from_network(self.network)
+
+    def safety_checker(self) -> SafetyChecker:
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is None:
+            raise RuntimeError(
+                "safety auditing needs ClusterConfig(safety_tracing=True)")
+        return SafetyChecker(tracer)
 
     # ------------------------------------------------------------------
     def run(self, seconds: float) -> None:

@@ -111,6 +111,16 @@ class ClusterConfig:
     # (field name, value) for PaxosConfig / TreplicaConfig respectively.
     paxos_overrides: tuple = ()
     treplica_overrides: tuple = ()
+    # Nemesis extension: a faultload-grammar spec holding only message
+    # faults (drop/dup/delay windows, oneway cuts), applied to every run
+    # of this deployment on top of whatever faultload the experiment
+    # injects.  Times are paper-timeline seconds (compressed by the
+    # scale); probabilities and delay means are not scaled.
+    nemesis_spec: Optional[str] = None
+    # Attach a structured tracer recording the consensus safety
+    # categories (decide/deliver/ack + nemesis events) so the run can be
+    # audited by repro.faults.checker.SafetyChecker.
+    safety_tracing: bool = False
 
     @property
     def effective_offered_wips(self) -> float:

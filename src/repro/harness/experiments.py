@@ -12,8 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.checker import Violation
 from repro.faults.faultload import FaultEvent, FaultInjector, Faultload
-from repro.faults.metrics import MetricsCollector, WindowStats, autonomy, performability_pv
+from repro.faults.metrics import (
+    MetricsCollector,
+    NemesisStats,
+    WindowStats,
+    autonomy,
+    performability_pv,
+)
 from repro.harness.cluster import RobustStoreCluster
 from repro.harness.config import ClusterConfig
 
@@ -30,6 +37,10 @@ class ExperimentResult:
     interventions: int
     recoveries: List[Dict[str, float]]
     first_crash_at: Optional[float] = None
+    nemesis: Optional[NemesisStats] = None
+    # Safety audit verdict (only when config.safety_tracing was on):
+    # an empty list means the checker passed; None means it did not run.
+    safety_violations: Optional[List[Violation]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +140,10 @@ class ExperimentResult:
                                           key=lambda kv: kv[0].value)},
             "wips_series": [(round(t, 3), round(w, 3))
                             for t, w in self.wips_series()],
+            "nemesis": self.nemesis.to_dict() if self.nemesis else None,
+            "safety_violations": (
+                None if self.safety_violations is None
+                else [str(v) for v in self.safety_violations]),
         }
 
 
@@ -150,13 +165,18 @@ def _execute(config: ClusterConfig, faultload: Faultload,
                    if kind in ("crash", "partition")]
     if crash_times:
         first_crash = min(crash_times)
+    violations = None
+    if config.safety_tracing:
+        violations = cluster.safety_checker().violations()
     return ExperimentResult(
         config=config, collector=cluster.collector,
         measure_start=scale.measure_start, measure_end=scale.measure_end,
         faults_injected=injector.faults_injected,
         interventions=injector.interventions,
         recoveries=cluster.recoveries,
-        first_crash_at=first_crash)
+        first_crash_at=first_crash,
+        nemesis=cluster.nemesis_stats(),
+        safety_violations=violations)
 
 
 def run_baseline(config: ClusterConfig) -> ExperimentResult:
@@ -173,7 +193,8 @@ def run_custom(config: ClusterConfig, faultload_spec: str) -> ExperimentResult:
     scale = config.scale
     parsed = Faultload.parse(faultload_spec)
     scaled = Faultload(parsed.name, tuple(
-        FaultEvent(scale.t(event.at), event.kind, event.replica)
+        replace(event, at=scale.t(event.at),
+                until=None if event.until is None else scale.t(event.until))
         for event in parsed.events))
     manual = {event.replica for event in scaled.events
               if event.kind == "reboot"}

@@ -9,6 +9,7 @@ reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -57,3 +58,11 @@ class PaxosConfig:
 
     # Durability sizes.
     promise_entry_mb: float = 0.0002
+
+    # DANGER -- mutation knob for checker-validity tests only.  Forcing a
+    # classic quorum below the majority breaks the quorum-intersection
+    # property, so independent coordinators can decide different values
+    # for one instance.  The consensus safety checker
+    # (repro.faults.checker) must flag such runs; production code must
+    # leave this at None.
+    classic_quorum_override: Optional[int] = None

@@ -80,7 +80,9 @@ class PaxosEngine:
         self.names = list(replica_names)
         self.me = my_id
         self.n = len(replica_names)
-        self.cq = classic_quorum(self.n)
+        self.cq = (config.classic_quorum_override
+                   if config.classic_quorum_override is not None
+                   else classic_quorum(self.n))
         self.fq = fast_quorum(self.n)
         self.config = config
         self._rng = seed.fork_random(f"paxos-{my_id}")
@@ -224,6 +226,10 @@ class PaxosEngine:
             del self.decided[i]
         for i in [i for i in self._vote_sets if i <= instance]:
             self._drop_vote_tracking(i)
+        # The transferred snapshot covers everything up to ``instance``;
+        # tell the safety checker those instances were skipped, not lost.
+        trace_emit(self.sim, "deliver", self.node.name, event="transfer",
+                   upto=instance, inc=self.node.incarnation)
         self.watermark = instance
         self.log_start = max(self.log_start, instance + 1)
         self._last_advance = self.sim.now
@@ -814,6 +820,8 @@ class PaxosEngine:
             return
         self.decided[instance] = value
         self.stats["decisions"] += 1
+        trace_emit(self.sim, "decide", self.node.name, instance=instance,
+                   key=value.key, inc=self.node.incarnation)
         self._recovering.pop(instance, None)
         self._drop_vote_tracking(instance)
         for command in value.commands:
@@ -843,6 +851,10 @@ class PaxosEngine:
                 if command.uid not in self._enqueued_uids:
                     self._enqueued_uids.add(command.uid)
                     fresh.append(command)
+            trace_emit(self.sim, "deliver", self.node.name,
+                       instance=self.watermark, key=batch.key,
+                       fresh=tuple(c.uid for c in fresh),
+                       inc=self.node.incarnation)
             self.delivery.put((self.watermark, tuple(fresh)))
         if advanced:
             self._last_advance = self.sim.now

@@ -30,7 +30,14 @@ from repro.sim.core import (
     Timeout,
 )
 from repro.sim.disk import Disk, DiskParams, WriteAheadLog
-from repro.sim.network import Message, Network, NetworkParams
+from repro.sim.network import (
+    Message,
+    Nemesis,
+    NemesisParams,
+    NemesisWindow,
+    Network,
+    NetworkParams,
+)
 from repro.sim.node import Node
 from repro.sim.resource import ServiceStation
 from repro.sim.rng import SeedTree
@@ -43,6 +50,9 @@ __all__ = [
     "Event",
     "Interrupted",
     "Message",
+    "Nemesis",
+    "NemesisParams",
+    "NemesisWindow",
     "Network",
     "NetworkParams",
     "Node",

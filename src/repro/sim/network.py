@@ -8,16 +8,27 @@ listeners).  Messages addressed to a node that crashed and restarted while
 they were in flight are also dropped -- the old connection is gone.
 
 Partitions can be injected for tests via :meth:`Network.block` /
-:meth:`Network.unblock`.
+:meth:`Network.unblock` (symmetric) and :meth:`Network.block_oneway` /
+:meth:`Network.unblock_oneway` (asymmetric: only the ``src -> dst``
+direction is cut, modelling one-way link loss).
+
+Beyond partitions, a :class:`Nemesis` can be attached to the switch to
+misbehave probabilistically: seed-deterministic message **drop**,
+**duplication**, and **delay spikes** (which reorder), configurable per
+directed node-pair and per time window.  The nemesis is the message-level
+adversary the consensus safety checker (:mod:`repro.faults.checker`)
+validates the replication stack against.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.sim.core import SimulationError, Simulator
 from repro.sim.rng import SeedTree
+from repro.sim.trace import emit as trace_emit
 
 
 @dataclass(frozen=True)
@@ -41,16 +52,159 @@ class Message:
     sent_at: float = 0.0
 
 
+# ======================================================================
+# nemesis: the probabilistic message-level adversary
+# ======================================================================
+@dataclass(frozen=True)
+class NemesisParams:
+    """Misbehaviour intensities for one nemesis window.
+
+    Each datagram matched by the window independently suffers:
+
+    * **drop** with probability ``drop_p`` (it never arrives);
+    * **duplication** with probability ``duplicate_p`` (a second copy is
+      delivered after its own latency draw);
+    * a **delay spike** with probability ``delay_p``: an extra
+      exponential delay of mean ``delay_mean_s`` is added, which reorders
+      the message behind traffic sent after it.
+    """
+
+    drop_p: float = 0.0
+    duplicate_p: float = 0.0
+    delay_p: float = 0.0
+    delay_mean_s: float = 0.02
+
+    def __post_init__(self):
+        for name in ("drop_p", "duplicate_p", "delay_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        if self.delay_mean_s <= 0.0:
+            raise ValueError(f"delay_mean_s must be positive, "
+                             f"got {self.delay_mean_s!r}")
+
+    @property
+    def is_noop(self) -> bool:
+        return (self.drop_p == 0.0 and self.duplicate_p == 0.0
+                and self.delay_p == 0.0)
+
+
+@dataclass(frozen=True)
+class NemesisWindow:
+    """One scheduled stretch of misbehaviour.
+
+    ``pairs`` is a frozenset of *directed* ``(src, dst)`` name pairs the
+    window applies to, or ``None`` for all traffic.  ``end`` may be
+    ``math.inf`` for an open-ended window.
+    """
+
+    start: float
+    end: float
+    params: NemesisParams
+    pairs: Optional[FrozenSet[Tuple[str, str]]] = None
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(
+                f"window ends ({self.end}) before it starts ({self.start})")
+
+    def matches(self, now: float, src: str, dst: str) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return self.pairs is None or (src, dst) in self.pairs
+
+
+class Nemesis:
+    """Seed-deterministic message adversary attached to a :class:`Network`.
+
+    Windows are consulted at *send* time; every active window rolls its
+    dice independently (drops compose, extra delays add up).  All draws
+    come from one named stream of the experiment seed, so a run is
+    bit-for-bit reproducible from ``(seed, schedule)``.
+    """
+
+    def __init__(self, sim: Simulator, seed: Optional[SeedTree] = None):
+        self._sim = sim
+        self._rng = (seed or SeedTree(0)).fork_random("nemesis")
+        self.windows: List[NemesisWindow] = []
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    # ------------------------------------------------------------------
+    def add_window(self, window: NemesisWindow) -> None:
+        self.windows.append(window)
+
+    def schedule(self, start: float, end: float = math.inf,
+                 params: Optional[NemesisParams] = None,
+                 pairs=None, **param_kwargs) -> NemesisWindow:
+        """Convenience: build and register a window.
+
+        Either pass a ready :class:`NemesisParams` or its fields as
+        keyword arguments (``drop_p=0.2`` etc.).  ``pairs`` accepts any
+        iterable of directed name pairs.
+        """
+        if params is None:
+            params = NemesisParams(**param_kwargs)
+        elif param_kwargs:
+            raise ValueError("pass params or keyword intensities, not both")
+        window = NemesisWindow(
+            start, end, params,
+            pairs=None if pairs is None else frozenset(pairs))
+        self.add_window(window)
+        return window
+
+    def clear(self) -> None:
+        self.windows.clear()
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {"dropped": self.dropped, "duplicated": self.duplicated,
+                "delayed": self.delayed}
+
+    # ------------------------------------------------------------------
+    def fate(self, now: float, src: str, dst: str, port: str) -> List[float]:
+        """Decide a datagram's fate: a list of extra delays, one entry per
+        copy to deliver.  ``[]`` means the message is dropped; ``[0.0]``
+        is an unmolested delivery; ``[0.0, 0.0]`` a duplication."""
+        active = [w for w in self.windows if w.matches(now, src, dst)]
+        if not active:
+            return [0.0]
+        copies = 1
+        extra = 0.0
+        for window in active:
+            params = window.params
+            if params.drop_p and self._rng.random() < params.drop_p:
+                self.dropped += 1
+                trace_emit(self._sim, "nemesis", f"{src}->{dst}",
+                           event="dropped", port=port)
+                return []
+            if params.duplicate_p and self._rng.random() < params.duplicate_p:
+                copies += 1
+                self.duplicated += 1
+                trace_emit(self._sim, "nemesis", f"{src}->{dst}",
+                           event="duplicated", port=port)
+            if params.delay_p and self._rng.random() < params.delay_p:
+                spike = self._rng.expovariate(1.0 / params.delay_mean_s)
+                extra += spike
+                self.delayed += 1
+                trace_emit(self._sim, "nemesis", f"{src}->{dst}",
+                           event="delayed", port=port, extra_s=round(spike, 6))
+        return [extra] * copies
+
+
 class Network:
     """The switch: knows every node, delivers datagrams with delay."""
 
     def __init__(self, sim: Simulator, params: Optional[NetworkParams] = None,
-                 seed: Optional[SeedTree] = None):
+                 seed: Optional[SeedTree] = None,
+                 nemesis: Optional[Nemesis] = None):
         self._sim = sim
         self.params = params or NetworkParams()
         self._rng = (seed or SeedTree(0)).fork_random("network-jitter")
         self._nodes: Dict[str, Any] = {}
         self._blocked: Set[Tuple[str, str]] = set()
+        self.nemesis = nemesis
         self.messages_sent = 0
         self.messages_delivered = 0
         self.mb_sent = 0.0
@@ -68,7 +222,7 @@ class Network:
         return list(self._nodes)
 
     # ------------------------------------------------------------------
-    # fault injection for tests
+    # fault injection
     # ------------------------------------------------------------------
     def block(self, a: str, b: str) -> None:
         """Drop all traffic between ``a`` and ``b`` (both directions)."""
@@ -79,6 +233,20 @@ class Network:
         self._blocked.discard((a, b))
         self._blocked.discard((b, a))
 
+    def block_oneway(self, src: str, dst: str) -> None:
+        """Asymmetric loss: drop only the ``src -> dst`` direction.
+
+        ``dst`` can still reach ``src`` -- the classic asymmetric-link
+        failure that crash-only faultloads never exercise.  Messages
+        already in flight are dropped at delivery time."""
+        self._blocked.add((src, dst))
+
+    def unblock_oneway(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
+
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, port: str, payload: Any,
              size_mb: float = 0.0005) -> None:
@@ -87,15 +255,23 @@ class Network:
             raise SimulationError(f"unknown destination node: {dst}")
         if (src, dst) in self._blocked:
             return
-        target = self._nodes[dst]
-        incarnation = target.incarnation
-        delay = (self.params.base_latency_s
-                 + size_mb / self.params.bandwidth_mb_s
-                 + self._rng.expovariate(1.0 / self.params.jitter_mean_s))
+        fates = [0.0]
+        if self.nemesis is not None:
+            fates = self.nemesis.fate(self._sim.now, src, dst, port)
         self.messages_sent += 1
         self.mb_sent += size_mb
-        message = Message(src, dst, port, payload, size_mb, sent_at=self._sim.now)
-        self._sim.call_after(delay, self._deliver, message, incarnation)
+        if not fates:
+            return  # eaten by the nemesis
+        target = self._nodes[dst]
+        incarnation = target.incarnation
+        message = Message(src, dst, port, payload, size_mb,
+                          sent_at=self._sim.now)
+        for extra_delay in fates:
+            delay = (self.params.base_latency_s
+                     + size_mb / self.params.bandwidth_mb_s
+                     + self._rng.expovariate(1.0 / self.params.jitter_mean_s)
+                     + extra_delay)
+            self._sim.call_after(delay, self._deliver, message, incarnation)
 
     def _deliver(self, message: Message, incarnation: int) -> None:
         target = self._nodes.get(message.dst)

@@ -36,6 +36,12 @@ class TraceEvent:
                 return value
         raise KeyError(key)
 
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
     def __repr__(self) -> str:
         details = " ".join(f"{k}={v}" for k, v in self.fields)
         return f"[{self.time:10.4f}] {self.category:<12} {self.source}: {details}"
@@ -78,6 +84,20 @@ class Tracer:
         totals: Dict[str, int] = {}
         for event in self.events:
             totals[event.category] = totals.get(event.category, 0) + 1
+        return totals
+
+    def field_counts(self, category: str, key: str = "event") -> Dict[Any, int]:
+        """Histogram of one field's values within a category.
+
+        E.g. ``tracer.field_counts("nemesis")`` returns
+        ``{"dropped": 12, "duplicated": 3, "delayed": 7}``."""
+        totals: Dict[Any, int] = {}
+        for event in self.select(category):
+            try:
+                value = event[key]
+            except KeyError:
+                continue
+            totals[value] = totals.get(value, 0) + 1
         return totals
 
 

@@ -197,6 +197,11 @@ class TreplicaRuntime:
                     self.stats["executed"] += 1
                     waiter = self._waiters.pop(uid, None)
                     if waiter is not None and not waiter.triggered:
+                        # The local client observes completion here: from
+                        # its point of view the command is durable.  The
+                        # safety checker holds the cluster to that.
+                        trace_emit(self.sim, "ack", self.node.name,
+                                   uid=uid, instance=instance)
                         waiter.succeed(result)
             self.applied_up_to = max(self.applied_up_to, instance)
 

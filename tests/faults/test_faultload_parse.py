@@ -1,0 +1,192 @@
+"""Faultload grammar: nemesis kinds, per-kind target validation, errors.
+
+Covers the parse-time validation the original grammar lacked (a bare
+``reboot@390`` used to silently map ``*`` to ``None`` and crash the
+injector later) plus the nemesis extension kinds and the injector's
+wiring of nemesis/oneway events into the cluster.
+"""
+
+import pytest
+
+from repro.faults.faultload import (
+    ALL_KINDS,
+    FaultEvent,
+    FaultInjector,
+    Faultload,
+)
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# new grammar: windowed nemesis kinds
+# ----------------------------------------------------------------------
+def test_parse_drop_window():
+    event = Faultload.parse("drop@10-60:p=0.2").events[0]
+    assert event == FaultEvent(10.0, "drop", until=60.0, p=0.2)
+
+
+def test_parse_dup_window():
+    event = Faultload.parse("dup@10-60:p=0.1").events[0]
+    assert event.kind == "dup"
+    assert (event.at, event.until, event.p) == (10.0, 60.0, 0.1)
+
+
+def test_parse_delay_with_mean():
+    event = Faultload.parse("delay@10-60:p=0.3:m=0.05").events[0]
+    assert event.kind == "delay"
+    assert event.p == 0.3
+    assert event.delay_mean_s == 0.05
+
+
+def test_parse_delay_mean_defaults_to_none():
+    assert Faultload.parse("delay@10-60:p=0.3").events[0].delay_mean_s is None
+
+
+def test_parse_pair_scoped_drop():
+    event = Faultload.parse("drop@5-9:1>2:p=0.5").events[0]
+    assert (event.replica, event.dst) == (1, 2)
+    assert (event.at, event.until, event.p) == (5.0, 9.0, 0.5)
+
+
+def test_parse_oneway_point_and_window():
+    point = Faultload.parse("oneway@30:2>3").events[0]
+    assert (point.at, point.until, point.replica, point.dst) == (30.0, None,
+                                                                 2, 3)
+    windowed = Faultload.parse("oneway@30-90:0>1").events[0]
+    assert (windowed.at, windowed.until) == (30.0, 90.0)
+
+
+def test_parse_mixed_spec():
+    faultload = Faultload.parse(
+        "crash@240:*, drop@10-60:p=0.2, oneway@30:2>3, reboot@390:1")
+    assert [e.kind for e in faultload.events] == ["crash", "drop",
+                                                  "oneway", "reboot"]
+    assert faultload.nemesis_events() == (faultload.events[1],)
+    assert faultload.crash_count() == 1
+
+
+# ----------------------------------------------------------------------
+# parse errors: every malformed chunk names itself
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec, fragment", [
+    ("drop10-60", "missing '@'"),                 # no @ at all
+    ("crash@abc", "bad fault time"),              # unparsable time
+    ("drop@10-xyz:p=0.1", "bad window end"),      # unparsable window end
+    ("crash@100:banana", "bad replica target"),   # unparsable target
+    ("oneway@30:a>b", "bad replica target"),      # unparsable pair
+    ("explode@100:1", "unknown fault kind"),
+    ("drop@10-60:q=0.2", "unknown option"),
+    ("drop@10-60:p=zap", "bad value"),
+])
+def test_parse_errors_identify_the_chunk(spec, fragment):
+    with pytest.raises(ValueError) as error:
+        Faultload.parse(spec)
+    assert fragment in str(error.value)
+
+
+@pytest.mark.parametrize("spec", [
+    "reboot@390",          # the original silent-'*' bug: no target
+    "reboot@390:*",        # explicit random target, still invalid
+    "partition@60:*",
+    "heal@120:*",
+])
+def test_non_crash_replica_kinds_need_fixed_target(spec):
+    with pytest.raises(ValueError):
+        Faultload.parse(spec)
+
+
+@pytest.mark.parametrize("spec", [
+    "crash@10-60:1",       # replica kinds are point events
+    "crash@100:1>2",       # ...and take no pair
+    "drop@10-60",          # nemesis kinds need a probability
+    "drop@10:p=0.2",       # ...and a window
+    "drop@60-10:p=0.2",    # window must move forwards
+    "drop@10-60:p=0",      # p in (0, 1]
+    "drop@10-60:p=1.5",
+    "drop@10-60:1:p=0.5",  # bare target invalid: pairs only
+    "oneway@30",           # oneway needs its pair
+    "oneway@30:2",
+    "oneway@30:2>2",       # ...with distinct ends
+    "oneway@90-30:0>1",    # backwards window
+    "oneway@30:2>3:p=0.5", # no probability on a hard cut
+])
+def test_per_kind_constraints_rejected_at_parse_time(spec):
+    with pytest.raises(ValueError):
+        Faultload.parse(spec)
+
+
+def test_fault_event_direct_construction_validates_too():
+    with pytest.raises(ValueError):
+        FaultEvent(390.0, "reboot")            # the bugfix, sans parser
+    with pytest.raises(ValueError):
+        FaultEvent(10.0, "drop", until=60.0)   # no probability
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "crash", 0)           # negative time
+    with pytest.raises(ValueError):
+        FaultEvent(10.0, "drop", replica=1, until=60.0, p=0.5)  # half a pair
+    assert "oneway" in ALL_KINDS
+
+
+# ----------------------------------------------------------------------
+# injector wiring for the new kinds
+# ----------------------------------------------------------------------
+class RecordingCluster:
+    """Fake cluster capturing the nemesis/oneway calls with timestamps."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self.calls = []
+
+    def apply_nemesis(self, event):
+        self.calls.append((self._sim.now, "nemesis", event.kind))
+
+    def block_oneway(self, src, dst):
+        self.calls.append((self._sim.now, "block", (src, dst)))
+
+    def unblock_oneway(self, src, dst):
+        self.calls.append((self._sim.now, "unblock", (src, dst)))
+
+
+def test_injector_installs_nemesis_windows_up_front():
+    sim = Simulator()
+    cluster = RecordingCluster(sim)
+    injector = FaultInjector(sim, cluster, Faultload.parse(
+        "drop@10-60:p=0.2, dup@20-30:p=0.1"))
+    injector.arm()
+    # Windowed faults are handed over at arm() time; the nemesis gates
+    # them by simulated time itself.
+    assert cluster.calls == [(0.0, "nemesis", "drop"), (0.0, "nemesis", "dup")]
+    assert [e.kind for e in injector.nemesis_windows] == ["drop", "dup"]
+
+
+def test_injector_cuts_and_heals_oneway_on_schedule():
+    sim = Simulator()
+    cluster = RecordingCluster(sim)
+    injector = FaultInjector(sim, cluster,
+                             Faultload.parse("oneway@30-90:2>3"))
+    injector.arm()
+    sim.run(until=100.0)
+    assert cluster.calls == [(30.0, "block", (2, 3)),
+                             (90.0, "unblock", (2, 3))]
+    assert (30.0, "oneway", (2, 3)) in injector.injected
+    assert (90.0, "heal-oneway", (2, 3)) in injector.injected
+
+
+def test_injector_point_oneway_never_heals():
+    sim = Simulator()
+    cluster = RecordingCluster(sim)
+    injector = FaultInjector(sim, cluster, Faultload.parse("oneway@30:2>3"))
+    injector.arm()
+    sim.run(until=1000.0)
+    assert cluster.calls == [(30.0, "block", (2, 3))]
+
+
+def test_injector_counts_ignore_nemesis_events():
+    sim = Simulator()
+    cluster = RecordingCluster(sim)
+    injector = FaultInjector(sim, cluster, Faultload.parse(
+        "drop@10-60:p=0.2, oneway@30:2>3"))
+    injector.arm()
+    sim.run(until=100.0)
+    assert injector.faults_injected == 0
+    assert injector.interventions == 0

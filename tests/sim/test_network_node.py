@@ -184,3 +184,60 @@ def test_network_stats_count_messages():
     assert network.messages_sent == 5
     assert network.messages_delivered == 5
     assert network.mb_sent == pytest.approx(0.005)
+
+
+# ----------------------------------------------------------------------
+# asymmetric (one-way) partitions
+# ----------------------------------------------------------------------
+def test_block_oneway_cuts_only_one_direction():
+    sim, network, nodes = make_cluster()
+    a, b = nodes
+    received = []
+    a.handle("p", lambda pl, src: received.append(("a", pl)))
+    b.handle("p", lambda pl, src: received.append(("b", pl)))
+    network.block_oneway("n0", "n1")
+    assert network.is_blocked("n0", "n1")
+    assert not network.is_blocked("n1", "n0")
+    a.send("n1", "p", "lost")   # n0 -> n1 is cut
+    b.send("n0", "p", "heard")  # the reverse still works
+    sim.run()
+    assert received == [("a", "heard")]
+
+
+def test_block_oneway_drops_messages_already_in_flight():
+    sim, network, nodes = make_cluster(base_latency_s=1.0, jitter_mean_s=1e-12)
+    a, b = nodes
+    received = []
+    b.handle("p", lambda pl, src: received.append(pl))
+    a.send("n1", "p", "in-flight")  # would arrive at t=1.0
+    sim.call_after(0.5, network.block_oneway, "n0", "n1")
+    sim.run()
+    assert received == []  # cut while airborne: checked again at delivery
+
+
+def test_unblock_oneway_heals_and_reblock_cuts_again():
+    sim, network, nodes = make_cluster()
+    a, b = nodes
+    received = []
+    b.handle("p", lambda pl, src: received.append(pl))
+    network.block_oneway("n0", "n1")
+    a.send("n1", "p", 1)
+    sim.run()
+    network.unblock_oneway("n0", "n1")
+    a.send("n1", "p", 2)
+    sim.run()
+    network.block_oneway("n0", "n1")
+    a.send("n1", "p", 3)
+    sim.run()
+    assert received == [2]
+
+
+def test_oneway_blocks_compose_with_symmetric_unblock():
+    """A symmetric unblock clears both directed entries, including one
+    installed via block_oneway."""
+    sim, network, nodes = make_cluster()
+    network.block_oneway("n0", "n1")
+    network.block_oneway("n1", "n0")
+    network.unblock("n0", "n1")
+    assert not network.is_blocked("n0", "n1")
+    assert not network.is_blocked("n1", "n0")
