@@ -15,21 +15,16 @@ from pathlib import Path
 from typing import Callable, Dict, Tuple
 
 from repro.harness.config import ClusterConfig, active_scale
-from repro.harness.experiments import (
-    ExperimentResult,
-    run_baseline,
-    run_delayed_recovery,
-    run_one_crash,
-    run_two_crashes,
-)
+from repro.harness.experiment import Experiment
+from repro.harness.experiments import ExperimentResult
 
 REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
 
-_RUNNERS: Dict[str, Callable[[ClusterConfig], ExperimentResult]] = {
-    "baseline": run_baseline,
-    "one_crash": run_one_crash,
-    "two_crashes": run_two_crashes,
-    "delayed": run_delayed_recovery,
+_SCENARIOS: Dict[str, Callable[[Experiment], Experiment]] = {
+    "baseline": Experiment.baseline,
+    "one_crash": Experiment.one_crash,
+    "two_crashes": Experiment.two_crashes,
+    "delayed": Experiment.delayed_recovery,
 }
 
 _CACHE: Dict[Tuple, ExperimentResult] = {}
@@ -58,7 +53,8 @@ def experiment(kind: str, **config_overrides) -> ExperimentResult:
            config.enable_fast, config.seed, config.use_navigation,
            config.paxos_overrides, config.treplica_overrides)
     if key not in _CACHE:
-        _CACHE[key] = _RUNNERS[kind](config)
+        builder = _SCENARIOS[kind](Experiment.from_config(config))
+        _CACHE[key] = builder.run()
     return _CACHE[key]
 
 

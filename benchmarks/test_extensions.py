@@ -13,7 +13,7 @@ recovery.  These benches add two scenarios the same harness supports:
 
 import pytest
 
-from repro.harness.experiments import run_partition, run_sequential_crashes
+from repro.harness.experiment import Experiment
 from repro.harness.config import ClusterConfig
 from repro.harness.report import format_table
 
@@ -23,7 +23,8 @@ from benchmarks.common import emit, run_once, scale
 @pytest.mark.benchmark(group="extension")
 def test_extension_sequential_crashes(benchmark):
     config = ClusterConfig(replicas=5, profile="shopping", scale=scale())
-    result = run_once(benchmark, lambda: run_sequential_crashes(config))
+    result = run_once(benchmark, lambda: Experiment.from_config(config)
+                      .sequential_crashes().run())
     assert result.faults_injected == 2
     assert len(result.recoveries) == 2
     recovery_times = result.recovery_times()
@@ -45,8 +46,8 @@ def test_extension_sequential_crashes(benchmark):
 @pytest.mark.benchmark(group="extension")
 def test_extension_partition_is_harsher_than_crash(benchmark):
     config = ClusterConfig(replicas=5, profile="shopping", scale=scale())
-    result = run_once(benchmark, lambda: run_partition(
-        config, replica=2, duration_s=120.0))
+    result = run_once(benchmark, lambda: Experiment.from_config(config)
+                      .partition(replica=2, duration_s=120.0).run())
     emit("extension_partition", format_table(
         "Extension: 120 s network partition of one replica (5R shopping)",
         ["measure", "value"],

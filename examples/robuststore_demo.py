@@ -11,7 +11,7 @@ Run:  python examples/robuststore_demo.py
 """
 
 from repro.harness.config import ClusterConfig, ExperimentScale
-from repro.harness.experiments import run_two_crashes
+from repro.harness.experiment import Experiment
 from repro.harness.report import format_series, format_table
 
 
@@ -27,7 +27,7 @@ def main() -> None:
           f"{config.num_rbes} emulated browsers, "
           f"~{config.num_ebs * 10} MB nominal state, "
           f"shopping workload, two overlapped crashes")
-    result = run_two_crashes(config)
+    result = Experiment.from_config(config).two_crashes().run()
 
     ff = result.failure_free_window()
     rec = result.recovery_window()

@@ -26,3 +26,41 @@ The package layers, bottom to top:
 """
 
 __version__ = "1.0.0"
+
+#: The supported top-level surface.  Everything else is reachable through
+#: the subpackages but may move between minor versions.
+__all__ = [
+    "ClusterConfig",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentScale",
+    "MetricsRegistry",
+    "MissingWindowError",
+    "Timeline",
+    "__version__",
+]
+
+_LAZY = {
+    "ClusterConfig": "repro.harness.config",
+    "Experiment": "repro.harness.experiment",
+    "ExperimentResult": "repro.harness.experiments",
+    "ExperimentScale": "repro.harness.config",
+    "MetricsRegistry": "repro.obs.registry",
+    "MissingWindowError": "repro.harness.experiments",
+    "Timeline": "repro.obs.timeline",
+}
+
+
+def __getattr__(name):
+    # PEP 562 lazy re-exports: `import repro` stays import-cycle-free and
+    # cheap, while `repro.Experiment` et al. resolve on first touch.
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,10 @@
+"""``python -m repro`` -- the experiment CLI (run / sweep / report)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

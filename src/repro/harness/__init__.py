@@ -5,17 +5,30 @@
 * :mod:`repro.harness.cluster` -- builds the complete deployment of
   Figure 2: server replicas (Treplica + bookstore + application server),
   the reverse proxy, client nodes running RBEs, watchdogs;
-* :mod:`repro.harness.experiments` -- drivers for every experiment:
-  speedup (Fig. 3), scaleup (Fig. 4), one crash (Fig. 5/6, Tables 1/2),
-  two crashes (Fig. 7, Tables 3/4), delayed recovery (Fig. 8, Tables 5/6);
+* :mod:`repro.harness.experiment` -- the fluent :class:`Experiment`
+  builder, the one front door for every run: speedup (Fig. 3), scaleup
+  (Fig. 4), one crash (Fig. 5/6, Tables 1/2), two crashes (Fig. 7,
+  Tables 3/4), delayed recovery (Fig. 8, Tables 5/6);
+* :mod:`repro.harness.experiments` -- the execution engine and
+  :class:`ExperimentResult` (plus the deprecated ``run_*`` shims);
+* :mod:`repro.harness.cli` -- the ``repro run / sweep / report``
+  command line;
 * :mod:`repro.harness.report` -- table and series renderers used by the
   benchmark suite.
 """
 
-from repro.harness.config import ClusterConfig, ExperimentScale, bench_scale, paper_scale
+from repro.harness.config import (
+    ClusterConfig,
+    ExperimentScale,
+    bench_scale,
+    paper_scale,
+    tiny_scale,
+)
 from repro.harness.cluster import RobustStoreCluster
+from repro.harness.experiment import Experiment
 from repro.harness.experiments import (
     ExperimentResult,
+    MissingWindowError,
     run_baseline,
     run_delayed_recovery,
     run_one_crash,
@@ -28,11 +41,14 @@ from repro.harness.experiments import (
 
 __all__ = [
     "ClusterConfig",
+    "Experiment",
     "ExperimentResult",
     "ExperimentScale",
+    "MissingWindowError",
     "RobustStoreCluster",
     "bench_scale",
     "paper_scale",
+    "tiny_scale",
     "run_baseline",
     "run_delayed_recovery",
     "run_one_crash",

@@ -1,139 +1,18 @@
-"""Command-line experiment runner.
+"""Back-compat entry point: delegates to :mod:`repro.harness.cli`.
 
-Run any of the paper's experiments directly:
-
-    python -m repro.harness --experiment one_crash --profile shopping \
-        --replicas 5 --ebs 30 --scale bench
-
-prints the dependability report and the WIPS timeline.
+``python -m repro.harness --experiment one_crash ...`` (the historical
+flat form) still works -- :func:`repro.harness.cli.main` normalizes it to
+the ``run`` subcommand with a ``DeprecationWarning``.  New invocations
+should use ``python -m repro run ...``.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 
-from repro.harness.config import ClusterConfig, bench_scale, paper_scale
-from repro.harness.experiments import (
-    run_baseline,
-    run_custom,
-    run_delayed_recovery,
-    run_one_crash,
-    run_partition,
-    run_sequential_crashes,
-    run_two_crashes,
-)
-from repro.harness.report import format_series, format_table
+from repro.harness.cli import build_parser, main
 
-RUNNERS = {
-    "baseline": run_baseline,
-    "one_crash": run_one_crash,
-    "two_crashes": run_two_crashes,
-    "delayed": run_delayed_recovery,
-    "sequential": run_sequential_crashes,
-    "partition": run_partition,
-}
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.harness",
-        description="Run one RobustStore dependability experiment.")
-    parser.add_argument("--experiment", choices=sorted(RUNNERS),
-                        default="one_crash")
-    parser.add_argument("--profile", default="shopping",
-                        choices=["browsing", "shopping", "ordering"])
-    parser.add_argument("--replicas", type=int, default=5)
-    parser.add_argument("--ebs", type=int, default=30,
-                        help="emulated browsers for population sizing "
-                             "(30/50/70 -> ~300/500/700 MB)")
-    parser.add_argument("--offered-wips", type=float, default=1900.0)
-    parser.add_argument("--seed", type=int, default=2009)
-    parser.add_argument("--scale", choices=["bench", "paper"],
-                        default="bench")
-    parser.add_argument("--no-fast", action="store_true",
-                        help="disable Fast Paxos (classic rounds only)")
-    parser.add_argument("--timeline", action="store_true",
-                        help="also print the WIPS timeline")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="write the full result summary as JSON")
-    parser.add_argument("--faultload", metavar="SPEC", default=None,
-                        help="custom faultload, e.g. "
-                             "'crash@240:*,crash@270:*,reboot@390:2' "
-                             "(times in paper-timeline seconds; "
-                             "overrides --experiment)")
-    parser.add_argument("--nemesis", metavar="SPEC", default=None,
-                        help="standing message-fault schedule applied on "
-                             "top of the faultload, e.g. "
-                             "'drop@60-300:p=0.1,oneway@120-180:2>3' "
-                             "(times in paper-timeline seconds)")
-    parser.add_argument("--check-safety", action="store_true",
-                        help="record decide/deliver/ack traces and run "
-                             "the consensus safety checker on the run")
-    return parser
-
-
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    scale = paper_scale() if args.scale == "paper" else bench_scale()
-    config = ClusterConfig(
-        replicas=args.replicas, num_ebs=args.ebs, profile=args.profile,
-        offered_wips=args.offered_wips, seed=args.seed,
-        enable_fast=not args.no_fast, scale=scale,
-        nemesis_spec=args.nemesis, safety_tracing=args.check_safety)
-    label = args.experiment if args.faultload is None else "custom"
-    print(f"running {label} | {config.replicas} replicas | "
-          f"{config.profile} | {config.num_rbes} RBEs | scale={scale.name}",
-          flush=True)
-    if args.faultload is not None:
-        result = run_custom(config, args.faultload)
-    else:
-        result = RUNNERS[args.experiment](config)
-
-    whole = result.whole_window()
-    rows = [["AWIPS (measurement interval)", f"{whole.awips:.1f}"],
-            ["CV", f"{whole.cv:.3f}"],
-            ["mean WIRT", f"{whole.mean_wirt_s * 1000:.1f} ms"],
-            ["accuracy", f"{result.accuracy_pct():.3f}%"],
-            ["availability", f"{result.availability():.4f}"]]
-    if result.first_crash_at is not None:
-        recovery = result.recovery_window()
-        rows += [["failure-free AWIPS", f"{result.failure_free_window().awips:.1f}"],
-                 ["recovery AWIPS", f"{recovery.awips:.1f}"],
-                 ["performability PV", f"{result.pv_pct():+.1f}%"],
-                 ["recovery times",
-                  ", ".join(f"{t:.1f}s" for t in result.recovery_times())],
-                 ["faults / interventions",
-                  f"{result.faults_injected} / {result.interventions}"]]
-    nemesis = result.nemesis
-    if nemesis is not None and (nemesis.dropped or nemesis.duplicated
-                                or nemesis.delayed):
-        rows += [["nemesis drop/dup/delay",
-                  f"{nemesis.dropped} / {nemesis.duplicated} / "
-                  f"{nemesis.delayed} of {nemesis.messages_sent} msgs"]]
-    if result.safety_violations is not None:
-        verdict = ("OK" if not result.safety_violations
-                   else f"{len(result.safety_violations)} VIOLATION(S)")
-        rows += [["safety checker", verdict]]
-    print(format_table(f"{label} ({args.profile}, "
-                       f"{args.replicas}R, {args.ebs} EB)",
-                       ["measure", "value"], rows))
-    if args.timeline:
-        print()
-        print(format_series("WIPS timeline", result.wips_series(),
-                            x_label="t(s)", y_label="WIPS"))
-    if args.json:
-        import json
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle, indent=2)
-        print(f"wrote {args.json}")
-    if result.safety_violations:
-        print("\nsafety violations:")
-        for violation in result.safety_violations:
-            print(f"  {violation}")
-        return 1
-    return 0
-
+__all__ = ["build_parser", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,351 @@
+"""The ``repro`` command line: ``run``, ``sweep``, and ``report``.
+
+::
+
+    python -m repro run one_crash --replicas 5 --obs --obs-out tl.json
+    python -m repro run --faultload 'crash@240:*,reboot@390:2'
+    python -m repro sweep speedup --profile ordering
+    python -m repro report result.json --timeline
+
+The pre-subcommand flat form (``python -m repro.harness --experiment
+one_crash``) still works: it is normalized to ``run`` with a
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+
+from repro.harness import sweeps
+from repro.harness.config import (
+    ClusterConfig,
+    bench_scale,
+    paper_scale,
+    tiny_scale,
+)
+from repro.harness.experiment import Experiment
+from repro.harness.report import format_series, format_table
+
+#: CLI scenario name -> Experiment builder method.
+SCENARIOS = {
+    "baseline": "baseline",
+    "one_crash": "one_crash",
+    "two_crashes": "two_crashes",
+    "delayed": "delayed_recovery",
+    "sequential": "sequential_crashes",
+    "partition": "partition",
+}
+
+SWEEP_KINDS = ("speedup", "scaleup", "recovery")
+
+
+def _scale_for(name: str):
+    if name == "paper":
+        return paper_scale()
+    if name == "tiny":
+        return tiny_scale()
+    return bench_scale()
+
+
+# ======================================================================
+# parser
+# ======================================================================
+def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", default="shopping",
+                        choices=["browsing", "shopping", "ordering"])
+    parser.add_argument("--replicas", type=int, default=5)
+    parser.add_argument("--ebs", type=int, default=30,
+                        help="emulated browsers for population sizing "
+                             "(30/50/70 -> ~300/500/700 MB)")
+    parser.add_argument("--offered-wips", type=float, default=1900.0)
+    parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument("--scale", choices=["tiny", "bench", "paper"],
+                        default="bench")
+    parser.add_argument("--no-fast", action="store_true",
+                        help="disable Fast Paxos (classic rounds only)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RobustStore dependability experiments "
+                    "(run / sweep / report).")
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser(
+        "run", help="run one experiment and print its dependability report")
+    run.add_argument("scenario", nargs="?", choices=sorted(SCENARIOS),
+                     default="one_crash")
+    _add_cluster_options(run)
+    run.add_argument("--timeline", action="store_true",
+                     help="also print the WIPS timeline")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the full result summary as JSON")
+    run.add_argument("--faultload", metavar="SPEC", default=None,
+                     help="custom faultload, e.g. "
+                          "'crash@240:*,crash@270:*,reboot@390:2' "
+                          "(times in paper-timeline seconds; "
+                          "overrides the scenario)")
+    run.add_argument("--nemesis", metavar="SPEC", default=None,
+                     help="standing message-fault schedule applied on "
+                          "top of the faultload, e.g. "
+                          "'drop@60-300:p=0.1,oneway@120-180:2>3'")
+    run.add_argument("--check-safety", action="store_true",
+                     help="record decide/deliver/ack traces and run "
+                          "the consensus safety checker on the run")
+    run.add_argument("--obs", action="store_true",
+                     help="enable observability: metrics registry, "
+                          "sampled timeline, kernel profile")
+    run.add_argument("--obs-tick", type=float, default=5.0, metavar="S",
+                     help="timeline sampling tick in paper-timeline "
+                          "seconds (default 5)")
+    run.add_argument("--obs-out", metavar="PATH", default=None,
+                     help="write the sampled timeline to PATH "
+                          "(.csv for CSV, anything else JSON); "
+                          "implies --obs")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a figure-style parameter sweep")
+    sweep.add_argument("kind", choices=SWEEP_KINDS)
+    _add_cluster_options(sweep)
+    sweep.add_argument("--replicas-list", default="4,8,12", metavar="N,N,..",
+                       help="replica counts for speedup/scaleup sweeps")
+    sweep.add_argument("--ebs-list", default="30,50,70", metavar="N,N,..",
+                       help="EB counts (state sizes) for recovery sweeps")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the sweep points as JSON")
+
+    report = sub.add_parser(
+        "report", help="re-render a saved `repro run --json` result")
+    report.add_argument("path", help="JSON file written by `repro run --json`")
+    report.add_argument("--timeline", action="store_true",
+                        help="also print the WIPS timeline")
+    report.add_argument("--series", metavar="NAME", default=None,
+                        help="print one observability series from the "
+                             "saved timeline (e.g. paxos.decisions)")
+    return parser
+
+
+def _normalize_legacy(argv):
+    """Map the old flat CLI onto ``run`` (with a deprecation warning)."""
+    if argv and argv[0] in ("run", "sweep", "report"):
+        return argv
+    if argv and argv[0] in ("-h", "--help"):
+        return argv
+    warnings.warn(
+        "the flat `python -m repro.harness --experiment ...` form is "
+        "deprecated; use `python -m repro run <scenario> ...`",
+        DeprecationWarning, stacklevel=3)
+    out = ["run"]
+    it = iter(argv)
+    for token in it:
+        if token == "--experiment":
+            scenario = next(it, None)
+            if scenario is not None:
+                out.insert(1, scenario)
+        elif token.startswith("--experiment="):
+            out.insert(1, token.split("=", 1)[1])
+        else:
+            out.append(token)
+    return out
+
+
+# ======================================================================
+# run
+# ======================================================================
+def _cmd_run(args) -> int:
+    scale = _scale_for(args.scale)
+    experiment = Experiment(
+        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
+        profile=args.profile, offered_wips=args.offered_wips,
+        seed=args.seed, enable_fast=not args.no_fast)
+    if args.faultload is not None:
+        experiment.faults(args.faultload)
+        label = "custom"
+    else:
+        getattr(experiment, SCENARIOS[args.scenario])()
+        label = args.scenario
+    if args.nemesis:
+        experiment.nemesis(args.nemesis)
+    if args.check_safety:
+        experiment.check_safety()
+    if args.obs or args.obs_out:
+        experiment.observe(tick_s=args.obs_tick)
+    config = experiment.build_config()
+    print(f"running {label} | {config.replicas} replicas | "
+          f"{config.profile} | {config.num_rbes} RBEs | scale={scale.name}",
+          flush=True)
+    result = experiment.run()
+
+    whole = result.whole_window()
+    rows = [["AWIPS (measurement interval)", f"{whole.awips:.1f}"],
+            ["CV", f"{whole.cv:.3f}"],
+            ["mean WIRT", f"{whole.mean_wirt_s * 1000:.1f} ms"],
+            ["accuracy", f"{result.accuracy_pct():.3f}%"],
+            ["availability", f"{result.availability():.4f}"]]
+    if result.first_crash_at is not None:
+        recovery = result.recovery_window()
+        rows += [["failure-free AWIPS",
+                  f"{result.failure_free_window().awips:.1f}"],
+                 ["recovery AWIPS", f"{recovery.awips:.1f}"],
+                 ["performability PV", f"{result.pv_pct():+.1f}%"],
+                 ["recovery times",
+                  ", ".join(f"{t:.1f}s" for t in result.recovery_times())],
+                 ["faults / interventions",
+                  f"{result.faults_injected} / {result.interventions}"]]
+    nemesis = result.nemesis
+    if nemesis is not None and (nemesis.dropped or nemesis.duplicated
+                                or nemesis.delayed):
+        rows += [["nemesis drop/dup/delay",
+                  f"{nemesis.dropped} / {nemesis.duplicated} / "
+                  f"{nemesis.delayed} of {nemesis.messages_sent} msgs"]]
+    if result.safety_violations is not None:
+        verdict = ("OK" if not result.safety_violations
+                   else f"{len(result.safety_violations)} VIOLATION(S)")
+        rows += [["safety checker", verdict]]
+    print(format_table(f"{label} ({args.profile}, "
+                       f"{args.replicas}R, {args.ebs} EB)",
+                       ["measure", "value"], rows))
+    if args.timeline:
+        print()
+        print(format_series("WIPS timeline", result.wips_series(),
+                            x_label="t(s)", y_label="WIPS"))
+    if result.kernel_profile:
+        profile = result.kernel_profile
+        profile_rows = [
+            [category, str(stats["events"]),
+             f"{stats['wall_s'] * 1000:.1f} ms",
+             f"{stats['wall_us_per_event']:.1f} us"]
+            for category, stats in profile["by_category"].items()]
+        print()
+        print(format_table(
+            f"kernel profile ({profile['events']} events, "
+            f"{profile['events_per_sim_s']:.0f}/sim-s)",
+            ["layer", "events", "wall", "per event"], profile_rows))
+    if args.obs_out:
+        timeline = result.timeline
+        if args.obs_out.endswith(".csv"):
+            with open(args.obs_out, "w", encoding="utf-8") as handle:
+                handle.write(timeline.to_csv())
+        else:
+            with open(args.obs_out, "w", encoding="utf-8") as handle:
+                json.dump(timeline.to_dict(), handle, indent=2)
+        print(f"wrote timeline to {args.obs_out}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"wrote {args.json}")
+    if result.safety_violations:
+        print("\nsafety violations:")
+        for violation in result.safety_violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+# ======================================================================
+# sweep
+# ======================================================================
+def _int_list(text: str):
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _cmd_sweep(args) -> int:
+    scale = _scale_for(args.scale)
+    if args.kind == "speedup":
+        points = sweeps.speedup_sweep(
+            args.profile, _int_list(args.replicas_list),
+            scale=scale, seed=args.seed)
+    elif args.kind == "scaleup":
+        points = sweeps.scaleup_sweep(
+            args.profile, _int_list(args.replicas_list),
+            offered_wips=args.offered_wips, scale=scale, seed=args.seed)
+    else:
+        points = sweeps.recovery_sweep(
+            args.profile, _int_list(args.ebs_list),
+            replicas=args.replicas, scale=scale, seed=args.seed)
+    if args.kind == "recovery":
+        rows = [[str(point.num_ebs), f"{point.recovery_s:.1f}s",
+                 f"{point.pv_pct:+.1f}%", f"{point.accuracy_pct:.3f}%"]
+                for point in points]
+        print(format_table(f"recovery sweep ({args.profile})",
+                           ["EBs", "recovery", "PV", "accuracy"], rows))
+        dicts = [point.__dict__ for point in points]
+    else:
+        rows = [[str(point.replicas), f"{point.awips:.1f}",
+                 f"{point.mean_wirt_ms:.1f} ms", f"{point.cv:.3f}"]
+                for point in points]
+        print(format_table(f"{args.kind} sweep ({args.profile})",
+                           ["replicas", "AWIPS", "mean WIRT", "CV"], rows))
+        dicts = [point.__dict__ for point in points]
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(dicts, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ======================================================================
+# report
+# ======================================================================
+def _cmd_report(args) -> int:
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    config = data.get("config", {})
+    rows = [["AWIPS (measurement interval)", f"{data['awips']:.1f}"],
+            ["CV", f"{data['cv']:.3f}"],
+            ["mean WIRT", f"{data['mean_wirt_s'] * 1000:.1f} ms"],
+            ["accuracy", f"{data['accuracy_pct']:.3f}%"],
+            ["availability", f"{data['availability']:.4f}"]]
+    if data.get("pv_pct") is not None:
+        rows += [["performability PV", f"{data['pv_pct']:+.1f}%"],
+                 ["recovery times",
+                  ", ".join(f"{t:.1f}s"
+                            for t in data.get("recovery_times_s", []))],
+                 ["faults / interventions",
+                  f"{data.get('faults_injected', 0)} / "
+                  f"{data.get('interventions', 0)}"]]
+    print(format_table(
+        f"{data.get('faultload', 'run')} "
+        f"({config.get('profile', '?')}, {config.get('replicas', '?')}R)",
+        ["measure", "value"], rows))
+    if args.timeline and data.get("wips_series"):
+        print()
+        print(format_series("WIPS timeline",
+                            [tuple(point) for point in data["wips_series"]],
+                            x_label="t(s)", y_label="WIPS"))
+    if args.series:
+        timeline = data.get("timeline")
+        if not timeline or args.series not in timeline.get("series", {}):
+            names = ", ".join(sorted((timeline or {}).get("series", {})))
+            print(f"series {args.series!r} not in this result "
+                  f"(available: {names or 'none -- rerun with --obs'})")
+            return 1
+        points = [tuple(p) for p in timeline["series"][args.series]["points"]]
+        print()
+        print(format_series(args.series, points, x_label="t(s)",
+                            y_label=args.series))
+    return 0
+
+
+# ======================================================================
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = _normalize_legacy(list(argv))
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    build_parser().print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from repro.faults.faultload import NEMESIS_KINDS, ONEWAY_KIND, FaultEvent, Fault
 from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.faults.watchdog import Watchdog
 from repro.harness.config import ClusterConfig
+from repro.obs import KernelProfiler, MetricsRegistry, TimelineSampler
 from repro.sim import (
     Nemesis,
     NemesisParams,
@@ -56,6 +57,20 @@ class RobustStoreCluster:
             self.sim.tracer = Tracer(
                 self.sim, categories=list(SafetyChecker.CATEGORIES)
                 + ["nemesis", "node"])
+        # Observability must be attached before any component is built:
+        # engines/runtimes/proxies capture their instruments at
+        # construction time via registry_of(sim).
+        self.metrics: Optional[MetricsRegistry] = None
+        self.profiler: Optional[KernelProfiler] = None
+        self.sampler: Optional[TimelineSampler] = None
+        if config.observability:
+            self.metrics = MetricsRegistry()
+            self.sim.metrics = self.metrics
+            self.profiler = KernelProfiler()
+            self.sim.profiler = self.profiler
+            self.sampler = TimelineSampler(
+                self.sim, self.metrics,
+                config.scale.t(config.obs_tick_s))
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
         self.profile = profile_by_name(config.profile)
@@ -125,6 +140,44 @@ class RobustStoreCluster:
         # --- deployment-wide nemesis schedule --------------------------
         if config.nemesis_spec:
             self._arm_config_nemesis(config.nemesis_spec)
+
+        # --- observability: cluster-level gauges + the sampling loop ---
+        if self.metrics is not None:
+            self._register_gauges()
+            self.sampler.start()
+
+    def _register_gauges(self) -> None:
+        """Point-in-time readings the sampler charts every tick."""
+        obs = self.metrics
+        network = self.network
+        obs.gauge("sim.net_inflight_messages",
+                  lambda: network.inflight_messages)
+        obs.gauge("sim.net_inflight_mb", lambda: network.inflight_mb)
+        nemesis = network.nemesis
+        if nemesis is not None:
+            obs.gauge("sim.nemesis_dropped", lambda: nemesis.dropped)
+            obs.gauge("sim.nemesis_duplicated", lambda: nemesis.duplicated)
+            obs.gauge("sim.nemesis_delayed", lambda: nemesis.delayed)
+        obs.gauge("sim.disk_queue_depth",
+                  lambda: sum(node.disk.queue_length
+                              for node in self.replica_nodes))
+        obs.gauge("paxos.live_replicas",
+                  lambda: float(len(self.live_replicas())))
+        obs.gauge("treplica.queue_depth", self._max_apply_backlog)
+
+    def _max_apply_backlog(self) -> float:
+        """Deepest decided-but-unapplied backlog across live replicas."""
+        depth = 0
+        for runtime in self.runtimes:
+            if runtime is not None:
+                depth = max(depth,
+                            runtime.engine.watermark - runtime.applied_up_to)
+        return float(depth)
+
+    @property
+    def timeline(self):
+        """The run's sampled timeline (None unless observability is on)."""
+        return self.sampler.timeline if self.sampler is not None else None
 
     def _arm_config_nemesis(self, spec: str) -> None:
         """Apply the config's standing message-fault schedule (paper-

@@ -80,6 +80,17 @@ def bench_scale() -> ExperimentScale:
                            entity_scale=0.01)
 
 
+def tiny_scale() -> ExperimentScale:
+    """20x-compressed timeline, 8x-compressed load: a run in ~1-2 s wall.
+
+    Meant for tests and CI artifacts, not for measurements -- at this
+    compression the absolute numbers are noisy, but every fault/recovery
+    mechanism still exercises end to end.
+    """
+    return ExperimentScale(name="tiny", time_div=20.0, load_div=8.0,
+                           entity_scale=0.005)
+
+
 def active_scale() -> ExperimentScale:
     """The scale the bench suite should use (honours REPRO_FULL_SCALE)."""
     if os.environ.get("REPRO_FULL_SCALE"):
@@ -121,6 +132,12 @@ class ClusterConfig:
     # categories (decide/deliver/ack + nemesis events) so the run can be
     # audited by repro.faults.checker.SafetyChecker.
     safety_tracing: bool = False
+    # Observability (repro.obs): attach a MetricsRegistry and kernel
+    # profiler to the simulator and sample every instrument into a
+    # per-run timeline every ``obs_tick_s`` paper-timeline seconds
+    # (compressed by the scale, like every other duration).
+    observability: bool = False
+    obs_tick_s: float = 5.0
 
     @property
     def effective_offered_wips(self) -> float:

@@ -1,0 +1,217 @@
+"""The fluent :class:`Experiment` builder -- one front door for all runs.
+
+Replaces the old ``run_baseline``/``run_one_crash``/... driver zoo with a
+single chainable API::
+
+    from repro.harness import Experiment
+
+    result = (Experiment(replicas=8, profile="ordering")
+              .faults("crash@240:*,reboot@390:2")
+              .nemesis("drop@60-300:p=0.1")
+              .observe(tick_s=5.0)
+              .check_safety()
+              .run())
+
+Scenario presets mirror the paper's evaluation: :meth:`baseline`,
+:meth:`one_crash` (Section 5.4), :meth:`two_crashes` (Section 5.5),
+:meth:`delayed_recovery` (Section 5.6), plus the extension scenarios
+:meth:`sequential_crashes` and :meth:`partition`.  All fault times are
+paper-timeline seconds; the configured scale compresses them, exactly as
+before.  Every path funnels into the same execution engine as the
+deprecated drivers, so a builder run is bit-for-bit identical to its
+shim equivalent at the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.faults.faultload import (
+    NEMESIS_KINDS,
+    ONEWAY_KIND,
+    FaultEvent,
+    Faultload,
+)
+from repro.harness.config import ClusterConfig
+from repro.harness.experiments import ExperimentResult, _execute
+
+
+class Experiment:
+    """A configurable, chainable experiment; ``run()`` executes it.
+
+    The constructor accepts any :class:`ClusterConfig` field as a
+    keyword (``scale`` may be passed positionally).  Builder methods
+    return ``self`` so calls chain; the builder is single-use in spirit
+    but stateless at run time -- calling :meth:`run` twice performs two
+    identical, independent runs.
+    """
+
+    def __init__(self, scale=None, *, config: Optional[ClusterConfig] = None,
+                 **config_fields):
+        self._base = config if config is not None else ClusterConfig()
+        self._overrides = dict(config_fields)
+        if scale is not None:
+            self._overrides["scale"] = scale
+        # (kind, kwargs) resolved to a Faultload at run time
+        self._scenario = ("baseline", {})
+
+    @classmethod
+    def from_config(cls, config: ClusterConfig) -> "Experiment":
+        """Wrap an existing :class:`ClusterConfig` (the shim path)."""
+        return cls(config=config)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def configure(self, **config_fields) -> "Experiment":
+        """Override any :class:`ClusterConfig` fields."""
+        self._overrides.update(config_fields)
+        return self
+
+    def nemesis(self, spec: str) -> "Experiment":
+        """A standing message-fault schedule (drop/dup/delay/oneway
+        windows) applied on top of whatever the scenario injects."""
+        for event in Faultload.parse(spec, name="nemesis").events:
+            if event.kind not in NEMESIS_KINDS and event.kind != ONEWAY_KIND:
+                raise ValueError(
+                    f"nemesis() only takes message faults "
+                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}), "
+                    f"got {event.kind!r}; put {event.kind!r} in faults()")
+        self._overrides["nemesis_spec"] = spec
+        return self
+
+    def observe(self, tick_s: float = 5.0) -> "Experiment":
+        """Enable the observability stack (metrics registry, timeline
+        sampling every ``tick_s`` paper-seconds, kernel profiling)."""
+        self._overrides["observability"] = True
+        self._overrides["obs_tick_s"] = tick_s
+        return self
+
+    def check_safety(self) -> "Experiment":
+        """Record consensus traces and audit them after the run."""
+        self._overrides["safety_tracing"] = True
+        return self
+
+    def build_config(self) -> ClusterConfig:
+        """The resolved :class:`ClusterConfig` this experiment will run."""
+        if not self._overrides:
+            return self._base
+        return replace(self._base, **self._overrides)
+
+    # ------------------------------------------------------------------
+    # scenarios (fault times in paper-timeline seconds)
+    # ------------------------------------------------------------------
+    def baseline(self) -> "Experiment":
+        """Failure-free run (speedup/scaleup building block)."""
+        self._scenario = ("baseline", {})
+        return self
+
+    def faults(self, spec: str) -> "Experiment":
+        """A user-authored faultload (grammar:
+        :meth:`repro.faults.Faultload.parse`); replicas named by a
+        ``reboot`` event get their watchdog disabled, so the reboot is
+        genuinely manual."""
+        Faultload.parse(spec)  # validate eagerly, at build time
+        self._scenario = ("custom", {"spec": spec})
+        return self
+
+    def one_crash(self, replica: Optional[int] = None) -> "Experiment":
+        """Section 5.4: one crash at t=270 s, autonomous recovery."""
+        self._scenario = ("one_crash", {"replica": replica})
+        return self
+
+    def two_crashes(self) -> "Experiment":
+        """Section 5.5: concurrent crashes at t=240 s and t=270 s
+        (random replicas), both recovered autonomously."""
+        self._scenario = ("two_crashes", {})
+        return self
+
+    def sequential_crashes(self, gap_s: float = 120.0) -> "Experiment":
+        """Extension: two sequential crashes, the second after the first
+        replica has long recovered."""
+        self._scenario = ("sequential_crashes", {"gap_s": gap_s})
+        return self
+
+    def partition(self, replica: int = 2,
+                  duration_s: float = 60.0) -> "Experiment":
+        """Extension: isolate one replica (it stays up), heal after
+        ``duration_s`` paper-seconds."""
+        self._scenario = ("partition", {"replica": replica,
+                                        "duration_s": duration_s})
+        return self
+
+    def delayed_recovery(self, first: int = 1,
+                         second: int = 2) -> "Experiment":
+        """Section 5.6: both replicas crash at t=240 s; one recovers
+        autonomously, the other only on a manual reboot at t=390 s."""
+        self._scenario = ("delayed_recovery", {"first": first,
+                                               "second": second})
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Build the deployment, inject the faults, return the result."""
+        config = self.build_config()
+        faultload, setup = self._resolve_faultload(config)
+        return _execute(config, faultload, setup=setup)
+
+    def _resolve_faultload(self, config: ClusterConfig):
+        """The scenario's :class:`Faultload` on the compressed timeline,
+        plus an optional pre-run cluster setup hook."""
+        scale = config.scale
+        kind, params = self._scenario
+        if kind == "baseline":
+            return Faultload("none", ()), None
+        if kind == "custom":
+            parsed = Faultload.parse(params["spec"])
+            scaled = Faultload(parsed.name, tuple(
+                replace(event, at=scale.t(event.at),
+                        until=(None if event.until is None
+                               else scale.t(event.until)))
+                for event in parsed.events))
+            manual = {event.replica for event in scaled.events
+                      if event.kind == "reboot"}
+
+            def setup(cluster) -> None:
+                for replica in manual:
+                    if replica is not None:
+                        cluster.disable_watchdog(replica)
+
+            return scaled, setup
+        if kind == "one_crash":
+            return Faultload("one-crash", (
+                FaultEvent(scale.t(scale.crash1_at_s + 30.0), "crash",
+                           params["replica"]),)), None
+        if kind == "two_crashes":
+            return Faultload("two-crashes", (
+                FaultEvent(scale.t(scale.crash1_at_s), "crash", None),
+                FaultEvent(scale.t(scale.crash2_at_s), "crash", None),)), None
+        if kind == "sequential_crashes":
+            first_at = scale.t(scale.crash1_at_s - 120.0)
+            second_at = scale.t(scale.crash1_at_s + params["gap_s"])
+            return Faultload("sequential-crashes", (
+                FaultEvent(first_at, "crash", None),
+                FaultEvent(second_at, "crash", None),)), None
+        if kind == "partition":
+            start = scale.t(scale.crash1_at_s)
+            return Faultload("partition", (
+                FaultEvent(start, "partition", params["replica"]),
+                FaultEvent(start + scale.t(params["duration_s"]), "heal",
+                           params["replica"]),)), None
+        if kind == "delayed_recovery":
+            second = params["second"]
+            faultload = Faultload("delayed-recovery", (
+                FaultEvent(scale.t(scale.both_crash_at_s), "crash",
+                           params["first"]),
+                FaultEvent(scale.t(scale.both_crash_at_s), "crash", second),
+                FaultEvent(scale.t(scale.manual_reboot_at_s), "reboot",
+                           second),))
+
+            def setup(cluster) -> None:
+                cluster.disable_watchdog(second)
+
+            return faultload, setup
+        raise ValueError(f"unknown scenario kind: {kind!r}")

@@ -1,19 +1,31 @@
-"""Drivers for every experiment in the paper's evaluation (Section 5).
+"""Experiment execution and results (the paper's Section 5 runs).
 
-Each driver builds a deployment, applies the faultload on the compressed
-timeline, runs ramp-up + measurement + ramp-down, and returns an
-:class:`ExperimentResult` with the same aggregates the paper reports:
-AWIPS and CV for the failure-free and recovery windows, PV, accuracy,
-availability, autonomy, the WIPS histogram, and the recovery events.
+The public way to drive a run is the fluent builder in
+:mod:`repro.harness.experiment`::
+
+    from repro.harness import Experiment
+
+    result = (Experiment(replicas=5, profile="shopping")
+              .one_crash()
+              .observe()
+              .run())
+
+This module holds the pieces the builder is made of: the shared
+:func:`_execute` engine-room (cluster + faultload + measurement) and the
+:class:`ExperimentResult` every table and figure is derived from.  The
+old per-scenario drivers (``run_baseline``, ``run_one_crash``, ...) are
+kept as thin deprecated shims over the builder and will be removed in a
+future release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.faults.checker import Violation
-from repro.faults.faultload import FaultEvent, FaultInjector, Faultload
+from repro.faults.faultload import FaultInjector, Faultload
 from repro.faults.metrics import (
     MetricsCollector,
     NemesisStats,
@@ -23,6 +35,11 @@ from repro.faults.metrics import (
 )
 from repro.harness.cluster import RobustStoreCluster
 from repro.harness.config import ClusterConfig
+from repro.obs.timeline import Timeline
+
+
+class MissingWindowError(ValueError):
+    """A result window was requested that this run never produced."""
 
 
 @dataclass
@@ -41,6 +58,12 @@ class ExperimentResult:
     # Safety audit verdict (only when config.safety_tracing was on):
     # an empty list means the checker passed; None means it did not run.
     safety_violations: Optional[List[Violation]] = None
+    # Observability extras (only when config.observability was on).
+    timeline: Optional[Timeline] = None
+    kernel_profile: Optional[dict] = None
+    metrics: Optional[dict] = None  # final registry snapshot
+    #: name of the faultload this run executed ("none" for baselines)
+    faultload_name: str = "none"
 
     # ------------------------------------------------------------------
     @property
@@ -69,7 +92,25 @@ class ExperimentResult:
         return self.collector.window(self.measure_start,
                                      min(end, self.measure_end), self.bucket_s)
 
-    def recovery_window(self) -> Optional[WindowStats]:
+    def recovery_window(self) -> WindowStats:
+        """WIPS/WIRT stats from the first crash to the last recovery.
+
+        Raises :class:`MissingWindowError` on runs that recorded no
+        crash, instead of silently returning ``None`` -- a baseline has
+        no recovery window, and code that reads one off a faultless run
+        is a bug at the call site.
+        """
+        window = self._recovery_window_or_none()
+        if window is None:
+            raise MissingWindowError(
+                f"this run (faultload {self.faultload_name!r}) recorded no "
+                f"crash or partition, so it has no recovery window; run a "
+                f"crash scenario (e.g. Experiment(...).one_crash() or "
+                f"repro run one_crash) or use whole_window() / "
+                f"failure_free_window() for failure-free runs")
+        return window
+
+    def _recovery_window_or_none(self) -> Optional[WindowStats]:
         if self.first_crash_at is None:
             return None
         end = self.last_ready_at or self.measure_end
@@ -81,7 +122,7 @@ class ExperimentResult:
 
     # measures -----------------------------------------------------------
     def pv_pct(self) -> Optional[float]:
-        recovery = self.recovery_window()
+        recovery = self._recovery_window_or_none()
         if recovery is None:
             return None
         return performability_pv(self.failure_free_window(), recovery)
@@ -105,7 +146,7 @@ class ExperimentResult:
         """A JSON-serializable summary (CLI ``--json``, notebooks, CI)."""
         whole = self.whole_window()
         ff = self.failure_free_window()
-        recovery = self.recovery_window()
+        recovery = self._recovery_window_or_none()
         compliance = self.collector.wirt_compliance(self.measure_start,
                                                     self.measure_end)
         return {
@@ -119,6 +160,7 @@ class ExperimentResult:
                 "time_div": self.config.scale.time_div,
                 "load_div": self.config.scale.load_div,
             },
+            "faultload": self.faultload_name,
             "awips": whole.awips,
             "cv": whole.cv,
             "mean_wirt_s": whole.mean_wirt_s,
@@ -144,11 +186,15 @@ class ExperimentResult:
             "safety_violations": (
                 None if self.safety_violations is None
                 else [str(v) for v in self.safety_violations]),
+            "timeline": (None if self.timeline is None
+                         else self.timeline.to_dict()),
+            "kernel_profile": self.kernel_profile,
+            "metrics": self.metrics,
         }
 
 
 # ======================================================================
-# drivers
+# the engine room every run goes through
 # ======================================================================
 def _execute(config: ClusterConfig, faultload: Faultload,
              setup=None) -> ExperimentResult:
@@ -168,6 +214,12 @@ def _execute(config: ClusterConfig, faultload: Faultload,
     violations = None
     if config.safety_tracing:
         violations = cluster.safety_checker().violations()
+    kernel_profile = None
+    metrics_snapshot = None
+    if cluster.profiler is not None:
+        kernel_profile = cluster.profiler.summary(scale.total_s)
+    if cluster.metrics is not None:
+        metrics_snapshot = cluster.metrics.snapshot()
     return ExperimentResult(
         config=config, collector=cluster.collector,
         measure_start=scale.measure_start, measure_end=scale.measure_end,
@@ -176,108 +228,93 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         recoveries=cluster.recoveries,
         first_crash_at=first_crash,
         nemesis=cluster.nemesis_stats(),
-        safety_violations=violations)
+        safety_violations=violations,
+        timeline=cluster.timeline,
+        kernel_profile=kernel_profile,
+        metrics=metrics_snapshot,
+        faultload_name=faultload.name)
+
+
+# ======================================================================
+# deprecated per-scenario drivers (use repro.harness.Experiment)
+# ======================================================================
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; use {new}",
+        DeprecationWarning, stacklevel=3)
 
 
 def run_baseline(config: ClusterConfig) -> ExperimentResult:
-    """Failure-free run (speedup/scaleup building block)."""
-    return _execute(config, Faultload("none", ()))
+    """Deprecated shim: ``Experiment.from_config(config).baseline().run()``."""
+    _deprecated("run_baseline", "Experiment.from_config(config).baseline()")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).baseline().run()
 
 
 def run_custom(config: ClusterConfig, faultload_spec: str) -> ExperimentResult:
-    """Run a user-authored faultload (times in paper-timeline seconds).
-
-    The spec grammar is :meth:`repro.faults.Faultload.parse`; event times
-    are compressed by the experiment scale, like the built-in faultloads.
-    """
-    scale = config.scale
-    parsed = Faultload.parse(faultload_spec)
-    scaled = Faultload(parsed.name, tuple(
-        replace(event, at=scale.t(event.at),
-                until=None if event.until is None else scale.t(event.until))
-        for event in parsed.events))
-    manual = {event.replica for event in scaled.events
-              if event.kind == "reboot"}
-
-    def setup(cluster) -> None:
-        for replica in manual:
-            if replica is not None:
-                cluster.disable_watchdog(replica)
-
-    return _execute(config, scaled, setup=setup)
+    """Deprecated shim: ``Experiment.from_config(config).faults(spec).run()``."""
+    _deprecated("run_custom",
+                "Experiment.from_config(config).faults(spec)")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).faults(faultload_spec).run()
 
 
 def run_speedup_point(config: ClusterConfig) -> Tuple[float, float]:
     """One Figure 3 point: saturated WIPS and mean WIRT (ms)."""
-    result = run_baseline(config)
-    stats = result.whole_window()
+    from repro.harness.experiment import Experiment
+    stats = Experiment.from_config(config).baseline().run().whole_window()
     return stats.awips, stats.mean_wirt_s * 1000.0
 
 
 def run_scaleup_point(config: ClusterConfig) -> Tuple[float, float]:
     """One Figure 4 point: delivered WIPS at fixed offered load, WIRT (ms)."""
-    result = run_baseline(config)
-    stats = result.whole_window()
+    from repro.harness.experiment import Experiment
+    stats = Experiment.from_config(config).baseline().run().whole_window()
     return stats.awips, stats.mean_wirt_s * 1000.0
 
 
 def run_one_crash(config: ClusterConfig,
                   replica: Optional[int] = None) -> ExperimentResult:
-    """Section 5.4: one crash at t=270 s, autonomous recovery."""
-    scale = config.scale
-    faultload = Faultload("one-crash", (
-        FaultEvent(scale.t(scale.crash1_at_s + 30.0), "crash", replica),))
-    return _execute(config, faultload)
+    """Deprecated shim: ``Experiment.from_config(config).one_crash().run()``."""
+    _deprecated("run_one_crash",
+                "Experiment.from_config(config).one_crash(replica)")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).one_crash(replica).run()
 
 
 def run_two_crashes(config: ClusterConfig) -> ExperimentResult:
-    """Section 5.5: concurrent crashes at t=240 s and t=270 s (random
-    replicas), both recovered autonomously."""
-    scale = config.scale
-    faultload = Faultload("two-crashes", (
-        FaultEvent(scale.t(scale.crash1_at_s), "crash", None),
-        FaultEvent(scale.t(scale.crash2_at_s), "crash", None),))
-    return _execute(config, faultload)
+    """Deprecated shim: ``Experiment.from_config(config).two_crashes().run()``."""
+    _deprecated("run_two_crashes",
+                "Experiment.from_config(config).two_crashes()")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).two_crashes().run()
 
 
 def run_sequential_crashes(config: ClusterConfig,
                            gap_s: float = 120.0) -> ExperimentResult:
-    """Extension: two *sequential* crashes -- the second fires only after
-    the first replica has long recovered (the paper's title mentions
-    sequential crashes; its evaluation shows the concurrent case)."""
-    scale = config.scale
-    first_at = scale.t(scale.crash1_at_s - 120.0)
-    second_at = scale.t(scale.crash1_at_s + gap_s)
-    faultload = Faultload("sequential-crashes", (
-        FaultEvent(first_at, "crash", None),
-        FaultEvent(second_at, "crash", None),))
-    return _execute(config, faultload)
+    """Deprecated shim: ``Experiment.from_config(config)
+    .sequential_crashes(gap_s).run()``."""
+    _deprecated("run_sequential_crashes",
+                "Experiment.from_config(config).sequential_crashes(gap_s)")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).sequential_crashes(gap_s).run()
 
 
 def run_partition(config: ClusterConfig, replica: int = 2,
                   duration_s: float = 60.0) -> ExperimentResult:
-    """Extension: isolate one replica from its peers (it stays up), heal
-    after ``duration_s`` (paper timeline).  Not evaluated in the paper;
-    exercises the blocked-write path and post-heal resynchronization."""
-    scale = config.scale
-    start = scale.t(scale.crash1_at_s)
-    faultload = Faultload("partition", (
-        FaultEvent(start, "partition", replica),
-        FaultEvent(start + scale.t(duration_s), "heal", replica),))
-    return _execute(config, faultload)
+    """Deprecated shim: ``Experiment.from_config(config)
+    .partition(replica, duration_s).run()``."""
+    _deprecated("run_partition",
+                "Experiment.from_config(config).partition(replica, duration_s)")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).partition(replica, duration_s).run()
 
 
 def run_delayed_recovery(config: ClusterConfig,
                          first: int = 1, second: int = 2) -> ExperimentResult:
-    """Section 5.6: both replicas crash at t=240 s; one recovers
-    autonomously, the other only on a manual reboot at t=390 s."""
-    scale = config.scale
-    faultload = Faultload("delayed-recovery", (
-        FaultEvent(scale.t(scale.both_crash_at_s), "crash", first),
-        FaultEvent(scale.t(scale.both_crash_at_s), "crash", second),
-        FaultEvent(scale.t(scale.manual_reboot_at_s), "reboot", second),))
-
-    def setup(cluster: RobustStoreCluster) -> None:
-        cluster.disable_watchdog(second)
-
-    return _execute(config, faultload, setup=setup)
+    """Deprecated shim: ``Experiment.from_config(config)
+    .delayed_recovery(first, second).run()``."""
+    _deprecated("run_delayed_recovery",
+                "Experiment.from_config(config).delayed_recovery(first, second)")
+    from repro.harness.experiment import Experiment
+    return Experiment.from_config(config).delayed_recovery(first, second).run()

@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence
 
 from repro.harness.config import ClusterConfig, ExperimentScale, bench_scale
-from repro.harness.experiments import run_baseline, run_one_crash
+from repro.harness.experiment import Experiment
 from repro.harness.report import linear_regression
 
 #: Offered paper-WIPS per replica that keeps each speedup point mildly
@@ -49,7 +49,7 @@ class RecoveryPoint:
 
 
 def _measure(config: ClusterConfig) -> ThroughputPoint:
-    stats = run_baseline(config).whole_window()
+    stats = Experiment.from_config(config).baseline().run().whole_window()
     return ThroughputPoint(config.profile, config.replicas, stats.awips,
                            stats.mean_wirt_s * 1000.0, stats.cv)
 
@@ -88,9 +88,9 @@ def recovery_sweep(profile: str,
     scale = scale or bench_scale()
     points = []
     for num_ebs in ebs_list:
-        result = run_one_crash(ClusterConfig(
+        result = Experiment.from_config(ClusterConfig(
             replicas=replicas, num_ebs=num_ebs, profile=profile,
-            seed=seed, scale=scale))
+            seed=seed, scale=scale)).one_crash().run()
         times = result.recovery_times()
         points.append(RecoveryPoint(
             profile, replicas, num_ebs,

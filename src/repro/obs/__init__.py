@@ -1,0 +1,46 @@
+"""Observability: metrics registry, sim-time timelines, kernel profiling.
+
+The paper's contribution is *measurement* -- WIPS/WIRT curves and
+dependability metrics read off a running cluster -- so the repro carries
+a first-class observability layer:
+
+* :mod:`repro.obs.registry` -- :class:`MetricsRegistry` with counters,
+  gauges, and streaming (bucketed) histograms; instrumentation sites use
+  :func:`registry_of` and degrade to shared no-ops when no registry is
+  attached to the simulator;
+* :mod:`repro.obs.timeline` -- :class:`TimelineSampler` samples every
+  instrument on sim-time ticks into a :class:`Timeline` (JSON/CSV
+  export, derived rates);
+* :mod:`repro.obs.profiler` -- :class:`KernelProfiler` attributes the
+  event kernel's wall-clock to layers (events per simulated second,
+  wall-clock per event category).
+
+Enable the whole stack on a run with ``ClusterConfig(observability=True)``
+or ``Experiment(...).observe()``; from the CLI, ``repro run --obs``.
+"""
+
+from repro.obs.profiler import KernelProfiler, category_of_module
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullRegistry,
+    StreamingHistogram,
+    registry_of,
+)
+from repro.obs.timeline import Timeline, TimelineSampler
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "NullRegistry",
+    "StreamingHistogram",
+    "Timeline",
+    "TimelineSampler",
+    "category_of_module",
+    "registry_of",
+]

@@ -55,6 +55,7 @@ from repro.paxos.messages import (
     merge_batches,
 )
 from repro.paxos.quorum import classic_quorum, fast_quorum, recovery_threshold
+from repro.obs.registry import registry_of
 from repro.sim.core import Simulator
 from repro.sim.disk import WriteAheadLog
 from repro.sim.node import Node
@@ -142,6 +143,21 @@ class PaxosEngine:
             "retries": 0, "learn_requests": 0, "mode_changes": 0,
             "fast_rejected": 0,
         }
+        # Cluster-wide observability instruments (no-ops unless the
+        # harness attached a registry to the simulator).
+        obs = registry_of(self.sim)
+        self._obs_proposals = obs.counter("paxos.proposals")
+        self._obs_fast_proposals = obs.counter("paxos.fast_proposals")
+        self._obs_decisions = obs.counter("paxos.decisions")
+        self._obs_batches_flushed = obs.counter("paxos.batches_flushed")
+        self._obs_batch_occupancy = obs.histogram(
+            "paxos.batch_occupancy", lo=1.0, hi=4096.0)
+        self._obs_retries = obs.counter("paxos.retries")
+        self._obs_gap_noops = obs.counter("paxos.gap_noops")
+        self._obs_mode_changes = obs.counter("paxos.mode_changes")
+        self._obs_phase1_runs = obs.counter("paxos.phase1_runs")
+        self._obs_collisions = obs.counter("paxos.collisions_recovered")
+        self._obs_fast_rejected = obs.counter("paxos.fast_rejected")
 
     # ==================================================================
     # lifecycle
@@ -324,6 +340,7 @@ class PaxosEngine:
                     continue
                 self.unacked[uid] = (command, now)
                 self.stats["retries"] += 1
+                self._obs_retries.inc()
                 self._route(command)
 
     def _gap_loop(self):
@@ -430,6 +447,9 @@ class PaxosEngine:
             instance = self.next_instance
             self.next_instance += 1
             self.stats["proposals"] += 1
+            self._obs_proposals.inc()
+            self._obs_batches_flushed.inc()
+            self._obs_batch_occupancy.observe(len(chunk))
             self._broadcast(Phase2a(self.my_ballot, instance, batch))
 
     def _flush_fast(self) -> None:
@@ -444,6 +464,9 @@ class PaxosEngine:
             instance = self._pick_fast_instance()
             self._my_fast_proposals[instance] = batch
             self.stats["fast_proposals"] += 1
+            self._obs_fast_proposals.inc()
+            self._obs_batches_flushed.inc()
+            self._obs_batch_occupancy.observe(len(chunk))
             self._broadcast(FastPropose(self.fast_round, instance, batch))
 
     def _maybe_continue_fast(self) -> None:
@@ -467,6 +490,7 @@ class PaxosEngine:
 
     def _on_view_change(self, view: FrozenSet[int]) -> None:
         self.stats["mode_changes"] += 1
+        self._obs_mode_changes.inc()
         if self.fd.leader() != self.me:
             self.leading = False
             return
@@ -496,6 +520,7 @@ class PaxosEngine:
         # above it can still hold un-chosen votes that must be adopted.
         self._phase1_from = self.watermark + 1
         self.stats["phase1_runs"] += 1
+        self._obs_phase1_runs.inc()
         trace_emit(self.sim, "paxos", self.node.name, event="phase1",
                    round=ballot.round, from_instance=self._phase1_from)
         self._broadcast(Prepare(ballot, self._phase1_from))
@@ -539,7 +564,9 @@ class PaxosEngine:
             value = self._pick_value(votes)
             if value.is_noop:
                 self.stats["noops"] += 1
+                self._obs_gap_noops.inc()
             self.stats["proposals"] += 1
+            self._obs_proposals.inc()
             self._broadcast(Phase2a(self.my_ballot, instance, value))
         if learn_from is not None and learn_from != self.me:
             self._request_learn(learn_from)
@@ -589,6 +616,7 @@ class PaxosEngine:
         ballot = Ballot(self.max_round_seen, self.me, fast=False)
         self._recovering[instance] = (ballot, {})
         self.stats["collisions_recovered"] += 1
+        self._obs_collisions.inc()
         self._broadcast(PrepareInstance(ballot, instance))
 
     def _on_promise_instance(self, message: PromiseInstance, src: int) -> None:
@@ -604,6 +632,7 @@ class PaxosEngine:
         value = self._pick_value(votes)
         if value.is_noop:
             self.stats["noops"] += 1
+            self._obs_gap_noops.inc()
         del self._recovering[message.instance]
         self._broadcast(Phase2a(ballot, message.instance, value))
 
@@ -715,6 +744,7 @@ class PaxosEngine:
         del self._my_fast_proposals[message.instance]
         del self._fast_rejects[message.instance]
         self.stats["fast_rejected"] += 1
+        self._obs_fast_rejected.inc()
         for command in batch.commands:
             if (command.uid not in self._decided_uids
                     and not self._already_pending(command.uid)):
@@ -820,6 +850,7 @@ class PaxosEngine:
             return
         self.decided[instance] = value
         self.stats["decisions"] += 1
+        self._obs_decisions.inc()
         trace_emit(self.sim, "decide", self.node.name, instance=instance,
                    key=value.key, inc=self.node.incarnation)
         self._recovering.pop(instance, None)

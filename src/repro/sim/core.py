@@ -42,6 +42,12 @@ class Simulator:
         self._heap: List[Any] = []
         self._counter = itertools.count()
         self._processes_started = 0
+        # Optional hooks attached by the harness: a metrics registry
+        # (repro.obs.registry) and an event-kernel profiler.  Both stay
+        # None on uninstrumented runs; the profiler is the only one the
+        # kernel itself consults (one None-check per event).
+        self.metrics = None
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -72,7 +78,13 @@ class Simulator:
             if timer.cancelled:
                 continue
             self.now = timer.when
-            timer.fn(*timer.args)
+            profiler = self.profiler
+            if profiler is None:
+                timer.fn(*timer.args)
+            else:
+                start = profiler.clock()
+                timer.fn(*timer.args)
+                profiler.record(timer.fn, profiler.clock() - start)
             return True
         return False
 

@@ -57,6 +57,11 @@ class Disk:
         self.bytes_written_mb = 0.0
         self.bytes_read_mb = 0.0
 
+    @property
+    def queue_length(self) -> int:
+        """Operations waiting for the disk head (observability gauge)."""
+        return self._station.queue_length
+
     # ------------------------------------------------------------------
     # raw timed operations
     # ------------------------------------------------------------------

@@ -208,6 +208,10 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.mb_sent = 0.0
+        # Scheduled-but-not-yet-delivered traffic (per delivery copy);
+        # observability gauges read these to chart switch congestion.
+        self.inflight_messages = 0
+        self.inflight_mb = 0.0
 
     # ------------------------------------------------------------------
     def register(self, node: Any) -> None:
@@ -271,9 +275,13 @@ class Network:
                      + size_mb / self.params.bandwidth_mb_s
                      + self._rng.expovariate(1.0 / self.params.jitter_mean_s)
                      + extra_delay)
+            self.inflight_messages += 1
+            self.inflight_mb += size_mb
             self._sim.call_after(delay, self._deliver, message, incarnation)
 
     def _deliver(self, message: Message, incarnation: int) -> None:
+        self.inflight_messages -= 1
+        self.inflight_mb -= message.size_mb
         target = self._nodes.get(message.dst)
         if target is None or not target.alive:
             return

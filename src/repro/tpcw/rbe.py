@@ -18,6 +18,7 @@ import random
 from typing import Dict, Optional
 
 from repro.faults.metrics import MetricsCollector
+from repro.obs.registry import registry_of
 from repro.sim.node import Node
 from repro.tpcw.workload import Interaction, WorkloadProfile
 from repro.web.http import REQUEST_SIZE_MB, Request, Response
@@ -56,6 +57,10 @@ class RemoteBrowserEmulator:
         self.session: Dict[str, object] = {}
         self._responses = node.sim.channel()
         self._req_seq = itertools.count(1)
+        obs = registry_of(node.sim)
+        self._obs_ok = obs.counter("web.interactions_ok")
+        self._obs_error = obs.counter("web.interactions_error")
+        self._obs_wirt = obs.histogram("web.wirt_s", lo=1e-4, hi=100.0)
 
     def start(self) -> None:
         self.node.handle(self.reply_port,
@@ -115,6 +120,11 @@ class RemoteBrowserEmulator:
             error_kind = response.error or "error"
         self.collector.record(request.sent_at, self.node.sim.now,
                               request.interaction, ok, error_kind)
+        if ok:
+            self._obs_ok.inc()
+            self._obs_wirt.observe(self.node.sim.now - request.sent_at)
+        else:
+            self._obs_error.inc()
 
     # ------------------------------------------------------------------
     def _update_session(self, interaction: Interaction,

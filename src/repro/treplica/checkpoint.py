@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.obs.registry import registry_of
 from repro.sim.trace import emit as trace_emit
 
 
@@ -42,6 +43,12 @@ class CheckpointManager:
         existing = runtime.node.disk.peek(CHECKPOINT_KEY)
         if existing is not None:
             self.last_instance = existing.instance
+        obs = registry_of(runtime.sim)
+        self._obs_checkpoints = obs.counter("treplica.checkpoints")
+        self._obs_ckpt_size = obs.histogram("treplica.checkpoint_size_mb",
+                                            lo=0.01, hi=1e4)
+        self._obs_ckpt_duration = obs.histogram(
+            "treplica.checkpoint_duration_s")
 
     # ------------------------------------------------------------------
     def loop(self):
@@ -62,6 +69,7 @@ class CheckpointManager:
             return None
         snapshot = runtime.app.snapshot()  # atomic within this event
         size_mb = runtime.app.state_size_mb()
+        started_at = node.sim.now
         record = CheckpointRecord(instance, snapshot, size_mb, node.sim.now)
         chunks = max(1, math.ceil(size_mb / config.chunk_mb))
         chunk_mb = size_mb / chunks
@@ -73,6 +81,9 @@ class CheckpointManager:
         yield node.disk.write_object(CHECKPOINT_KEY, record, 0.001)
         self.last_instance = instance
         self.checkpoints_taken += 1
+        self._obs_checkpoints.inc()
+        self._obs_ckpt_size.observe(size_mb)
+        self._obs_ckpt_duration.observe(node.sim.now - started_at)
         trace_emit(node.sim, "checkpoint", node.name, instance=instance,
                    size_mb=round(size_mb, 2))
         floor = instance + 1 - config.log_retain_instances

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.registry import registry_of
 from repro.paxos.messages import Command
 from repro.sim.core import Event, Simulator
 from repro.sim.disk import WriteAheadLog
@@ -74,6 +75,10 @@ class TreplicaRuntime:
         self.recovered_at: Optional[float] = None
         self._remote_ckpt_requested_at: Optional[float] = None
         self.stats = {"executed": 0, "remote_transfers": 0}
+        obs = registry_of(self.sim)
+        self._obs_applied = obs.counter("treplica.applied_commands")
+        self._obs_apply_latency = obs.histogram("treplica.apply_latency_s")
+        self._obs_remote_transfers = obs.counter("treplica.remote_transfers")
 
     # ==================================================================
     # lifecycle
@@ -185,16 +190,22 @@ class TreplicaRuntime:
             if instance <= self.applied_up_to:
                 continue  # covered by a checkpoint/state transfer
             if items:
+                dequeued_at = self.sim.now
                 total_cost = sum(
                     action.cpu_cost_s if action.cpu_cost_s is not None
                     else config.default_action_cpu_s
                     for _uid, action in items)
                 yield self.node.cpu.request(total_cost)
+                # Apply latency: CPU queueing + execution for this
+                # instance (decided-to-dequeued time is covered by the
+                # queue-depth gauge the harness registers).
+                self._obs_apply_latency.observe(self.sim.now - dequeued_at)
                 # The whole instance applies atomically (one event), so a
                 # checkpoint can never observe a half-applied batch.
                 for uid, action in items:
                     result = action.apply(self.app)
                     self.stats["executed"] += 1
+                    self._obs_applied.inc()
                     waiter = self._waiters.pop(uid, None)
                     if waiter is not None and not waiter.triggered:
                         # The local client observes completion here: from
@@ -246,6 +257,7 @@ class TreplicaRuntime:
         self.applied_up_to = max(self.applied_up_to, record.instance)
         self.engine.fast_forward(record.instance)
         self.stats["remote_transfers"] += 1
+        self._obs_remote_transfers.inc()
 
 
 class StateMachine:

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import registry_of
 from repro.sim.node import Node
 from repro.sim.trace import emit as trace_emit
 from repro.web.http import REQUEST_SIZE_MB, Request, Response
@@ -68,6 +69,12 @@ class ReverseProxy:
         self.stats = {"forwarded": 0, "redispatched": 0,
                       "broken_connections": 0, "no_backend": 0,
                       "removals": 0, "readds": 0}
+        obs = registry_of(node.sim)
+        self._obs_forwarded = obs.counter("web.proxy_forwarded")
+        self._obs_reroutes = obs.counter("web.proxy_reroutes")
+        self._obs_broken = obs.counter("web.proxy_broken_connections")
+        self._obs_no_backend = obs.counter("web.proxy_no_backend")
+        self._obs_removals = obs.counter("web.proxy_backend_removals")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -116,12 +123,14 @@ class ReverseProxy:
         backend = self._pick_backend(request.client_id, attempt)
         if backend is None or attempt >= self.params.max_dispatch_attempts:
             self.stats["no_backend"] += 1
+            self._obs_no_backend.inc()
             self._reply(request, Response(request.req_id, ok=False,
                                           error="503 no backend"))
             return
         if not self.node.network.node(backend).alive:
             # TCP connect to a dead process: instant reset -> redispatch.
             self.stats["redispatched"] += 1
+            self._obs_reroutes.inc()
             self._dispatch(request, attempt + 1)
             return
         pxid = f"px{next(self._px_seq)}"
@@ -130,6 +139,7 @@ class ReverseProxy:
                             PROXY_RESP_PORT, request.interaction,
                             request.session, request.sent_at)
         self.stats["forwarded"] += 1
+        self._obs_forwarded.inc()
         self.node.send(backend, HTTP_PORT, forwarded,
                        size_mb=REQUEST_SIZE_MB)
 
@@ -141,6 +151,7 @@ class ReverseProxy:
         if response.refused:
             # Server up but not accepting (recovering): redispatch silently.
             self.stats["redispatched"] += 1
+            self._obs_reroutes.inc()
             self._dispatch(request, attempt + 1)
             return
         self._reply(request, Response(request.req_id, response.ok,
@@ -163,6 +174,7 @@ class ReverseProxy:
         for pxid in broken:
             request, _backend, _attempt = self._inflight.pop(pxid)
             self.stats["broken_connections"] += 1
+            self._obs_broken.inc()
             self._reply(request, Response(request.req_id, ok=False,
                                           error="connection reset by peer"))
 
@@ -201,6 +213,7 @@ class ReverseProxy:
                 and backend in self.active):
             self.active.remove(backend)
             self.stats["removals"] += 1
+            self._obs_removals.inc()
             trace_emit(self.node.sim, "proxy", self.node.name,
                        event="backend_down", backend=backend)
 

@@ -1,12 +1,12 @@
-"""A miniature experiment scale so harness tests run in seconds."""
+"""A miniature experiment configuration so harness tests run in seconds.
 
-from repro.harness.config import ClusterConfig, ExperimentScale
+``tiny_scale`` is now a first-class preset in :mod:`repro.harness.config`;
+this module re-exports it for the existing test imports.
+"""
 
+from repro.harness.config import ClusterConfig, tiny_scale
 
-def tiny_scale() -> ExperimentScale:
-    """20x-compressed timeline, 8x-compressed load: one run ~ 1-2 s wall."""
-    return ExperimentScale(name="tiny", time_div=20.0, load_div=8.0,
-                           entity_scale=0.005)
+__all__ = ["tiny_config", "tiny_scale"]
 
 
 def tiny_config(**overrides) -> ClusterConfig:

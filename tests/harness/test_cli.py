@@ -1,57 +1,128 @@
-"""The command-line experiment runner."""
+"""The ``repro run / sweep / report`` command line (and the legacy form)."""
+
+import json
 
 import pytest
 
-from repro.harness.__main__ import build_parser, main
+from repro.harness.cli import build_parser, main
+
+
+def run_args(extra=()):
+    """A tiny-scale, low-load run so each CLI test is ~1 s."""
+    return ["run", "baseline", "--scale", "tiny", "--replicas", "3",
+            "--offered-wips", "400", *extra]
 
 
 def test_parser_defaults():
-    args = build_parser().parse_args([])
-    assert args.experiment == "one_crash"
+    args = build_parser().parse_args(["run"])
+    assert args.command == "run"
+    assert args.scenario == "one_crash"
     assert args.profile == "shopping"
     assert args.replicas == 5
+    assert args.scale == "bench"
 
 
-def test_parser_rejects_unknown_experiment():
+def test_parser_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
-        build_parser().parse_args(["--experiment", "meteor-strike"])
+        build_parser().parse_args(["run", "meteor-strike"])
 
 
-def test_main_runs_tiny_baseline(capsys, monkeypatch):
-    # Shrink the run via a tiny scale injected through the registry.
-    import repro.harness.__main__ as cli
-    from tests.harness.helpers import tiny_scale
-    monkeypatch.setattr(cli, "bench_scale", tiny_scale)
-    code = main(["--experiment", "baseline", "--replicas", "3",
-                 "--offered-wips", "400", "--timeline"])
+def test_run_baseline_prints_report(capsys):
+    code = main(run_args(["--timeline"]))
     assert code == 0
     out = capsys.readouterr().out
     assert "AWIPS" in out
     assert "WIPS timeline" in out
 
 
-def test_main_reports_faultload_measures(capsys, monkeypatch):
-    import repro.harness.__main__ as cli
-    from tests.harness.helpers import tiny_scale
-    monkeypatch.setattr(cli, "bench_scale", tiny_scale)
-    code = main(["--experiment", "one_crash", "--replicas", "5"])
+def test_run_one_crash_reports_faultload_measures(capsys):
+    code = main(["run", "one_crash", "--scale", "tiny"])
     assert code == 0
     out = capsys.readouterr().out
     assert "performability PV" in out
     assert "faults / interventions" in out
 
 
-def test_json_export(tmp_path, monkeypatch):
-    import json
-    import repro.harness.__main__ as cli
-    from tests.harness.helpers import tiny_scale
-    monkeypatch.setattr(cli, "bench_scale", tiny_scale)
+def test_run_obs_prints_kernel_profile_and_writes_timeline(capsys, tmp_path):
+    out_json = tmp_path / "timeline.json"
+    code = main(["run", "one_crash", "--scale", "tiny",
+                 "--obs", "--obs-out", str(out_json)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kernel profile" in out
+    timeline = json.loads(out_json.read_text())
+    assert "web.interactions_ok" in timeline["series"]
+    points = timeline["series"]["web.interactions_ok"]["points"]
+    assert points[-1][1] > 0  # interactions accumulated
+
+
+def test_obs_out_csv_writes_csv(tmp_path, capsys):
+    out_csv = tmp_path / "timeline.csv"
+    code = main(run_args(["--obs-out", str(out_csv)]))  # implies --obs
+    assert code == 0
+    header = out_csv.read_text().splitlines()[0]
+    assert header.startswith("t,")
+    assert "paxos.decisions" in header
+
+
+def test_json_export(tmp_path):
     path = tmp_path / "result.json"
-    code = main(["--experiment", "one_crash", "--json", str(path)])
+    code = main(["run", "one_crash", "--scale", "tiny", "--json", str(path)])
     assert code == 0
     data = json.loads(path.read_text())
     assert data["config"]["replicas"] == 5
+    assert data["faultload"] == "one-crash"
     assert data["faults_injected"] == 1
     assert data["pv_pct"] is not None
     assert data["wips_series"]
     assert 0.0 <= min(data["wirt_compliance"].values()) <= 1.0
+
+
+def test_report_rerenders_saved_run(tmp_path, capsys):
+    path = tmp_path / "result.json"
+    main(["run", "one_crash", "--scale", "tiny", "--obs",
+          "--json", str(path)])
+    capsys.readouterr()
+    code = main(["report", str(path), "--timeline",
+                 "--series", "paxos.decisions"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "performability PV" in out
+    assert "WIPS timeline" in out
+    assert "paxos.decisions" in out
+
+
+def test_report_names_available_series_on_miss(tmp_path, capsys):
+    path = tmp_path / "result.json"
+    main(run_args(["--json", str(path)]))  # no --obs: no saved timeline
+    capsys.readouterr()
+    code = main(["report", str(path), "--series", "paxos.decisions"])
+    assert code == 1
+    assert "rerun with --obs" in capsys.readouterr().out
+
+
+def test_sweep_recovery_tabulates_points(capsys):
+    code = main(["sweep", "recovery", "--scale", "tiny",
+                 "--ebs-list", "30", "--replicas", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recovery sweep" in out
+    assert "PV" in out
+
+
+# ----------------------------------------------------------------------
+# the historical flat form still works, with a deprecation warning
+# ----------------------------------------------------------------------
+def test_legacy_flat_form_is_normalized(capsys):
+    with pytest.warns(DeprecationWarning, match="python -m repro run"):
+        code = main(["--experiment", "baseline", "--scale", "tiny",
+                     "--replicas", "3", "--offered-wips", "400"])
+    assert code == 0
+    assert "AWIPS" in capsys.readouterr().out
+
+
+def test_legacy_entry_point_still_importable():
+    import repro.harness.__main__ as legacy
+
+    assert legacy.main is main
+    assert legacy.build_parser is build_parser

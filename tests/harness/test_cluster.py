@@ -3,7 +3,7 @@
 import pytest
 
 from repro.harness.cluster import RobustStoreCluster
-from repro.harness.experiments import run_baseline, run_one_crash
+from repro.harness.experiments import MissingWindowError, run_baseline, run_one_crash
 
 from tests.harness.helpers import tiny_config
 
@@ -30,7 +30,8 @@ def test_baseline_run_delivers_interactions():
     assert stats.completed > 100
     assert stats.awips > 0
     assert result.faults_injected == 0
-    assert result.recovery_window() is None
+    with pytest.raises(MissingWindowError, match="no recovery window"):
+        result.recovery_window()
 
 
 def test_baseline_throughput_tracks_offered_load_when_unsaturated():

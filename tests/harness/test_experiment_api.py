@@ -1,0 +1,116 @@
+"""The fluent Experiment builder, and its parity with the old drivers."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.config import ClusterConfig
+from repro.harness.experiment import Experiment
+
+from tests.harness.helpers import tiny_config
+
+
+def light_config(**overrides):
+    # lighter than tiny_config so the 2-runs-per-parity-case suite stays fast
+    defaults = dict(replicas=3, offered_wips=500.0)
+    defaults.update(overrides)
+    return tiny_config(**defaults)
+
+
+# ----------------------------------------------------------------------
+# builder basics
+# ----------------------------------------------------------------------
+def test_builder_chains_and_resolves_config():
+    experiment = (Experiment(replicas=7, profile="ordering")
+                  .observe(tick_s=2.0)
+                  .check_safety()
+                  .one_crash(1))
+    config = experiment.build_config()
+    assert config.replicas == 7
+    assert config.profile == "ordering"
+    assert config.observability is True
+    assert config.obs_tick_s == 2.0
+    assert config.safety_tracing is True
+
+
+def test_configure_overrides_late():
+    config = Experiment(replicas=3).configure(replicas=9).build_config()
+    assert config.replicas == 9
+
+
+def test_from_config_preserves_the_config():
+    base = ClusterConfig(replicas=4, seed=7)
+    assert Experiment.from_config(base).build_config() is base
+
+
+def test_faults_validates_spec_eagerly():
+    with pytest.raises(ValueError):
+        Experiment().faults("explode@240:*")
+
+
+def test_nemesis_rejects_node_faults():
+    with pytest.raises(ValueError, match="message faults"):
+        Experiment().nemesis("crash@240:1")
+    Experiment().nemesis("drop@60-300:p=0.1")  # message faults are fine
+
+
+# ----------------------------------------------------------------------
+# seed-for-seed parity with the deprecated drivers
+# ----------------------------------------------------------------------
+SCENARIOS = [
+    ("run_baseline", (), lambda e: e.baseline()),
+    ("run_one_crash", (), lambda e: e.one_crash()),
+    ("run_two_crashes", (), lambda e: e.two_crashes()),
+    ("run_sequential_crashes", (), lambda e: e.sequential_crashes()),
+    ("run_partition", (), lambda e: e.partition()),
+    ("run_delayed_recovery", (), lambda e: e.delayed_recovery()),
+    ("run_custom", ("crash@240:1,reboot@330:1",),
+     lambda e: e.faults("crash@240:1,reboot@330:1")),
+]
+
+
+@pytest.mark.parametrize("old_name,old_args,build",
+                         SCENARIOS, ids=[s[0] for s in SCENARIOS])
+def test_builder_matches_deprecated_driver_bit_for_bit(old_name, old_args,
+                                                       build):
+    config = light_config(seed=42)
+    with pytest.warns(DeprecationWarning, match=old_name):
+        via_shim = getattr(experiments, old_name)(config, *old_args)
+    via_builder = build(Experiment.from_config(config)).run()
+    assert via_shim.to_dict() == via_builder.to_dict()
+
+
+def test_every_shim_warns_with_a_migration_hint():
+    config = light_config()
+    with pytest.warns(DeprecationWarning,
+                      match=r"Experiment\.from_config\(config\)\.baseline"):
+        experiments.run_baseline(config)
+
+
+def test_speedup_point_helpers_do_not_warn():
+    import warnings
+
+    config = light_config()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        awips, wirt_ms = experiments.run_speedup_point(config)
+    assert awips > 0 and wirt_ms > 0
+
+
+# ----------------------------------------------------------------------
+# recovery_window now refuses faultless runs
+# ----------------------------------------------------------------------
+def test_recovery_window_raises_on_baseline_with_guidance():
+    result = Experiment.from_config(light_config()).baseline().run()
+    with pytest.raises(experiments.MissingWindowError) as excinfo:
+        result.recovery_window()
+    message = str(excinfo.value)
+    assert "'none'" in message  # names the faultload that ran
+    assert "one_crash" in message  # and points at the fix
+    assert result.pv_pct() is None  # the soft probes still degrade gently
+    assert result.to_dict()["recovery_awips"] is None
+
+
+def test_recovery_window_present_on_crash_runs():
+    result = Experiment.from_config(light_config()).one_crash().run()
+    assert result.faultload_name == "one-crash"
+    assert result.recovery_window().awips >= 0.0

@@ -1,0 +1,128 @@
+"""The metrics registry: counters, gauges, streaming histograms."""
+
+import random
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    StreamingHistogram,
+    registry_of,
+)
+
+
+def test_counter_get_or_create_and_inc():
+    registry = MetricsRegistry()
+    counter = registry.counter("paxos.proposals")
+    counter.inc()
+    counter.inc(3)
+    assert registry.counter("paxos.proposals") is counter
+    assert counter.value == 4
+
+
+def test_gauge_binding_and_rebinding():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("queue.depth")
+    assert gauge.read() == 0.0  # unbound reads as zero
+    registry.gauge("queue.depth", fn=lambda: 7)
+    assert gauge.read() == 7.0
+
+
+def test_gauge_swallows_reader_exceptions():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("flaky", fn=lambda: 1 / 0)
+    assert gauge.read() == 0.0
+
+
+def test_snapshot_contains_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(2)
+    registry.gauge("b", fn=lambda: 5.0)
+    registry.histogram("c").observe(1.0)
+    snap = registry.snapshot()
+    assert snap["counters"]["a"] == 2
+    assert snap["gauges"]["b"] == 5.0
+    assert snap["histograms"]["c"]["count"] == 1
+
+
+def test_null_registry_is_inert_and_shared():
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+    assert not NULL_REGISTRY.enabled
+    counter = NULL_REGISTRY.counter("x")
+    counter.inc()
+    counter.inc(100)
+    assert NULL_REGISTRY.counter("y") is counter  # one shared null object
+    gauge = NULL_REGISTRY.gauge("g", fn=lambda: 3)
+    assert gauge.read() == 0.0
+    NULL_REGISTRY.histogram("h").observe(1.0)
+
+
+def test_registry_of_falls_back_to_null():
+    class FakeSim:
+        pass
+
+    sim = FakeSim()
+    assert registry_of(sim) is NULL_REGISTRY
+    sim.metrics = None
+    assert registry_of(sim) is NULL_REGISTRY
+    real = MetricsRegistry()
+    sim.metrics = real
+    assert registry_of(sim) is real
+
+
+# ----------------------------------------------------------------------
+# histogram quantiles vs sorted-sample ground truth
+# ----------------------------------------------------------------------
+def _ground_truth(samples, q):
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1, int(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "lognormal", "exponential"])
+@pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+def test_quantiles_match_sorted_samples_within_bucket_error(distribution, q):
+    rng = random.Random(2009)
+    if distribution == "uniform":
+        samples = [rng.uniform(0.001, 10.0) for _ in range(5000)]
+    elif distribution == "lognormal":
+        samples = [rng.lognormvariate(0.0, 1.5) for _ in range(5000)]
+    else:
+        samples = [rng.expovariate(1 / 0.05) for _ in range(5000)]
+    growth = 2 ** 0.25
+    hist = StreamingHistogram("t", lo=1e-6, hi=1e7, growth=growth)
+    for sample in samples:
+        hist.observe(sample)
+    truth = _ground_truth(samples, q)
+    # geometric-midpoint estimate: relative error bounded by the
+    # half-bucket ratio sqrt(growth) - 1 (~9% at growth 2^0.25), plus a
+    # little slack for the off-by-one between bucket rank and list rank
+    estimate = hist.quantile(q)
+    assert estimate == pytest.approx(truth, rel=(growth ** 0.5 - 1) + 0.02)
+
+
+def test_quantile_clamped_to_observed_range():
+    hist = StreamingHistogram("t")
+    for value in (3.0, 4.0, 5.0):
+        hist.observe(value)
+    assert hist.quantile(0.0001) >= 3.0
+    assert hist.quantile(0.9999) <= 5.0
+
+
+def test_histogram_mean_and_summary():
+    hist = StreamingHistogram("t")
+    for value in (1.0, 2.0, 3.0):
+        hist.observe(value)
+    assert hist.mean == pytest.approx(2.0)
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert summary["min"] == 1.0 and summary["max"] == 3.0
+    assert set(summary) >= {"p50", "p95", "p99", "mean"}
+
+
+def test_empty_histogram_quantile_is_zero():
+    hist = StreamingHistogram("t")
+    assert hist.quantile(0.5) == 0.0
+    assert hist.count == 0

@@ -21,6 +21,39 @@ def test_version():
     assert repro.__version__
 
 
+def test_top_level_lazy_surface():
+    """`repro.X` resolves the advertised names without import cycles."""
+    assert set(repro.__all__) >= {"Experiment", "ExperimentScale",
+                                  "ClusterConfig", "MetricsRegistry"}
+    from repro.harness.experiment import Experiment
+    from repro.obs.registry import MetricsRegistry
+    assert repro.Experiment is Experiment
+    assert repro.MetricsRegistry is MetricsRegistry
+    assert {"Experiment", "MetricsRegistry"} <= set(dir(repro))
+    try:
+        repro.NoSuchThing
+    except AttributeError as error:
+        assert "NoSuchThing" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected AttributeError")
+
+
+def test_obs_public_surface():
+    from repro.obs import (KernelProfiler, MetricsRegistry, NullRegistry,
+                           StreamingHistogram, Timeline, TimelineSampler,
+                           registry_of)
+    registry = MetricsRegistry()
+    for method in ("counter", "gauge", "histogram", "snapshot"):
+        assert callable(getattr(registry, method))
+        assert callable(getattr(NullRegistry, method, None))
+    for method in ("record", "rate", "to_dict", "from_dict", "to_csv"):
+        assert callable(getattr(Timeline, method))
+    assert callable(TimelineSampler.sample)
+    assert callable(KernelProfiler.summary)
+    assert callable(StreamingHistogram.quantile)
+    assert callable(registry_of)
+
+
 def test_treplica_core_interface():
     """The paper's two programming abstractions, methods pinned."""
     from repro.treplica import PersistentQueue, StateMachine, TreplicaRuntime
@@ -78,12 +111,20 @@ def test_tpcw_public_surface():
 
 
 def test_harness_public_surface():
-    from repro.harness import (ClusterConfig, ExperimentScale,
-                               RobustStoreCluster, bench_scale, paper_scale,
+    from repro.harness import (ClusterConfig, Experiment, ExperimentScale,
+                               MissingWindowError, RobustStoreCluster,
+                               bench_scale, paper_scale, tiny_scale,
                                run_baseline, run_delayed_recovery,
                                run_one_crash, run_scaleup_point,
                                run_speedup_point, run_two_crashes)
     assert bench_scale().time_div > paper_scale().time_div
+    assert tiny_scale().time_div > bench_scale().time_div
+    for method in ("baseline", "faults", "nemesis", "observe",
+                   "check_safety", "one_crash", "two_crashes",
+                   "sequential_crashes", "partition", "delayed_recovery",
+                   "run"):
+        assert callable(getattr(Experiment, method))
+    assert issubclass(MissingWindowError, ValueError)
 
 
 def test_faults_public_surface():
