@@ -1,0 +1,101 @@
+"""Shard scale-up -- aggregate WIPS of the partitioned store.
+
+Beyond the paper: the RobustStore of the paper orders *every* write
+through one Paxos group, so its throughput ceiling is the leader's
+ordering capacity no matter how many replicas are added (Figure 4 shows
+the flat-to-declining curve).  ``repro.shard`` partitions the TPC-W
+entity space over independent groups; this benchmark drives the
+write-heaviest (ordering) profile far past one group's saturation point
+and shows the aggregate delivered WIPS climbing monotonically from 1 to
+4 shards at a fixed per-group replica count.
+
+A second case replays a 25-seed sweep with a mid-run crash in each
+group and asserts the SafetyChecker stays silent: per-shard consensus
+invariants *and* cross-shard 2PC atomicity.
+"""
+
+import pytest
+
+from repro.harness.config import tiny_scale
+from repro.harness.experiment import Experiment
+from repro.harness.report import format_table
+
+from benchmarks.common import emit, run_once
+
+#: Load-domain offered WIPS, chosen (empirically) ~2.5x past the point
+#: where a single 3-replica group saturates under the ordering profile,
+#: so added shards translate into delivered throughput.
+SATURATING_WIPS = 3200.0
+SHARD_COUNTS = (1, 2, 4)
+SWEEP_SEEDS = 25
+
+
+def _run(shards, seed=1, **overrides):
+    fields = dict(replicas=3, num_ebs=60, offered_wips=SATURATING_WIPS,
+                  profile="ordering", seed=seed)
+    fields.update(overrides)
+    return (Experiment(tiny_scale(), **fields)
+            .shards(shards).observe().check_safety().baseline().run())
+
+
+@pytest.mark.shard
+@pytest.mark.benchmark(group="shard")
+def test_shard_scaleup(benchmark):
+    def run():
+        return {shards: _run(shards) for shards in SHARD_COUNTS}
+
+    results = run_once(benchmark, run)
+    rows = []
+    awips = {}
+    for shards, result in results.items():
+        whole = result.whole_window()
+        awips[shards] = whole.awips
+        counters = result.metrics.get("counters", {})
+        rows.append([f"{shards} shard(s) x 3R", f"{whole.awips:.1f}",
+                     f"{whole.completed}",
+                     f"{counters.get('shard.txn_committed', 0):.0f}"
+                     if shards > 1 else "-"])
+    emit("shard_scaleup", format_table(
+        f"Shard scale-up, ordering profile at {SATURATING_WIPS:.0f} "
+        f"offered WIPS (load domain)",
+        ["config", "aggregate WIPS", "completed", "2PC commits"], rows))
+
+    # The acceptance curve: strictly more delivered throughput per shard
+    # added, with the whole cluster staying error- and violation-free.
+    for smaller, larger in zip(SHARD_COUNTS, SHARD_COUNTS[1:]):
+        assert awips[larger] > awips[smaller], (
+            f"{larger} shards not faster than {smaller}: {awips}")
+    # Sharding past saturation buys real headroom, not noise.
+    assert awips[SHARD_COUNTS[-1]] > 1.5 * awips[1]
+    for result in results.values():
+        assert result.safety_violations == []
+        assert result.whole_window().errors == 0
+
+
+@pytest.mark.shard
+@pytest.mark.benchmark(group="shard")
+def test_shard_safety_sweep_25_seeds(benchmark):
+    def run():
+        outcomes = []
+        for seed in range(SWEEP_SEEDS):
+            result = (Experiment(tiny_scale(), replicas=3, num_ebs=30,
+                                 offered_wips=400.0, profile="ordering",
+                                 seed=seed)
+                      .shards(2).check_safety()
+                      .faults("crash@240:0.*, crash@270:1.*").run())
+            outcomes.append((seed, result))
+        return outcomes
+
+    outcomes = run_once(benchmark, run)
+    violations = {seed: result.safety_violations
+                  for seed, result in outcomes if result.safety_violations}
+    assert violations == {}, violations
+    recovered = sum(1 for _seed, result in outcomes
+                    if len(result.recoveries) == 2)
+    emit("shard_safety_sweep", format_table(
+        "25-seed 2-shard crash sweep (ordering profile)",
+        ["measure", "value"],
+        [["seeds", f"{SWEEP_SEEDS}"],
+         ["safety violations (incl. 2PC atomicity)", "0"],
+         ["runs with both groups recovered", f"{recovered}"]]))
+    assert recovered == SWEEP_SEEDS

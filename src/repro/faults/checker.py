@@ -17,7 +17,15 @@ can be checked for safety, not just for recovered throughput:
 * **durability** -- a command whose local client saw it complete
   ("acked") was decided, and no replica's delivery stream passed over
   its instance without it (no client-acked command is lost across
-  crash + nemesis).
+  crash + nemesis);
+* **transaction atomicity** -- on sharded runs (:mod:`repro.shard`),
+  every cross-shard 2PC reaches at most one outcome, and a commit is
+  only ever decided after a yes vote from every participant shard.
+
+On sharded deployments each consensus group is independent, so the
+instance-number spaces overlap by design: all per-instance checks are
+keyed by the replica-name shard prefix (``s1.replica2`` -> group
+``s1``), never across groups.
 
 Usage::
 
@@ -33,10 +41,21 @@ including checkpoint-transfer skips), and the Treplica applier
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.sim.trace import TraceEvent, Tracer
+
+#: Sharded replica names carry a ``s<g>.`` prefix (repro.shard); the
+#: prefix identifies the consensus group a trace source belongs to.
+_SHARD_PREFIX = re.compile(r"^(s\d+)\.")
+
+
+def _group_of(source: str) -> str:
+    """The consensus group of a trace source ('' = the single group)."""
+    match = _SHARD_PREFIX.match(source)
+    return match.group(1) if match else ""
 
 
 class SafetyViolation(AssertionError):
@@ -59,7 +78,7 @@ class SafetyChecker:
 
     #: the trace categories the checker consumes; pass to ``Tracer`` to
     #: keep long runs from recording anything else.
-    CATEGORIES = ("decide", "deliver", "ack")
+    CATEGORIES = ("decide", "deliver", "ack", "txn")
 
     def __init__(self, tracer: Tracer):
         self._tracer = tracer
@@ -72,6 +91,7 @@ class SafetyChecker:
         found += self._check_agreement("deliver")
         found += self._check_delivery_streams()
         found += self._check_acked_durability()
+        found += self._check_transactions()
         return found[:max_violations]
 
     def assert_ok(self) -> None:
@@ -89,15 +109,16 @@ class SafetyChecker:
     # agreement: one value per instance, cluster-wide
     # ------------------------------------------------------------------
     def _check_agreement(self, category: str) -> List[Violation]:
-        chosen: Dict[int, Tuple[Tuple[str, ...], str]] = {}
+        chosen: Dict[Tuple[str, int], Tuple[Tuple[str, ...], str]] = {}
         violations = []
         for event in self._tracer.select(category):
             if event.get("event") == "transfer":
                 continue
             instance, key = event["instance"], event["key"]
-            first = chosen.get(instance)
+            first = chosen.get((_group_of(event.source), instance))
             if first is None:
-                chosen[instance] = (key, event.source)
+                chosen[(_group_of(event.source), instance)] = (key,
+                                                               event.source)
             elif first[0] != key:
                 kind = ("agreement" if category == "decide"
                         else "deliver-agreement")
@@ -145,14 +166,18 @@ class SafetyChecker:
     # durability of client-acked commands
     # ------------------------------------------------------------------
     def _check_acked_durability(self) -> List[Violation]:
-        decided_uids: Set[str] = set()
+        # Everything here is scoped to one consensus group: decisions,
+        # delivery summaries, and acks are bucketed by the source's
+        # shard prefix (one shared bucket on unsharded runs).
+        decided_uids: Dict[str, Set[str]] = {}
         for event in self._tracer.select("decide"):
-            decided_uids.update(event["key"])
+            decided_uids.setdefault(_group_of(event.source),
+                                    set()).update(event["key"])
 
         # Per incarnation: delivered instances, their range, and how far
         # a checkpoint transfer skipped (instances at or below it are
         # covered by the installed snapshot, not lost).
-        summaries = []
+        summaries: Dict[str, List[tuple]] = {}
         for (source, inc), events in self._delivery_streams().items():
             delivered: Set[int] = set()
             skipped_upto = -1
@@ -162,24 +187,58 @@ class SafetyChecker:
                 else:
                     delivered.add(event["instance"])
             if delivered:
-                summaries.append((f"{source}#inc{inc}", delivered,
-                                  min(delivered), max(delivered),
-                                  skipped_upto))
+                summaries.setdefault(_group_of(source), []).append(
+                    (f"{source}#inc{inc}", delivered,
+                     min(delivered), max(delivered), skipped_upto))
 
         violations = []
-        acked: Dict[str, int] = {}
+        acked: Dict[Tuple[str, str], int] = {}
         for event in self._tracer.select("ack"):
-            acked.setdefault(event["uid"], event["instance"])
-        for uid, instance in sorted(acked.items()):
-            if uid not in decided_uids:
+            acked.setdefault((_group_of(event.source), event["uid"]),
+                             event["instance"])
+        for (group, uid), instance in sorted(acked.items()):
+            if uid not in decided_uids.get(group, set()):
                 violations.append(Violation("lost-ack", (
                     f"uid {uid!r} was acked at instance {instance} "
                     f"but never appears in any decided batch")))
                 continue
-            for who, delivered, low, high, skipped_upto in summaries:
+            for who, delivered, low, high, skipped_upto in \
+                    summaries.get(group, []):
                 if low <= instance <= high and instance > skipped_upto \
                         and instance not in delivered:
                     violations.append(Violation("lost-ack", (
                         f"{who} delivered past instance {instance} "
                         f"without it, losing acked uid {uid!r}")))
+        return violations
+
+    # ------------------------------------------------------------------
+    # cross-shard 2PC atomicity (sharded runs only; no-op otherwise)
+    # ------------------------------------------------------------------
+    def _check_transactions(self) -> List[Violation]:
+        yes_votes: Dict[str, Set[int]] = {}
+        decisions: Dict[str, Tuple[str, str]] = {}
+        violations = []
+        for event in self._tracer.select("txn"):
+            if event.get("event") == "vote":
+                if event["vote"]:
+                    yes_votes.setdefault(event["tx"], set()).add(
+                        event["shard"])
+            elif event.get("event") == "decision":
+                tx, outcome = event["tx"], event["outcome"]
+                first = decisions.get(tx)
+                if first is None:
+                    decisions[tx] = (outcome, event.source)
+                elif first[0] != outcome:
+                    violations.append(Violation("txn-decision", (
+                        f"tx {tx!r}: {first[1]} decided {first[0]} but "
+                        f"{event.source} decided {outcome} "
+                        f"(t={event.time:.4f})")))
+                    continue
+                if outcome == "commit":
+                    missing = [shard for shard in event["shards"]
+                               if shard not in yes_votes.get(tx, set())]
+                    if missing:
+                        violations.append(Violation("txn-commit", (
+                            f"tx {tx!r} committed without a yes vote "
+                            f"from shard(s) {missing} (t={event.time:.4f})")))
         return violations

@@ -29,6 +29,17 @@ Grammar (one comma-separated event per chunk)::
     oneway@30:2>3      cut the replica2 -> replica3 direction at t=30
     oneway@30-90:2>3   the same, healed at t=90
 
+On sharded deployments (:mod:`repro.shard`) targets may be
+shard-qualified with a dotted ``shard.replica`` form::
+
+    crash@240:1.2      crash shard 1's replica 2
+    crash@240:1.*      crash a random live replica of shard 1
+    reboot@390:0.3     manually reboot shard 0's replica 3
+    oneway@30:0.1>1.2  cut shard0.replica1 -> shard1.replica2
+
+A directed pair must be shard-qualified at both ends or neither; plain
+indexes on a sharded cluster address shard 0.
+
 Targets are validated per kind at parse time: ``*`` (random live
 replica) is only meaningful for ``crash``; ``reboot``/``partition``/
 ``heal`` need a fixed replica index; nemesis kinds need a time window
@@ -64,6 +75,8 @@ class FaultEvent:
     kinds add ``until`` (window end), ``p`` (per-message probability),
     and optionally a directed pair ``replica > dst``.  ``oneway`` uses
     ``replica``/``dst`` as the cut direction and an optional ``until``.
+    ``shard``/``dst_shard`` carry the shard qualifiers of the dotted
+    grammar (``1.2``); they stay ``None`` for unsharded targets.
     """
 
     at: float
@@ -73,12 +86,38 @@ class FaultEvent:
     p: Optional[float] = None
     dst: Optional[int] = None
     delay_mean_s: Optional[float] = None
+    shard: Optional[int] = None      # shard of ``replica`` (sharded runs)
+    dst_shard: Optional[int] = None  # shard of ``dst``
+
+    @property
+    def src_target(self):
+        """What fault methods take: an index, or (shard, index)."""
+        if self.shard is not None:
+            return (self.shard, self.replica)
+        return self.replica
+
+    @property
+    def dst_target(self):
+        if self.dst_shard is not None:
+            return (self.dst_shard, self.dst)
+        return self.dst
 
     def __post_init__(self):
         if self.kind not in ALL_KINDS:
             raise ValueError(f"unknown fault kind: {self.kind!r}")
         if self.at < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at!r}")
+        for label, value in (("shard", self.shard),
+                             ("dst shard", self.dst_shard)):
+            if value is not None and value < 0:
+                raise ValueError(f"{label} must be >= 0, got {value!r}")
+        if self.dst_shard is not None and self.dst is None:
+            raise ValueError("a dst shard qualifier needs a pair target")
+        if self.dst is not None and (self.shard is None) != (self.dst_shard
+                                                            is None):
+            raise ValueError(
+                "a directed pair must be shard-qualified at both ends "
+                "('0.1>1.2') or neither ('1>2')")
         if self.kind in REPLICA_KINDS:
             if self.kind != "crash" and self.replica is None:
                 raise ValueError(
@@ -170,7 +209,7 @@ def _parse_event(chunk: str) -> FaultEvent:
                          f"(expected one of {', '.join(ALL_KINDS)})")
     parts = [part.strip() for part in rest.split(":")]
     at, until = _parse_time(parts[0], kind, chunk)
-    replica = dst = p = mean = None
+    replica = dst = p = mean = shard = dst_shard = None
     for part in parts[1:]:
         if "=" in part:
             if kind not in NEMESIS_KINDS:
@@ -185,8 +224,11 @@ def _parse_event(chunk: str) -> FaultEvent:
             if replica is not None:
                 raise ValueError(f"duplicate pair in {chunk!r}")
             src_text, dst_text = part.split(">", 1)
-            replica = _parse_index(src_text, chunk)
-            dst = _parse_index(dst_text, chunk)
+            shard, replica = _parse_target(src_text, chunk)
+            dst_shard, dst = _parse_target(dst_text, chunk)
+            if replica is None or dst is None:
+                raise ValueError(
+                    f"a pair must name fixed replicas, not '*': {chunk!r}")
         elif part == "*":
             if kind != "crash":
                 raise ValueError(
@@ -198,10 +240,15 @@ def _parse_event(chunk: str) -> FaultEvent:
                 raise ValueError(
                     f"{kind!r} needs a directed pair 'src>dst', "
                     f"got bare target {part!r}: {chunk!r}")
-            replica = _parse_index(part, chunk)
+            shard, replica = _parse_target(part, chunk)
+            if replica is None and kind != "crash":
+                raise ValueError(
+                    f"random target '*' is only valid for crash, "
+                    f"not {kind!r}: {chunk!r}")
     try:
         return FaultEvent(at, kind, replica, until=until, p=p, dst=dst,
-                          delay_mean_s=mean)
+                          delay_mean_s=mean, shard=shard,
+                          dst_shard=dst_shard)
     except ValueError as error:
         raise ValueError(f"{error} (in {chunk!r})") from None
 
@@ -252,6 +299,20 @@ def _parse_index(text: str, chunk: str) -> int:
         raise ValueError(f"bad replica target {text!r} in {chunk!r}")
 
 
+def _parse_target(text: str,
+                  chunk: str) -> Tuple[Optional[int], Optional[int]]:
+    """One target as ``(shard, replica)``: ``2`` -> (None, 2),
+    ``1.2`` -> (1, 2), ``1.*`` -> (1, None)."""
+    text = text.strip()
+    if "." not in text:
+        return None, _parse_index(text, chunk)
+    shard_text, _dot, replica_text = text.partition(".")
+    shard = _parse_index(shard_text, chunk)
+    if replica_text.strip() == "*":
+        return shard, None
+    return shard, _parse_index(replica_text, chunk)
+
+
 class FaultInjector:
     """Applies a faultload to a cluster.
 
@@ -285,31 +346,37 @@ class FaultInjector:
                 self._sim.call_at(event.at, self._fire, event)
 
     def _fire(self, event: FaultEvent) -> None:
-        replica = event.replica
+        target = event.src_target
         if event.kind == "crash":
-            if replica is None:
+            if event.replica is None:
                 live = self._cluster.live_replicas()
+                if event.shard is not None:
+                    # crash@T:1.* -- random choice within one shard.
+                    live = [t for t in live
+                            if isinstance(t, tuple) and t[0] == event.shard]
                 if not live:
                     return
-                replica = self._rng.choice(sorted(live))
-            self._cluster.crash_replica(replica)
+                target = self._rng.choice(sorted(live))
+            self._cluster.crash_replica(target)
         elif event.kind == "reboot":
-            self._cluster.reboot_replica(replica)
+            self._cluster.reboot_replica(target)
         elif event.kind == "partition":
-            self._cluster.partition_replica(replica)
+            self._cluster.partition_replica(target)
         elif event.kind == ONEWAY_KIND:
-            self._cluster.block_oneway(event.replica, event.dst)
+            self._cluster.block_oneway(event.src_target, event.dst_target)
             self.injected.append(
-                (self._sim.now, event.kind, (event.replica, event.dst)))
+                (self._sim.now, event.kind,
+                 (event.src_target, event.dst_target)))
             return
         else:
-            self._cluster.heal_replica(replica)
-        self.injected.append((self._sim.now, event.kind, replica))
+            self._cluster.heal_replica(target)
+        self.injected.append((self._sim.now, event.kind, target))
 
     def _heal_oneway(self, event: FaultEvent) -> None:
-        self._cluster.unblock_oneway(event.replica, event.dst)
+        self._cluster.unblock_oneway(event.src_target, event.dst_target)
         self.injected.append(
-            (self._sim.now, "heal-oneway", (event.replica, event.dst)))
+            (self._sim.now, "heal-oneway",
+             (event.src_target, event.dst_target)))
 
     @property
     def faults_injected(self) -> int:

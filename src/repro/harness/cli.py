@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import warnings
 
@@ -66,6 +67,10 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                         default="bench")
     parser.add_argument("--no-fast", action="store_true",
                         help="disable Fast Paxos (classic rounds only)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the store over N independent "
+                             "Paxos groups (repro.shard); 1 = the "
+                             "paper's unsharded deployment")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,12 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser(
         "report", help="re-render a saved `repro run --json` result")
-    report.add_argument("path", help="JSON file written by `repro run --json`")
+    report.add_argument("paths", nargs="+", metavar="path",
+                        help="JSON file(s) written by `repro run --json`")
     report.add_argument("--timeline", action="store_true",
                         help="also print the WIPS timeline")
     report.add_argument("--series", metavar="NAME", default=None,
                         help="print one observability series from the "
                              "saved timeline (e.g. paxos.decisions)")
+    report.add_argument("--aggregate", action="store_true",
+                        help="fold the per-shard timelines of sharded "
+                             "run(s) into one cluster-level WIPS/WIRT "
+                             "series (inputs must share a shard count)")
     return parser
 
 
@@ -161,7 +171,8 @@ def _cmd_run(args) -> int:
     experiment = Experiment(
         scale=scale, replicas=args.replicas, num_ebs=args.ebs,
         profile=args.profile, offered_wips=args.offered_wips,
-        seed=args.seed, enable_fast=not args.no_fast)
+        seed=args.seed, enable_fast=not args.no_fast,
+        shards=args.shards)
     if args.faultload is not None:
         experiment.faults(args.faultload)
         label = "custom"
@@ -291,9 +302,116 @@ def _cmd_sweep(args) -> int:
 # ======================================================================
 # report
 # ======================================================================
+def _load_result(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _counter_rate(points):
+    """Cumulative counter samples [[t, v], ...] -> per-second rates."""
+    rates = []
+    for (t0, v0), (t1, v1) in zip(points, points[1:]):
+        if t1 > t0:
+            rates.append((t1, (v1 - v0) / (t1 - t0)))
+    return rates
+
+
+def _shard_series(timeline: dict, stem: str) -> dict:
+    """shard id -> points of ``shard.s<g>.<stem>`` in a saved timeline."""
+    series = (timeline or {}).get("series", {})
+    out = {}
+    for name, payload in series.items():
+        match = re.match(rf"shard\.s(\d+)\.{re.escape(stem)}$", name)
+        if match:
+            out[int(match.group(1))] = payload["points"]
+    return out
+
+
+def _cmd_report_aggregate(args) -> int:
+    """Fold per-shard timelines into cluster-level WIPS/WIRT series."""
+    results = [(path, _load_result(path)) for path in args.paths]
+    by_shards = {path: data.get("config", {}).get("shards", 1)
+                 for path, data in results}
+    if len(set(by_shards.values())) > 1:
+        detail = ", ".join(f"{path}: {count} shard(s)"
+                           for path, count in by_shards.items())
+        print(f"error: --aggregate needs inputs with one shard count, "
+              f"got a mix ({detail})", file=sys.stderr)
+        return 1
+
+    cluster_wips = []   # one aggregated (t, wips) series per input
+    cluster_wirt = []
+    shard_awips: dict = {}
+    for path, data in results:
+        ok = _shard_series(data.get("timeline"), "interactions_ok")
+        wirt = _shard_series(data.get("timeline"), "wirt_sum_s")
+        if not ok:
+            print(f"error: {path} has no per-shard timeline; rerun with "
+                  f"--shards k --obs --json", file=sys.stderr)
+            return 1
+        rates = {g: _counter_rate(points) for g, points in ok.items()}
+        ticks = min((len(r) for r in rates.values()), default=0)
+        for g, shard_rates in sorted(rates.items()):
+            awips = (sum(rate for _t, rate in shard_rates)
+                     / len(shard_rates)) if shard_rates else 0.0
+            shard_awips.setdefault(g, []).append(awips)
+        cluster_wips.append([
+            (rates[min(rates)][i][0],
+             sum(rates[g][i][1] for g in rates))
+            for i in range(ticks)])
+        # mean WIRT per tick: summed response-time mass / summed count
+        ok_deltas = {g: list(zip(points, points[1:]))
+                     for g, points in ok.items()}
+        wirt_deltas = {g: list(zip(points, points[1:]))
+                       for g, points in wirt.items()}
+        ticks_w = min((len(d) for d in wirt_deltas.values()), default=0)
+        points_w = []
+        for i in range(min(ticks, ticks_w)):
+            count = sum(ok_deltas[g][i][1][1] - ok_deltas[g][i][0][1]
+                        for g in wirt_deltas if g in ok_deltas)
+            mass = sum(wirt_deltas[g][i][1][1] - wirt_deltas[g][i][0][1]
+                       for g in wirt_deltas)
+            if count > 0:
+                points_w.append((wirt_deltas[min(wirt_deltas)][i][1][0],
+                                 mass / count))
+        cluster_wirt.append(points_w)
+
+    # Across input files (e.g. seeds): average tick-by-tick.
+    def _average(series_list):
+        ticks = min((len(s) for s in series_list), default=0)
+        return [(series_list[0][i][0],
+                 sum(s[i][1] for s in series_list) / len(series_list))
+                for i in range(ticks)]
+
+    wips_series = _average(cluster_wips)
+    wirt_series = _average([s for s in cluster_wirt if s] or [[]])
+    shards = next(iter(by_shards.values()))
+    rows = [[f"shard {g} AWIPS",
+             f"{sum(values) / len(values):.1f}"]
+            for g, values in sorted(shard_awips.items())]
+    total = sum(sum(values) / len(values) for values in shard_awips.values())
+    rows.append(["cluster AWIPS (sum of shards)", f"{total:.1f}"])
+    print(format_table(
+        f"aggregate of {len(results)} run(s) ({shards} shard(s))",
+        ["measure", "value"], rows))
+    print()
+    print(format_series("cluster WIPS (all shards)", wips_series,
+                        x_label="t(s)", y_label="WIPS"))
+    if wirt_series:
+        print()
+        print(format_series("cluster mean WIRT (s)", wirt_series,
+                            x_label="t(s)", y_label="WIRT"))
+    return 0
+
+
 def _cmd_report(args) -> int:
-    with open(args.path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
+    if args.aggregate:
+        return _cmd_report_aggregate(args)
+    if len(args.paths) > 1:
+        print("error: multiple result files need --aggregate",
+              file=sys.stderr)
+        return 2
+    data = _load_result(args.paths[0])
     config = data.get("config", {})
     rows = [["AWIPS (measurement interval)", f"{data['awips']:.1f}"],
             ["CV", f"{data['cv']:.3f}"],

@@ -9,6 +9,12 @@ Three disjoint node sets on one simulated switch:
 
 Plus the out-of-band pieces: one watchdog per replica (auto-restart) and
 the recovery-event log the dependability analysis reads.
+
+The replica tier lives in :class:`ReplicaGroup` so one deployment can
+host several independent consensus groups: the unsharded cluster below
+builds exactly one group (node names, seed forks, and boot order are
+unchanged), while :class:`repro.shard.cluster.ShardedCluster` builds one
+group per shard with a ``s{g}.`` name prefix and a shard-scoped seed.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import math
 import pickle
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.faults.checker import SafetyChecker
 from repro.faults.faultload import NEMESIS_KINDS, ONEWAY_KIND, FaultEvent, Faultload
@@ -44,6 +50,145 @@ from repro.tpcw.workload import profile_by_name
 from repro.treplica import TreplicaRuntime
 from repro.web.proxy import ReverseProxy
 from repro.web.server import ApplicationServer
+
+
+class ReplicaGroup:
+    """The replica tier of one consensus group.
+
+    Owns the replica nodes and their software stack (Treplica runtime,
+    TPC-W facade, servlets, application server), the per-replica
+    watchdogs, and the group's recovery-event log.  Construction only
+    creates the nodes; :meth:`boot_all` starts the software and
+    :meth:`start_watchdogs` arms the out-of-band restarts, so the caller
+    controls the deployment-wide ordering of those phases (which fixes
+    the simulator's deterministic event interleaving).
+    """
+
+    def __init__(self, sim: Simulator, network: Network,
+                 config: ClusterConfig, seed: SeedTree,
+                 population_blob: bytes, size_multiplier: float,
+                 name_prefix: str = "", shard: Optional[int] = None,
+                 database_factory: Optional[Callable] = None,
+                 recoveries: Optional[List[Dict[str, float]]] = None):
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.seed = seed
+        self.shard = shard
+        self._population_blob = population_blob
+        self._size_multiplier = size_multiplier
+        self._database_factory = database_factory or ReplicaGroup._make_database
+        self.recoveries = recoveries if recoveries is not None else []
+        scale = config.scale
+        self.replica_nodes: List[Node] = [
+            Node(sim, network, f"{name_prefix}replica{i}",
+                 cpu_speed=1.0 / scale.load_div)
+            for i in range(config.replicas)]
+        self.replica_names = [node.name for node in self.replica_nodes]
+        self.runtimes: List[Optional[TreplicaRuntime]] = [None] * config.replicas
+        self.servers: List[Optional[ApplicationServer]] = [None] * config.replicas
+        self.databases: List[Optional[TPCWDatabase]] = [None] * config.replicas
+        self.watchdogs: List[Watchdog] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def boot_all(self) -> None:
+        for i, node in enumerate(self.replica_nodes):
+            node.boot = self._make_boot(i)
+            self._boot_replica(i)
+
+    def start_watchdogs(self) -> None:
+        config = self.config
+        for node in self.replica_nodes:
+            watchdog = Watchdog(
+                self.sim, node,
+                poll_interval_s=config.scale.t(0.5),
+                restart_delay_s=config.scaled_watchdog_delay_s,
+                enabled=config.watchdog_enabled)
+            watchdog.start()
+            self.watchdogs.append(watchdog)
+
+    def _make_boot(self, index: int):
+        def boot(node: Node) -> None:
+            self._boot_replica(index)
+        return boot
+
+    def _make_database(self, index: int, node: Node,
+                       runtime: TreplicaRuntime) -> TPCWDatabase:
+        return TPCWDatabase(
+            runtime, clock=lambda: self.sim.now,
+            rng=self.seed.fork_random(f"db-{index}-{node.incarnation}"))
+
+    def _boot_replica(self, index: int) -> None:
+        node = self.replica_nodes[index]
+        app = BookstoreApplication(pickle.loads(self._population_blob),
+                                   self._size_multiplier)
+        runtime = TreplicaRuntime(node, self.replica_names, index, app,
+                                  config=self.config.treplica_config(),
+                                  seed=self.seed)
+        db = self._database_factory(self, index, node, runtime)
+        servlets = BookstoreServlets(
+            db, self.seed.fork_random(f"servlets-{index}-{node.incarnation}"))
+        server = ApplicationServer(node, runtime, servlets)
+        self.runtimes[index] = runtime
+        self.servers[index] = server
+        self.databases[index] = db
+        runtime.start()
+        server.start()
+        if node.incarnation > 0:
+            event = {"replica": index,
+                     "crashed_at": node.last_crash_at,
+                     "rebooted_at": self.sim.now,
+                     "ready_at": None}
+            if self.shard is not None:
+                event["shard"] = self.shard
+            self.recoveries.append(event)
+            runtime.ready_event.add_callback(
+                lambda _e, ev=event: ev.__setitem__("ready_at", self.sim.now))
+
+    # ------------------------------------------------------------------
+    # fault-injection interface (group-local indexes)
+    # ------------------------------------------------------------------
+    def live_replicas(self) -> List[int]:
+        return [i for i, node in enumerate(self.replica_nodes) if node.alive]
+
+    def crash_replica(self, index: int) -> None:
+        self.replica_nodes[index].crash()
+        self.runtimes[index] = None
+        self.servers[index] = None
+        self.databases[index] = None
+
+    def reboot_replica(self, index: int) -> None:
+        if not self.replica_nodes[index].alive:
+            self.replica_nodes[index].reboot()
+
+    def partition_replica(self, index: int) -> None:
+        """Extension fault: cut the replica off from its group peers (it
+        stays up and keeps answering the proxy, but cannot reach a
+        quorum)."""
+        isolated = self.replica_names[index]
+        for other in self.replica_names:
+            if other != isolated:
+                self.network.block(isolated, other)
+
+    def heal_replica(self, index: int) -> None:
+        isolated = self.replica_names[index]
+        for other in self.replica_names:
+            if other != isolated:
+                self.network.unblock(isolated, other)
+
+    def disable_watchdog(self, index: int) -> None:
+        self.watchdogs[index].enabled = False
+
+    def max_apply_backlog(self) -> float:
+        """Deepest decided-but-unapplied backlog across live replicas."""
+        depth = 0
+        for runtime in self.runtimes:
+            if runtime is not None:
+                depth = max(depth,
+                            runtime.engine.watermark - runtime.applied_up_to)
+        return float(depth)
 
 
 class RobustStoreCluster:
@@ -88,11 +233,11 @@ class RobustStoreCluster:
                                  / scale.time_div)
 
         # --- nodes -----------------------------------------------------
-        self.replica_nodes: List[Node] = [
-            Node(self.sim, self.network, f"replica{i}",
-                 cpu_speed=1.0 / scale.load_div)
-            for i in range(config.replicas)]
-        self.replica_names = [node.name for node in self.replica_nodes]
+        self.group = ReplicaGroup(self.sim, self.network, config, self.seed,
+                                  self._population_blob,
+                                  self._size_multiplier)
+        self.replica_nodes = self.group.replica_nodes
+        self.replica_names = self.group.replica_names
         self.proxy_node = Node(self.sim, self.network, "proxy",
                                cpu_speed=1.0 / scale.load_div)
         self.client_nodes: List[Node] = [
@@ -100,12 +245,11 @@ class RobustStoreCluster:
             for i in range(config.client_nodes)]
 
         # --- replica software ------------------------------------------
-        self.runtimes: List[Optional[TreplicaRuntime]] = [None] * config.replicas
-        self.servers: List[Optional[ApplicationServer]] = [None] * config.replicas
-        self.recoveries: List[Dict[str, float]] = []
-        for i, node in enumerate(self.replica_nodes):
-            node.boot = self._make_boot(i)
-            self._boot_replica(i)
+        # (shared list objects: the group mutates them in place)
+        self.runtimes = self.group.runtimes
+        self.servers = self.group.servers
+        self.recoveries = self.group.recoveries
+        self.group.boot_all()
 
         # --- proxy -------------------------------------------------------
         self.proxy = ReverseProxy(self.proxy_node, self.replica_names,
@@ -113,15 +257,8 @@ class RobustStoreCluster:
         self.proxy.start()
 
         # --- watchdogs ---------------------------------------------------
-        self.watchdogs: List[Watchdog] = []
-        for node in self.replica_nodes:
-            watchdog = Watchdog(
-                self.sim, node,
-                poll_interval_s=config.scale.t(0.5),
-                restart_delay_s=config.scaled_watchdog_delay_s,
-                enabled=config.watchdog_enabled)
-            watchdog.start()
-            self.watchdogs.append(watchdog)
+        self.group.start_watchdogs()
+        self.watchdogs = self.group.watchdogs
 
         # --- RBEs ----------------------------------------------------------
         self.rbes: List[RemoteBrowserEmulator] = []
@@ -166,13 +303,7 @@ class RobustStoreCluster:
         obs.gauge("treplica.queue_depth", self._max_apply_backlog)
 
     def _max_apply_backlog(self) -> float:
-        """Deepest decided-but-unapplied backlog across live replicas."""
-        depth = 0
-        for runtime in self.runtimes:
-            if runtime is not None:
-                depth = max(depth,
-                            runtime.engine.watermark - runtime.applied_up_to)
-        return float(depth)
+        return self.group.max_apply_backlog()
 
     @property
     def timeline(self):
@@ -202,67 +333,22 @@ class RobustStoreCluster:
                     f"got {scaled.kind!r}")
 
     # ------------------------------------------------------------------
-    # replica lifecycle
-    # ------------------------------------------------------------------
-    def _make_boot(self, index: int):
-        def boot(node: Node) -> None:
-            self._boot_replica(index)
-        return boot
-
-    def _boot_replica(self, index: int) -> None:
-        node = self.replica_nodes[index]
-        app = BookstoreApplication(pickle.loads(self._population_blob),
-                                   self._size_multiplier)
-        runtime = TreplicaRuntime(node, self.replica_names, index, app,
-                                  config=self.config.treplica_config(),
-                                  seed=self.seed)
-        db = TPCWDatabase(
-            runtime, clock=lambda: self.sim.now,
-            rng=self.seed.fork_random(f"db-{index}-{node.incarnation}"))
-        servlets = BookstoreServlets(
-            db, self.seed.fork_random(f"servlets-{index}-{node.incarnation}"))
-        server = ApplicationServer(node, runtime, servlets)
-        self.runtimes[index] = runtime
-        self.servers[index] = server
-        runtime.start()
-        server.start()
-        if node.incarnation > 0:
-            event = {"replica": index,
-                     "crashed_at": node.last_crash_at,
-                     "rebooted_at": self.sim.now,
-                     "ready_at": None}
-            self.recoveries.append(event)
-            runtime.ready_event.add_callback(
-                lambda _e, ev=event: ev.__setitem__("ready_at", self.sim.now))
-
-    # ------------------------------------------------------------------
     # fault-injection interface
     # ------------------------------------------------------------------
     def live_replicas(self) -> List[int]:
-        return [i for i, node in enumerate(self.replica_nodes) if node.alive]
+        return self.group.live_replicas()
 
     def crash_replica(self, index: int) -> None:
-        self.replica_nodes[index].crash()
-        self.runtimes[index] = None
-        self.servers[index] = None
+        self.group.crash_replica(index)
 
     def reboot_replica(self, index: int) -> None:
-        if not self.replica_nodes[index].alive:
-            self.replica_nodes[index].reboot()
+        self.group.reboot_replica(index)
 
     def partition_replica(self, index: int) -> None:
-        """Extension fault: cut the replica off from its peers (it stays
-        up and keeps answering the proxy, but cannot reach a quorum)."""
-        isolated = self.replica_names[index]
-        for other in self.replica_names:
-            if other != isolated:
-                self.network.block(isolated, other)
+        self.group.partition_replica(index)
 
     def heal_replica(self, index: int) -> None:
-        isolated = self.replica_names[index]
-        for other in self.replica_names:
-            if other != isolated:
-                self.network.unblock(isolated, other)
+        self.group.heal_replica(index)
 
     def block_oneway(self, src: int, dst: int) -> None:
         """Asymmetric cut: replica ``src`` can no longer reach ``dst``
@@ -297,7 +383,7 @@ class RobustStoreCluster:
             NemesisWindow(event.at, end, params, pairs))
 
     def disable_watchdog(self, index: int) -> None:
-        self.watchdogs[index].enabled = False
+        self.group.disable_watchdog(index)
 
     # ------------------------------------------------------------------
     # run auditing

@@ -138,6 +138,17 @@ class ClusterConfig:
     # (compressed by the scale, like every other duration).
     observability: bool = False
     obs_tick_s: float = 5.0
+    # Sharding (repro.shard): number of independent Paxos+Treplica
+    # groups the TPC-W key space is range-partitioned over.  1 keeps the
+    # paper's single-group deployment and runs the unsharded code path
+    # bit-for-bit; k > 1 boots one ReplicaGroup per shard behind a
+    # shard-aware router, with two-phase commit for cross-shard writes.
+    shards: int = 1
+    # 2PC knobs for cross-shard buy-confirms.  The prepare timeout lives
+    # in the load domain (it tracks message/consensus latencies, like
+    # rbe_timeout_s), so it is deliberately NOT timeline-scaled.
+    txn_timeout_s: float = 1.0
+    txn_max_retries: int = 2
 
     @property
     def effective_offered_wips(self) -> float:

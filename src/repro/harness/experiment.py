@@ -81,6 +81,14 @@ class Experiment:
         self._overrides["nemesis_spec"] = spec
         return self
 
+    def shards(self, k: int) -> "Experiment":
+        """Partition the store over ``k`` independent Paxos groups
+        (:mod:`repro.shard`), each with ``replicas`` replicas, behind a
+        shard-aware router.  ``shards(1)`` is the unsharded deployment,
+        bit-for-bit."""
+        self._overrides["shards"] = int(k)
+        return self
+
     def observe(self, tick_s: float = 5.0) -> "Experiment":
         """Enable the observability stack (metrics registry, timeline
         sampling every ``tick_s`` paper-seconds, kernel profiling)."""
@@ -172,13 +180,13 @@ class Experiment:
                         until=(None if event.until is None
                                else scale.t(event.until)))
                 for event in parsed.events))
-            manual = {event.replica for event in scaled.events
+            manual = {event.src_target for event in scaled.events
                       if event.kind == "reboot"}
 
             def setup(cluster) -> None:
-                for replica in manual:
-                    if replica is not None:
-                        cluster.disable_watchdog(replica)
+                for target in manual:
+                    if target is not None:
+                        cluster.disable_watchdog(target)
 
             return scaled, setup
         if kind == "one_crash":

@@ -152,6 +152,7 @@ class ExperimentResult:
         return {
             "config": {
                 "replicas": self.config.replicas,
+                "shards": self.config.shards,
                 "profile": self.config.profile,
                 "num_ebs": self.config.num_ebs,
                 "offered_wips": self.config.offered_wips,
@@ -196,9 +197,45 @@ class ExperimentResult:
 # ======================================================================
 # the engine room every run goes through
 # ======================================================================
+def _check_shard_targets(config: ClusterConfig, faultload: Faultload) -> None:
+    """Reject shard-qualified fault targets that the deployment cannot
+    resolve, with a message that names the offending event."""
+    # Faultload events reach the engine scaled; the nemesis spec is still
+    # raw text.  Pair each event with the factor that recovers the
+    # paper-timeline seconds the user wrote, for the error messages.
+    specs = [(event, config.scale.time_div) for event in faultload.events]
+    if config.nemesis_spec:
+        specs += [(event, 1.0)
+                  for event in Faultload.parse(config.nemesis_spec,
+                                               name="config-nemesis").events]
+    for event, time_mult in specs:
+        at = event.at * time_mult
+        for shard in (event.shard, event.dst_shard):
+            if shard is None:
+                continue
+            if config.shards <= 1:
+                raise ValueError(
+                    f"fault event {event.kind}@{at:g} targets shard "
+                    f"{shard}, but this is an unsharded deployment; add "
+                    f".shards(k) / --shards k or drop the shard qualifier")
+            if shard >= config.shards:
+                raise ValueError(
+                    f"fault event {event.kind}@{at:g} targets shard "
+                    f"{shard}, but the deployment only has "
+                    f"{config.shards} shards (0..{config.shards - 1})")
+
+
 def _execute(config: ClusterConfig, faultload: Faultload,
              setup=None) -> ExperimentResult:
-    cluster = RobustStoreCluster(config)
+    _check_shard_targets(config, faultload)
+    if config.shards > 1:
+        # Imported lazily: the unsharded path must not even load the
+        # shard package (parity: .shards(1) is bit-for-bit the paper's
+        # single-group deployment).
+        from repro.shard.cluster import ShardedCluster
+        cluster = ShardedCluster(config)
+    else:
+        cluster = RobustStoreCluster(config)
     if setup is not None:
         setup(cluster)
     injector = FaultInjector(cluster.sim, cluster, faultload,

@@ -1,0 +1,322 @@
+"""The partitioned RobustStore deployment: k independent groups, one
+router, shared clients.
+
+Layout (generalizing Figure 2 of the paper):
+
+* ``s<g>.replica0..n`` -- shard ``g``'s replica tier: a full
+  Paxos+Treplica :class:`~repro.harness.cluster.ReplicaGroup`, booted
+  from the same cloned population as every other group but *owning* only
+  its key ranges (:class:`~repro.shard.partition.Partitioner`);
+* ``proxy`` -- one :class:`~repro.shard.router.ShardRouter` mapping each
+  interaction to its home shard and balancing inside that group only;
+* ``client0..m`` -- the unchanged RBE fleet.
+
+Recovery stays **per group**: each shard has its own watchdogs,
+checkpoints, and recovery-event log entries (tagged with the shard id),
+and a crash in one group never stalls the others' pipelines -- that
+independence is exactly the scaling argument the shard benchmarks
+measure.
+
+Fault targets are shard-qualified: every fault-injection method accepts
+either a plain replica index (shard 0, matching the unsharded cluster's
+interface) or a ``(shard, replica)`` pair, which is what the faultload
+grammar's ``crash@240:1.2`` produces.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from dataclasses import replace
+from typing import List, Optional, Tuple, Union
+
+from repro.faults.checker import SafetyChecker
+from repro.faults.faultload import (
+    NEMESIS_KINDS,
+    ONEWAY_KIND,
+    FaultEvent,
+    Faultload,
+)
+from repro.faults.metrics import MetricsCollector, NemesisStats
+from repro.harness.cluster import ReplicaGroup
+from repro.harness.config import ClusterConfig
+from repro.obs import KernelProfiler, MetricsRegistry, TimelineSampler
+from repro.shard.database import ShardedTPCWDatabase
+from repro.shard.partition import Partitioner
+from repro.shard.router import ShardRouter
+from repro.shard.txn import TxnCoordinator, TxnParticipant
+from repro.sim import (
+    Nemesis,
+    NemesisParams,
+    NemesisWindow,
+    Network,
+    NetworkParams,
+    Node,
+    SeedTree,
+    Simulator,
+)
+from repro.sim.trace import Tracer
+from repro.tpcw.population import PopulationParams, populate
+from repro.tpcw.rbe import RemoteBrowserEmulator
+from repro.tpcw.workload import profile_by_name
+
+#: A fault target: plain replica index (meaning shard 0) or
+#: ``(shard, replica)``.
+Target = Union[int, Tuple[int, int]]
+
+
+class ShardedCluster:
+    """One partitioned deployment, ready for an experiment run."""
+
+    def __init__(self, config: ClusterConfig):
+        if config.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {config.shards}")
+        self.config = config
+        self.sim = Simulator()
+        self.seed = SeedTree(config.seed)
+        if config.safety_tracing:
+            self.sim.tracer = Tracer(
+                self.sim, categories=list(SafetyChecker.CATEGORIES)
+                + ["nemesis", "node"])
+        self.metrics: Optional[MetricsRegistry] = None
+        self.profiler: Optional[KernelProfiler] = None
+        self.sampler: Optional[TimelineSampler] = None
+        if config.observability:
+            self.metrics = MetricsRegistry()
+            self.sim.metrics = self.metrics
+            self.profiler = KernelProfiler()
+            self.sim.profiler = self.profiler
+            self.sampler = TimelineSampler(
+                self.sim, self.metrics,
+                config.scale.t(config.obs_tick_s))
+        self.network = Network(self.sim, NetworkParams(), seed=self.seed,
+                               nemesis=Nemesis(self.sim, seed=self.seed))
+        self.profile = profile_by_name(config.profile)
+        self.collector = MetricsCollector()
+
+        scale = config.scale
+        self.population_params = PopulationParams(
+            num_items=config.num_items, num_ebs=config.num_ebs,
+            entity_scale=scale.entity_scale, seed=config.seed)
+        self._population_blob = pickle.dumps(populate(self.population_params))
+        self._size_multiplier = (self.population_params.size_multiplier
+                                 / scale.time_div)
+        self.partitioner = Partitioner.for_population(config.shards,
+                                                      self.population_params)
+
+        # --- nodes: every group's replicas, then proxy, then clients ----
+        self.recoveries: List[dict] = []   # shared log, entries shard-tagged
+        self.groups: List[ReplicaGroup] = [
+            ReplicaGroup(self.sim, self.network, config,
+                         self.seed.fork(f"shard{g}"),
+                         self._population_blob, self._size_multiplier,
+                         name_prefix=f"s{g}.", shard=g,
+                         database_factory=self._make_database,
+                         recoveries=self.recoveries)
+            for g in range(config.shards)]
+        self._group_names: List[List[str]] = [group.replica_names
+                                              for group in self.groups]
+        self.replica_nodes: List[Node] = [node for group in self.groups
+                                          for node in group.replica_nodes]
+        self.proxy_node = Node(self.sim, self.network, "proxy",
+                               cpu_speed=1.0 / scale.load_div)
+        self.client_nodes: List[Node] = [
+            Node(self.sim, self.network, f"client{i}")
+            for i in range(config.client_nodes)]
+
+        # --- replica software (all groups exist: coordinators can see
+        # every group's member list) -----------------------------------
+        for group in self.groups:
+            group.boot_all()
+
+        # --- router ----------------------------------------------------
+        self.proxy = ShardRouter(self.proxy_node, self._group_names,
+                                 self.partitioner, config.proxy_params())
+        self.proxy.start()
+
+        # --- watchdogs (per group) -------------------------------------
+        for group in self.groups:
+            group.start_watchdogs()
+
+        # --- RBEs ------------------------------------------------------
+        self.rbes: List[RemoteBrowserEmulator] = []
+        for k in range(config.num_rbes):
+            client_node = self.client_nodes[k % len(self.client_nodes)]
+            rbe = RemoteBrowserEmulator(
+                client_node, self.proxy_node.name, self.profile,
+                self.collector, self.seed.fork_random(f"rbe-{k}"),
+                rbe_id=k + 1,
+                think_time_s=config.think_time_s,
+                timeout_s=config.scaled_rbe_timeout_s,
+                use_navigation=config.use_navigation)
+            rbe.start()
+            self.rbes.append(rbe)
+
+        # --- deployment-wide nemesis schedule --------------------------
+        if config.nemesis_spec:
+            self._arm_config_nemesis(config.nemesis_spec)
+
+        # --- observability ---------------------------------------------
+        if self.metrics is not None:
+            self._register_gauges()
+            self.sampler.start()
+
+    # ------------------------------------------------------------------
+    # per-replica software (ReplicaGroup database_factory hook)
+    # ------------------------------------------------------------------
+    def _make_database(self, group: ReplicaGroup, index: int, node,
+                       runtime) -> ShardedTPCWDatabase:
+        """Build the shard-aware facade plus its 2PC endpoints for one
+        replica (and re-build them on every reboot/incarnation)."""
+        coordinator = TxnCoordinator(
+            node, group.shard, self._group_names,
+            timeout_s=self.config.txn_timeout_s,
+            max_retries=self.config.txn_max_retries)
+        coordinator.start()
+        TxnParticipant(node, runtime, group.shard).start()
+        return ShardedTPCWDatabase(
+            runtime, clock=lambda: self.sim.now,
+            rng=group.seed.fork_random(f"db-{index}-{node.incarnation}"),
+            partitioner=self.partitioner, shard=group.shard,
+            coordinator=coordinator)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _register_gauges(self) -> None:
+        obs = self.metrics
+        network = self.network
+        obs.gauge("sim.net_inflight_messages",
+                  lambda: network.inflight_messages)
+        obs.gauge("sim.net_inflight_mb", lambda: network.inflight_mb)
+        nemesis = network.nemesis
+        if nemesis is not None:
+            obs.gauge("sim.nemesis_dropped", lambda: nemesis.dropped)
+            obs.gauge("sim.nemesis_duplicated", lambda: nemesis.duplicated)
+            obs.gauge("sim.nemesis_delayed", lambda: nemesis.delayed)
+        obs.gauge("sim.disk_queue_depth",
+                  lambda: sum(node.disk.queue_length
+                              for node in self.replica_nodes))
+        obs.gauge("paxos.live_replicas",
+                  lambda: float(len(self.live_replicas())))
+        obs.gauge("treplica.queue_depth", self._max_apply_backlog)
+        for g, group in enumerate(self.groups):
+            obs.gauge(f"shard.s{g}.live_replicas",
+                      lambda grp=group: float(len(grp.live_replicas())))
+            obs.gauge(f"shard.s{g}.queue_depth",
+                      lambda grp=group: grp.max_apply_backlog())
+
+    def _max_apply_backlog(self) -> float:
+        return max(group.max_apply_backlog() for group in self.groups)
+
+    @property
+    def timeline(self):
+        return self.sampler.timeline if self.sampler is not None else None
+
+    # ------------------------------------------------------------------
+    # fault-injection interface (shard-qualified targets)
+    # ------------------------------------------------------------------
+    def _resolve(self, target: Target) -> Tuple[int, int]:
+        if isinstance(target, tuple):
+            shard, index = target
+        else:
+            shard, index = 0, target
+        if not 0 <= shard < len(self.groups):
+            raise ValueError(f"no such shard: {shard}")
+        return shard, index
+
+    def _replica_name(self, target: Target) -> str:
+        shard, index = self._resolve(target)
+        return self._group_names[shard][index]
+
+    def live_replicas(self) -> List[Tuple[int, int]]:
+        return [(g, i) for g, group in enumerate(self.groups)
+                for i in group.live_replicas()]
+
+    def crash_replica(self, target: Target) -> None:
+        shard, index = self._resolve(target)
+        self.groups[shard].crash_replica(index)
+
+    def reboot_replica(self, target: Target) -> None:
+        shard, index = self._resolve(target)
+        self.groups[shard].reboot_replica(index)
+
+    def partition_replica(self, target: Target) -> None:
+        shard, index = self._resolve(target)
+        self.groups[shard].partition_replica(index)
+
+    def heal_replica(self, target: Target) -> None:
+        shard, index = self._resolve(target)
+        self.groups[shard].heal_replica(index)
+
+    def disable_watchdog(self, target: Target) -> None:
+        shard, index = self._resolve(target)
+        self.groups[shard].disable_watchdog(index)
+
+    def block_oneway(self, src: Target, dst: Target) -> None:
+        self.network.block_oneway(self._replica_name(src),
+                                  self._replica_name(dst))
+
+    def unblock_oneway(self, src: Target, dst: Target) -> None:
+        self.network.unblock_oneway(self._replica_name(src),
+                                    self._replica_name(dst))
+
+    def apply_nemesis(self, event: FaultEvent) -> None:
+        if event.kind == "drop":
+            params = NemesisParams(drop_p=event.p)
+        elif event.kind == "dup":
+            params = NemesisParams(duplicate_p=event.p)
+        elif event.kind == "delay":
+            kwargs = {"delay_p": event.p}
+            if event.delay_mean_s is not None:
+                kwargs["delay_mean_s"] = event.delay_mean_s
+            params = NemesisParams(**kwargs)
+        else:
+            raise ValueError(f"not a nemesis window kind: {event.kind!r}")
+        pairs = None
+        if event.replica is not None:
+            pairs = frozenset({(self._replica_name(event.src_target),
+                                self._replica_name(event.dst_target))})
+        end = event.until if event.until is not None else math.inf
+        self.network.nemesis.add_window(
+            NemesisWindow(event.at, end, params, pairs))
+
+    def _arm_config_nemesis(self, spec: str) -> None:
+        scale = self.config.scale
+        for event in Faultload.parse(spec, name="config-nemesis").events:
+            scaled = replace(
+                event, at=scale.t(event.at),
+                until=None if event.until is None else scale.t(event.until))
+            if scaled.kind in NEMESIS_KINDS:
+                self.apply_nemesis(scaled)
+            elif scaled.kind == ONEWAY_KIND:
+                self.sim.call_at(scaled.at, self.block_oneway,
+                                 scaled.src_target, scaled.dst_target)
+                if scaled.until is not None and not math.isinf(scaled.until):
+                    self.sim.call_at(scaled.until, self.unblock_oneway,
+                                     scaled.src_target, scaled.dst_target)
+            else:
+                raise ValueError(
+                    f"nemesis_spec only takes message faults "
+                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}), "
+                    f"got {scaled.kind!r}")
+
+    # ------------------------------------------------------------------
+    # run auditing
+    # ------------------------------------------------------------------
+    def nemesis_stats(self) -> NemesisStats:
+        return NemesisStats.from_network(self.network)
+
+    def safety_checker(self) -> SafetyChecker:
+        tracer = getattr(self.sim, "tracer", None)
+        if tracer is None:
+            raise RuntimeError(
+                "safety auditing needs ClusterConfig(safety_tracing=True)")
+        return SafetyChecker(tracer)
+
+    # ------------------------------------------------------------------
+    def run(self, seconds: float) -> None:
+        self.sim.run(until=self.sim.now + seconds)
+
+    def run_until(self, when: float) -> None:
+        self.sim.run(until=when)

@@ -1,0 +1,87 @@
+"""Shard-aware ``TPCW_Database`` facade.
+
+Each replica of a sharded deployment serves exactly the same servlet
+code as the unsharded store, against this subclass of the facade.  Two
+things change:
+
+* **new customers** are allocated out of the shard's disjoint dynamic
+  id block (:data:`repro.shard.partition.DYNAMIC_BLOCK`), so the
+  independent groups never hand out colliding ids;
+* **buy-confirm** splits the cart's stock movement by item ownership.
+  Carts whose items the home shard owns entirely (the overwhelming
+  majority: the router pins a session to the customer's shard and the
+  item ranges are aligned) take the plain single-group path, bit for
+  bit.  Carts touching foreign stock run a two-phase commit against the
+  owner groups (:mod:`repro.shard.txn`): prepare the foreign deltas,
+  then order the local commit record with those items excluded, then
+  broadcast the decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.shard.partition import Partitioner
+from repro.shard.txn import TxnCoordinator
+from repro.tpcw import actions as acts
+from repro.tpcw.database import TPCWDatabase
+
+
+class ShardedTPCWDatabase(TPCWDatabase):
+    """Facade for one replica of one shard group."""
+
+    def __init__(self, runtime, clock, rng, partitioner: Partitioner,
+                 shard: int, coordinator: TxnCoordinator):
+        super().__init__(runtime, clock, rng)
+        self._partitioner = partitioner
+        self._shard = shard
+        self._coordinator = coordinator
+
+    # ------------------------------------------------------------------
+    def create_new_customer(self, fname, lname, street1, street2, city,
+                            state_code, zip_code, co_id, phone, email,
+                            birthdate, data):
+        discount = round(self._rng.uniform(0.0, 0.5), 2)
+        action = acts.CreateNewCustomer(
+            fname, lname, street1, street2, city, state_code, zip_code,
+            co_id, phone, email, birthdate, data, discount,
+            timestamp=self._clock(),
+            id_floor=self._partitioner.customer_id_floor(self._shard))
+        return (yield from self._runtime.execute(action))
+
+    # ------------------------------------------------------------------
+    def buy_confirm(self, sc_id: int, c_id: int,
+                    cc_type: Optional[str] = None,
+                    cc_number: Optional[str] = None,
+                    cc_name: Optional[str] = None,
+                    shipping_type: Optional[str] = None,
+                    ship_addr: Optional[Tuple] = None):
+        lines = self.get_cart(sc_id)
+        parts: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        if lines:
+            foreign: Dict[int, list] = {}
+            for i_id in sorted(lines):
+                owner = self._partitioner.shard_of_item(i_id)
+                if owner != self._shard:
+                    foreign.setdefault(owner, []).append((i_id, lines[i_id]))
+            parts = {shard: tuple(deltas)
+                     for shard, deltas in foreign.items()}
+        if not parts:
+            # Entirely home-owned: the unsharded path, unchanged.
+            return (yield from super().buy_confirm(
+                sc_id, c_id, cc_type, cc_number, cc_name, shipping_type,
+                ship_addr))
+
+        tx_id = self._coordinator.new_tx_id()
+        ok = yield from self._coordinator.prepare(tx_id, parts)
+        if not ok:
+            self._coordinator.decide(tx_id, parts, commit=False)
+            return None
+        foreign_items = frozenset(i_id for deltas in parts.values()
+                                  for i_id, _ in deltas)
+        action = self._buy_confirm_action(
+            sc_id, c_id, cc_type, cc_number, cc_name, shipping_type,
+            ship_addr, foreign_items=foreign_items)
+        o_id = yield from self._runtime.execute(action)
+        self._coordinator.decide(tx_id, parts, commit=o_id is not None)
+        return o_id

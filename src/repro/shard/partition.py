@@ -1,0 +1,89 @@
+"""Deterministic key-range partitioning of the TPC-W entity space.
+
+Every shard's replicas start from the *same* cloned population (the full
+catalog is needed everywhere for reads), but each entity has exactly one
+**owner** shard whose consensus group orders its updates:
+
+* **customers** are range-partitioned over the initial population
+  ``1..num_customers`` in contiguous blocks; customers created at run
+  time are allocated out of disjoint per-shard id blocks starting at
+  ``DYNAMIC_BLOCK * (shard + 1)``, so the independent groups can keep
+  allocating without coordination and the owner is decodable from the
+  id alone;
+* **carts and orders** live wholly on the owning customer's shard (they
+  are only ever reached through the customer's session, which the
+  router pins to that shard);
+* **items** are range-partitioned for *stock ownership*: the owner
+  shard's log orders all stock movement of its range.  A buy-confirm
+  whose cart spans foreign ranges pays a two-phase commit
+  (:mod:`repro.shard.txn`) against the owners.
+
+All maps are pure functions of ``(shards, population size)``, so every
+replica, the router, and the coordinator agree without any lookup state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Base of the per-shard dynamic customer-id blocks.  The initial
+#: population is far below this, and no simulated run allocates anywhere
+#: near ``DYNAMIC_BLOCK`` new customers per shard, so ownership is
+#: decodable from ``c_id // DYNAMIC_BLOCK`` alone.
+DYNAMIC_BLOCK = 10 ** 9
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Key-range maps over ``shards`` groups for one population."""
+
+    shards: int
+    num_customers: int
+    num_items: int
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.num_customers < 1 or self.num_items < 1:
+            raise ValueError("population must have customers and items")
+
+    @classmethod
+    def for_population(cls, shards: int, params) -> "Partitioner":
+        """Build from a :class:`~repro.tpcw.population.PopulationParams`."""
+        return cls(shards, params.num_customers, params.real_items)
+
+    # ------------------------------------------------------------------
+    # customers (and through them: sessions, carts, orders)
+    # ------------------------------------------------------------------
+    def shard_of_customer(self, c_id: int) -> int:
+        """The home shard of a customer id (initial or dynamic)."""
+        if c_id >= DYNAMIC_BLOCK:
+            return min(c_id // DYNAMIC_BLOCK - 1, self.shards - 1)
+        position = min(max(c_id, 1), self.num_customers) - 1
+        return position * self.shards // self.num_customers
+
+    def customer_id_floor(self, shard: int) -> int:
+        """Start of the shard's dynamic customer-id block."""
+        return DYNAMIC_BLOCK * (shard + 1)
+
+    def customer_range(self, shard: int) -> range:
+        """The initial customers the shard owns (contiguous block).
+
+        The exact inverse image of :meth:`shard_of_customer`'s
+        ``position * shards // n`` map, hence the ceil divisions."""
+        lo = -(-shard * self.num_customers // self.shards)
+        hi = -(-(shard + 1) * self.num_customers // self.shards)
+        return range(lo + 1, hi + 1)
+
+    # ------------------------------------------------------------------
+    # items (stock ownership)
+    # ------------------------------------------------------------------
+    def shard_of_item(self, i_id: int) -> int:
+        """The shard whose log orders this item's stock movement."""
+        position = min(max(i_id, 1), self.num_items) - 1
+        return position * self.shards // self.num_items
+
+    def item_range(self, shard: int) -> range:
+        lo = -(-shard * self.num_items // self.shards)
+        hi = -(-(shard + 1) * self.num_items // self.shards)
+        return range(lo + 1, hi + 1)

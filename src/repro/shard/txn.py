@@ -1,0 +1,241 @@
+"""Deterministic two-phase commit across shard groups.
+
+The only cross-shard write in the TPC-W mix is a buy-confirm whose cart
+holds items whose *stock* another shard owns.  The home shard's facade
+runs a textbook 2PC, but every phase is **ordered through the
+participating groups' own logs** (the actions below travel through
+Treplica's totally ordered ``execute``), so the protocol inherits the
+groups' crash tolerance: a participant replica that crashes mid-prepare
+loses nothing that its group's log did not already order.
+
+Protocol (coordinator = the home replica serving the interaction):
+
+1. ``prepare`` to one replica of each foreign owner group, carrying the
+   exact stock deltas.  The participant orders a :class:`TxPrepare`
+   through its group (applying the deltas and recording them against the
+   tx id) and replies with its vote.  No reply within
+   ``txn_timeout_s`` -> retry against the group's next replica, up to
+   ``txn_max_retries``; exhausted retries count as a *no* vote.
+2. All yes -> the home shard orders its own commit record (the local
+   :class:`~repro.tpcw.actions.BuyConfirm` with the foreign items
+   excluded), then broadcasts ``commit`` to every replica of each
+   participant group.  Any no -> broadcast ``abort``, which undoes the
+   recorded deltas.  Decisions are idempotent (keyed by tx id), so the
+   broadcast needs no ack tracking: any one live replica per group
+   suffices to drive the group's log to the decision.
+
+The coordinator emits ``txn`` trace events (``vote`` at participants,
+``decision`` at the coordinator) that
+:class:`repro.faults.checker.SafetyChecker` audits: one decision per
+transaction, and no commit without a yes vote from every participant
+shard.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import registry_of
+from repro.sim.node import Node
+from repro.sim.trace import emit as trace_emit
+from repro.treplica.actions import Action
+
+TXN_PORT = "txn"
+TXN_REPLY_PORT = "txn-reply"
+
+#: Sentinel delivered when the prepare timeout fires first.
+_TIMED_OUT = object()
+
+
+# ======================================================================
+# replicated actions (ordered through the participant group's log)
+# ======================================================================
+class TxPrepare(Action):
+    """Phase 1 on a participant: take the stock deltas provisionally.
+
+    Stock never refuses a sale (the spec's restock-by-21 rule), so a
+    prepare that reaches the log always votes yes; the recorded *net*
+    deltas make an abort an exact undo.  Re-prepares (coordinator
+    retries) are idempotent.
+    """
+
+    cpu_cost_s = 0.0002
+    size_mb = 0.0004
+
+    def __init__(self, tx_id: str, deltas: Tuple[Tuple[int, int], ...]):
+        self.tx_id = tx_id
+        self.deltas = tuple(deltas)
+
+    def apply(self, app):
+        state = app.state
+        if self.tx_id in state.pending_txns:
+            return True  # retried prepare: already holding the deltas
+        if self.tx_id in state.finished_txns:
+            return True  # decision already ordered; vote is moot
+        applied = []
+        for i_id, qty in self.deltas:
+            item = state.items.get(i_id)
+            if item is None:
+                continue
+            if item.i_stock - qty < 10:
+                item.i_stock = item.i_stock - qty + 21  # spec restock rule
+                applied.append((i_id, qty - 21))        # net delta taken
+            else:
+                item.i_stock -= qty
+                applied.append((i_id, qty))
+        state.pending_txns[self.tx_id] = tuple(applied)
+        return True
+
+
+class TxCommit(Action):
+    """Phase 2 (commit): the provisional deltas become permanent."""
+
+    cpu_cost_s = 0.0001
+    size_mb = 0.0002
+
+    def __init__(self, tx_id: str):
+        self.tx_id = tx_id
+
+    def apply(self, app):
+        state = app.state
+        state.pending_txns.pop(self.tx_id, None)
+        state.finished_txns.add(self.tx_id)
+        return True
+
+
+class TxAbort(Action):
+    """Phase 2 (abort): undo exactly the recorded net deltas."""
+
+    cpu_cost_s = 0.0001
+    size_mb = 0.0002
+
+    def __init__(self, tx_id: str):
+        self.tx_id = tx_id
+
+    def apply(self, app):
+        state = app.state
+        applied = state.pending_txns.pop(self.tx_id, None)
+        state.finished_txns.add(self.tx_id)
+        if applied:
+            for i_id, delta in applied:
+                item = state.items.get(i_id)
+                if item is not None:
+                    item.i_stock += delta
+        return True
+
+
+# ======================================================================
+# per-replica protocol endpoints
+# ======================================================================
+class TxnParticipant:
+    """Serves 2PC messages by ordering them through the local group."""
+
+    def __init__(self, node: Node, runtime, shard: int):
+        self.node = node
+        self.runtime = runtime
+        self.shard = shard
+
+    def start(self) -> None:
+        self.node.handle(TXN_PORT, self._on_message)
+
+    def _on_message(self, payload, src: str) -> None:
+        self.node.spawn(self._serve(payload, src), name="txn-participant")
+
+    def _serve(self, payload, src: str):
+        kind, tx_id, deltas = payload
+        if not self.runtime.ready:
+            return  # recovering: silence makes the coordinator retry
+        if kind == "prepare":
+            vote = yield from self.runtime.execute(TxPrepare(tx_id, deltas))
+            trace_emit(self.node.sim, "txn", self.node.name, event="vote",
+                       tx=tx_id, shard=self.shard, vote=bool(vote))
+            self.node.send(src, TXN_REPLY_PORT,
+                           (tx_id, self.shard, bool(vote)), size_mb=0.0002)
+        elif kind == "commit":
+            yield from self.runtime.execute(TxCommit(tx_id))
+        else:  # abort
+            yield from self.runtime.execute(TxAbort(tx_id))
+
+
+class TxnCoordinator:
+    """The home replica's 2PC driver (one per replica incarnation)."""
+
+    def __init__(self, node: Node, shard: int,
+                 group_names: List[List[str]],
+                 timeout_s: float, max_retries: int):
+        self.node = node
+        self.shard = shard
+        self._groups = group_names   # shard -> replica node names
+        self._timeout_s = timeout_s
+        self._max_retries = max_retries
+        self._waiters: Dict[Tuple[str, int], object] = {}
+        self._tx_seq = itertools.count(1)
+        obs = registry_of(node.sim)
+        self._obs_started = obs.counter("shard.txn_started")
+        self._obs_committed = obs.counter("shard.txn_committed")
+        self._obs_aborted = obs.counter("shard.txn_aborted")
+        self._obs_retries = obs.counter("shard.txn_retries")
+
+    def start(self) -> None:
+        self.node.handle(TXN_REPLY_PORT, self._on_reply)
+
+    def new_tx_id(self) -> str:
+        return (f"{self.node.name}.{self.node.incarnation}"
+                f":tx{next(self._tx_seq)}")
+
+    # ------------------------------------------------------------------
+    def _on_reply(self, payload, src: str) -> None:
+        tx_id, shard, vote = payload
+        waiter = self._waiters.pop((tx_id, shard), None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(vote)
+
+    def prepare(self, tx_id: str,
+                parts: Dict[int, Tuple[Tuple[int, int], ...]]):
+        """Generator: phase 1 against every participant shard, in shard
+        order (deterministic).  Returns True iff all voted yes."""
+        self._obs_started.inc()
+        all_yes = True
+        for shard in sorted(parts):
+            vote = yield from self._prepare_one(tx_id, shard, parts[shard])
+            if not vote:
+                all_yes = False
+        return all_yes
+
+    def _prepare_one(self, tx_id: str, shard: int,
+                     deltas: Tuple[Tuple[int, int], ...]):
+        sim = self.node.sim
+        names = self._groups[shard]
+        for attempt in range(self._max_retries + 1):
+            if attempt:
+                self._obs_retries.inc()
+            target = names[attempt % len(names)]
+            waiter = sim.event()
+            self._waiters[(tx_id, shard)] = waiter
+            self.node.send(target, TXN_PORT, ("prepare", tx_id, deltas),
+                           size_mb=0.0004)
+            timer = sim.call_after(
+                self._timeout_s,
+                lambda ev=waiter: None if ev.triggered
+                else ev.succeed(_TIMED_OUT))
+            vote = yield waiter
+            timer.cancel()
+            self._waiters.pop((tx_id, shard), None)
+            if vote is not _TIMED_OUT:
+                return bool(vote)
+        return False  # participant group unreachable: counts as a no
+
+    def decide(self, tx_id: str,
+               parts: Dict[int, Tuple[Tuple[int, int], ...]],
+               commit: bool) -> None:
+        """Phase 2: broadcast the decision to every participant replica
+        (idempotent at the log level, so no ack tracking is needed)."""
+        outcome = "commit" if commit else "abort"
+        (self._obs_committed if commit else self._obs_aborted).inc()
+        trace_emit(self.node.sim, "txn", self.node.name, event="decision",
+                   tx=tx_id, outcome=outcome, shards=tuple(sorted(parts)))
+        for shard in sorted(parts):
+            for name in self._groups[shard]:
+                self.node.send(name, TXN_PORT, (outcome, tx_id, None),
+                               size_mb=0.0002)

@@ -105,7 +105,7 @@ class CreateNewCustomer(Action):
     def __init__(self, fname: str, lname: str, street1: str, street2: str,
                  city: str, state_code: str, zip_code: str, co_id: int,
                  phone: str, email: str, birthdate: float, data: str,
-                 discount: float, timestamp: float):
+                 discount: float, timestamp: float, id_floor: int = 0):
         self.fname = fname
         self.lname = lname
         self.street1 = street1
@@ -120,13 +120,17 @@ class CreateNewCustomer(Action):
         self.data = data
         self.discount = discount
         self.timestamp = timestamp
+        # Sharded deployments allocate each shard's dynamic customers in
+        # a disjoint id block (repro.shard.partition) so the independent
+        # groups never collide; 0 keeps the sequential unsharded ids.
+        self.id_floor = id_floor
 
     def apply(self, app):
         state = app.state
         addr_id = _enter_address(state, self.street1, self.street2,
                                  self.city, self.state_code, self.zip_code,
                                  self.co_id)
-        c_id = state.next_customer_id
+        c_id = max(state.next_customer_id, self.id_floor)
         uname = _digsyl_uname(c_id)
         state.add_customer(Customer(
             c_id, uname, uname.lower(), self.fname, self.lname, addr_id,
@@ -153,7 +157,8 @@ class BuyConfirm(Action):
                  cc_name: str, cc_expire: float, shipping_type: str,
                  timestamp: float, ship_date_offset: float, auth_id: str,
                  ship_addr: Optional[Tuple[str, str, str, str, str, int]] = None,
-                 comment: str = ""):
+                 comment: str = "",
+                 foreign_items: frozenset = frozenset()):
         self.sc_id = sc_id
         self.c_id = c_id
         self.cc_type = cc_type
@@ -166,6 +171,10 @@ class BuyConfirm(Action):
         self.auth_id = auth_id
         self.ship_addr = ship_addr
         self.comment = comment
+        # Items whose stock another shard owns: their decrement is
+        # prepared through 2PC on the owner group (repro.shard.txn), so
+        # this local commit record must not touch them.
+        self.foreign_items = foreign_items
 
     def apply(self, app):
         state = app.state
@@ -193,6 +202,8 @@ class BuyConfirm(Action):
         for ol_id, (i_id, qty) in enumerate(sorted(cart.lines.items()), 1):
             order.lines.append(OrderLine(ol_id, o_id, i_id, qty,
                                          customer.c_discount, self.comment))
+            if i_id in self.foreign_items:
+                continue
             item = state.items[i_id]
             if item.i_stock - qty < 10:
                 item.i_stock = item.i_stock - qty + 21  # spec restock rule

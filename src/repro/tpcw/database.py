@@ -181,15 +181,20 @@ class TPCWDatabase:
             timestamp=self._clock())
         return (yield from self._runtime.execute(action))
 
-    def buy_confirm(self, sc_id: int, c_id: int,
-                    cc_type: Optional[str] = None,
-                    cc_number: Optional[str] = None,
-                    cc_name: Optional[str] = None,
-                    shipping_type: Optional[str] = None,
-                    ship_addr: Optional[Tuple] = None):
+    def _buy_confirm_action(self, sc_id: int, c_id: int,
+                            cc_type: Optional[str],
+                            cc_number: Optional[str],
+                            cc_name: Optional[str],
+                            shipping_type: Optional[str],
+                            ship_addr: Optional[Tuple],
+                            foreign_items: frozenset = frozenset()):
+        """Resolve all non-determinism and build the BuyConfirm action.
+
+        Shared with the sharded facade (repro.shard.database), which must
+        draw the same randomness but exclude foreign-owned stock."""
         rng = self._rng
         now = self._clock()
-        action = acts.BuyConfirm(
+        return acts.BuyConfirm(
             sc_id, c_id,
             cc_type=cc_type or rng.choice(CC_TYPES),
             cc_number=cc_number or str(rng.randint(10**15, 10**16 - 1)),
@@ -199,7 +204,17 @@ class TPCWDatabase:
             timestamp=now,
             ship_date_offset=rng.uniform(0.0, 7 * 86400.0),
             auth_id=f"AUTH{rng.randint(0, 10**9):09d}",
-            ship_addr=ship_addr)
+            ship_addr=ship_addr,
+            foreign_items=foreign_items)
+
+    def buy_confirm(self, sc_id: int, c_id: int,
+                    cc_type: Optional[str] = None,
+                    cc_number: Optional[str] = None,
+                    cc_name: Optional[str] = None,
+                    shipping_type: Optional[str] = None,
+                    ship_addr: Optional[Tuple] = None):
+        action = self._buy_confirm_action(sc_id, c_id, cc_type, cc_number,
+                                          cc_name, shipping_type, ship_addr)
         return (yield from self._runtime.execute(action))
 
     def admin_confirm(self, i_id: int, new_cost: float):

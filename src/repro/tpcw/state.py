@@ -17,7 +17,7 @@ while keeping the nominal size).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.tpcw.model import (
     Address,
@@ -86,6 +86,14 @@ class BookstoreState:
         self.next_cart_id = 1
 
         self.order_line_count = 0
+
+        # 2PC bookkeeping (repro.shard): stock deltas taken by a prepared
+        # but undecided cross-shard transaction (tx_id -> applied
+        # (i_id, net_delta) pairs, so an abort can undo them exactly),
+        # plus the ids already decided so retried prepares/decisions are
+        # idempotent.  Both stay empty on unsharded deployments.
+        self.pending_txns: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+        self.finished_txns: Set[str] = set()
 
     # ==================================================================
     # mutators (called from population and from deterministic actions)

@@ -110,17 +110,19 @@ class ReverseProxy:
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def _pick_backend(self, client_id: int, attempt: int) -> Optional[str]:
+    def _pick_backend(self, request: Request, attempt: int) -> Optional[str]:
+        """Hash the client id over the active pool.  Subclasses (the
+        shard router) override this to constrain the pool per request."""
         pool = self.active if self.active else []
         if not pool:
             return None
-        return pool[(client_id + attempt) % len(pool)]
+        return pool[(request.client_id + attempt) % len(pool)]
 
     def _on_client_request(self, request: Request, src: str) -> None:
         self._dispatch(request, attempt=0)
 
     def _dispatch(self, request: Request, attempt: int) -> None:
-        backend = self._pick_backend(request.client_id, attempt)
+        backend = self._pick_backend(request, attempt)
         if backend is None or attempt >= self.params.max_dispatch_attempts:
             self.stats["no_backend"] += 1
             self._obs_no_backend.inc()

@@ -66,6 +66,63 @@ def test_parse_mixed_spec():
 
 
 # ----------------------------------------------------------------------
+# dotted shard-qualified targets (sharded deployments)
+# ----------------------------------------------------------------------
+def test_parse_shard_qualified_crash():
+    event = Faultload.parse("crash@240:1.2").events[0]
+    assert (event.shard, event.replica) == (1, 2)
+    assert event.src_target == (1, 2)
+
+
+def test_parse_shard_qualified_random_crash():
+    event = Faultload.parse("crash@240:1.*").events[0]
+    assert (event.shard, event.replica) == (1, None)
+    assert event.src_target == (1, None)
+
+
+def test_parse_shard_qualified_reboot():
+    event = Faultload.parse("reboot@390:0.3").events[0]
+    assert (event.kind, event.shard, event.replica) == ("reboot", 0, 3)
+
+
+def test_parse_shard_qualified_oneway_pair():
+    event = Faultload.parse("oneway@30:0.1>1.2").events[0]
+    assert (event.shard, event.replica) == (0, 1)
+    assert (event.dst_shard, event.dst) == (1, 2)
+    assert event.src_target == (0, 1)
+    assert event.dst_target == (1, 2)
+
+
+def test_unqualified_targets_keep_plain_src_target():
+    event = Faultload.parse("crash@240:2").events[0]
+    assert event.shard is None
+    assert event.src_target == 2
+    pair = Faultload.parse("oneway@30:2>3").events[0]
+    assert pair.src_target == 2
+    assert pair.dst_target == 3
+
+
+@pytest.mark.parametrize("spec", [
+    "oneway@30:0.1>2",     # pair shard-qualified at one end only
+    "oneway@30:1>0.2",
+    "oneway@30:0.*>1.2",   # '*' never valid in a pair
+    "reboot@390:1.*",      # random target only for crash
+    "crash@240:1.x",       # bad replica part
+    "crash@240:x.2",       # bad shard part
+])
+def test_dotted_grammar_rejects_malformed_targets(spec):
+    with pytest.raises(ValueError):
+        Faultload.parse(spec)
+
+
+def test_shard_qualifier_must_be_non_negative():
+    with pytest.raises(ValueError):
+        FaultEvent(10.0, "crash", 2, shard=-1)
+    with pytest.raises(ValueError):
+        FaultEvent(10.0, "oneway", 1, dst=2, shard=0, dst_shard=-1)
+
+
+# ----------------------------------------------------------------------
 # parse errors: every malformed chunk names itself
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("spec, fragment", [

@@ -111,6 +111,71 @@ def test_sweep_recovery_tabulates_points(capsys):
 
 
 # ----------------------------------------------------------------------
+# sharded runs and the cross-shard aggregate report
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sharded_json(tmp_path_factory):
+    """One saved 2-shard run with per-shard timelines, shared by tests."""
+    path = tmp_path_factory.mktemp("shardruns") / "sharded.json"
+    code = main(run_args(["--shards", "2", "--obs", "--json", str(path)]))
+    assert code == 0
+    return path
+
+
+def test_console_script_entry_point_is_declared():
+    import pathlib
+    pyproject = pathlib.Path(__file__).parents[2] / "pyproject.toml"
+    assert 'repro = "repro.harness.cli:main"' in pyproject.read_text()
+    assert callable(main)  # the declared target
+
+
+def test_run_shards_writes_per_shard_timeline(sharded_json):
+    data = json.loads(sharded_json.read_text())
+    assert data["config"]["shards"] == 2
+    series = data["timeline"]["series"]
+    assert "shard.s0.interactions_ok" in series
+    assert "shard.s1.interactions_ok" in series
+
+
+def test_report_aggregate_folds_shards_into_cluster_series(
+        sharded_json, capsys):
+    code = main(["report", str(sharded_json), "--aggregate"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "shard 0 AWIPS" in out
+    assert "shard 1 AWIPS" in out
+    assert "cluster AWIPS (sum of shards)" in out
+    assert "cluster WIPS (all shards)" in out
+
+
+def test_report_aggregate_rejects_mixed_shard_counts(
+        sharded_json, tmp_path, capsys):
+    plain = tmp_path / "plain.json"
+    main(run_args(["--obs", "--json", str(plain)]))
+    capsys.readouterr()
+    code = main(["report", str(sharded_json), str(plain), "--aggregate"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "one shard count" in err
+    assert "2 shard(s)" in err and "1 shard(s)" in err
+
+
+def test_report_aggregate_needs_per_shard_timeline(tmp_path, capsys):
+    path = tmp_path / "no-obs.json"
+    main(run_args(["--shards", "2", "--json", str(path)]))  # no --obs
+    capsys.readouterr()
+    code = main(["report", str(path), "--aggregate"])
+    assert code == 1
+    assert "rerun with --shards k --obs" in capsys.readouterr().err
+
+
+def test_report_multiple_paths_require_aggregate(sharded_json, capsys):
+    code = main(["report", str(sharded_json), str(sharded_json)])
+    assert code == 2
+    assert "--aggregate" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # the historical flat form still works, with a deprecation warning
 # ----------------------------------------------------------------------
 def test_legacy_flat_form_is_normalized(capsys):

@@ -1,0 +1,25 @@
+"""The CI shard matrix: {1, 2, 4} shards x {3, 5} replicas per group.
+
+Every cell boots, serves the closed-loop load, stays safe (per-shard
+consensus checks plus 2PC atomicity), and keeps the error count at
+zero.  Kept at reduced offered load so the whole matrix runs in
+seconds.
+"""
+
+import pytest
+
+from repro.harness.config import tiny_scale
+from repro.harness.experiment import Experiment
+
+
+@pytest.mark.shard
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("replicas", [3, 5])
+def test_shard_matrix_cell(shards, replicas):
+    result = (Experiment(tiny_scale(), replicas=replicas, num_ebs=30,
+                         offered_wips=200.0, seed=5)
+              .shards(shards).check_safety().baseline().run())
+    assert result.safety_violations == []
+    whole = result.whole_window()
+    assert whole.errors == 0
+    assert whole.completed > 100

@@ -1,0 +1,58 @@
+"""``.shards(1)`` must reproduce the unsharded deployment bit for bit.
+
+The partitioned stack dispatches ``shards == 1`` to the original
+``RobustStoreCluster``, and every extracted seam (``ReplicaGroup``,
+``_pick_backend(request, attempt)``, the facade's action builder) keeps
+node names, seed forks, and event order unchanged -- so the same seed
+must give the *same run*: identical WIPS series, identical safety
+trace, identical summary numbers.
+"""
+
+from repro.faults.faultload import Faultload
+from repro.harness.config import ClusterConfig, tiny_scale
+from repro.harness.experiment import Experiment
+from repro.harness.experiments import _execute
+
+
+def _run(shards):
+    exp = (Experiment(tiny_scale(), replicas=3, num_ebs=30,
+                      offered_wips=400.0, seed=20090629)
+           .one_crash(replica=1).check_safety())
+    if shards is not None:
+        exp.shards(shards)
+    return exp.run()
+
+
+def test_shards_1_matches_unsharded_bit_for_bit():
+    plain = _run(None)
+    sharded = _run(1)
+    assert sharded.wips_series() == plain.wips_series()
+    assert sharded.recoveries == plain.recoveries
+    assert sharded.safety_violations == [] == plain.safety_violations
+
+    a, b = plain.to_dict(), sharded.to_dict()
+    a["config"].pop("shards"), b["config"].pop("shards")
+    assert a == b
+
+
+def test_shards_1_same_safety_trace():
+    # Capture the full structured trace of both runs via the setup hook.
+    traces = []
+
+    def run(config):
+        captured = {}
+
+        def setup(cluster):
+            captured["sim"] = cluster.sim
+
+        _execute(config, Faultload("none", ()), setup=setup)
+        tracer = captured["sim"].tracer
+        traces.append([(e.time, e.category, e.source, e.fields)
+                       for e in tracer.events])
+
+    base = dict(replicas=3, num_ebs=30, offered_wips=400.0,
+                scale=tiny_scale(), seed=7, safety_tracing=True)
+    run(ClusterConfig(**base))
+    run(ClusterConfig(shards=1, **base))
+    assert traces[0] == traces[1]
+    assert len(traces[0]) > 0

@@ -1,0 +1,76 @@
+"""Unit tests for the deterministic key-range partitioner."""
+
+import pytest
+
+from repro.shard.partition import DYNAMIC_BLOCK, Partitioner
+
+
+def test_every_initial_customer_has_exactly_one_owner():
+    part = Partitioner(shards=4, num_customers=432, num_items=50)
+    owners = [part.shard_of_customer(c) for c in range(1, 433)]
+    assert set(owners) == {0, 1, 2, 3}
+    # contiguous ranges: the owner sequence is sorted
+    assert owners == sorted(owners)
+
+
+def test_customer_ranges_tile_the_population():
+    part = Partitioner(shards=3, num_customers=100, num_items=50)
+    seen = []
+    for shard in range(3):
+        block = part.customer_range(shard)
+        assert all(part.shard_of_customer(c) == shard for c in block)
+        seen.extend(block)
+    assert seen == list(range(1, 101))
+
+
+def test_item_ranges_tile_the_catalog():
+    part = Partitioner(shards=4, num_items=50, num_customers=100)
+    seen = []
+    for shard in range(4):
+        block = part.item_range(shard)
+        assert all(part.shard_of_item(i) == shard for i in block)
+        seen.extend(block)
+    assert seen == list(range(1, 51))
+
+
+def test_dynamic_customer_blocks_are_disjoint_and_decodable():
+    part = Partitioner(shards=3, num_customers=100, num_items=50)
+    floors = [part.customer_id_floor(shard) for shard in range(3)]
+    assert floors == [DYNAMIC_BLOCK, 2 * DYNAMIC_BLOCK, 3 * DYNAMIC_BLOCK]
+    for shard, floor in enumerate(floors):
+        # anywhere inside the block decodes back to its shard
+        for offset in (0, 1, 12345):
+            assert part.shard_of_customer(floor + offset) == shard
+    # ids past the last block still clamp to a valid shard
+    assert part.shard_of_customer(10 * DYNAMIC_BLOCK) == 2
+
+
+def test_out_of_range_ids_clamp():
+    part = Partitioner(shards=2, num_customers=10, num_items=10)
+    assert part.shard_of_customer(0) == 0
+    assert part.shard_of_customer(9999) == 1
+    assert part.shard_of_item(0) == 0
+    assert part.shard_of_item(9999) == 1
+
+
+def test_single_shard_owns_everything():
+    part = Partitioner(shards=1, num_customers=10, num_items=10)
+    assert all(part.shard_of_customer(c) == 0 for c in range(1, 11))
+    assert all(part.shard_of_item(i) == 0 for i in range(1, 11))
+    assert list(part.customer_range(0)) == list(range(1, 11))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Partitioner(shards=0, num_customers=10, num_items=10)
+    with pytest.raises(ValueError):
+        Partitioner(shards=2, num_customers=0, num_items=10)
+
+
+def test_for_population_uses_scaled_counts():
+    from repro.tpcw.population import PopulationParams
+    params = PopulationParams(num_items=10_000, num_ebs=30,
+                              entity_scale=0.005, seed=1)
+    part = Partitioner.for_population(2, params)
+    assert part.num_customers == params.num_customers
+    assert part.num_items == params.real_items

@@ -1,0 +1,87 @@
+"""Unit tests for the 2PC actions: idempotence and exact undo."""
+
+from repro.shard.txn import TxAbort, TxCommit, TxPrepare
+from repro.tpcw.model import Item
+from repro.tpcw.state import BookstoreState
+
+
+class _App:
+    def __init__(self, state):
+        self.state = state
+
+
+def _make_app(stock_by_item):
+    state = BookstoreState()
+    for i_id, stock in stock_by_item.items():
+        state.add_item(Item(i_id, f"Book {i_id}", 1, 0.0, "pub", "ARTS",
+                            "desc", (1, 1, 1, 1, 1), "t.gif", "i.gif",
+                            10.0, 8.0, 0.0, stock, "isbn", 100, "HARDBACK",
+                            "8x10"))
+    return _App(state)
+
+
+def test_prepare_takes_deltas_and_commit_keeps_them():
+    app = _make_app({1: 100, 2: 50})
+    assert TxPrepare("tx1", ((1, 3), (2, 5))).apply(app) is True
+    assert app.state.items[1].i_stock == 97
+    assert app.state.items[2].i_stock == 45
+    assert app.state.pending_txns["tx1"] == ((1, 3), (2, 5))
+    TxCommit("tx1").apply(app)
+    assert "tx1" not in app.state.pending_txns
+    assert "tx1" in app.state.finished_txns
+    assert app.state.items[1].i_stock == 97
+
+
+def test_abort_is_an_exact_undo():
+    app = _make_app({1: 100})
+    TxPrepare("tx1", ((1, 7),)).apply(app)
+    assert app.state.items[1].i_stock == 93
+    TxAbort("tx1").apply(app)
+    assert app.state.items[1].i_stock == 100
+    assert "tx1" not in app.state.pending_txns
+    assert "tx1" in app.state.finished_txns
+
+
+def test_abort_undoes_the_net_delta_after_a_restock():
+    # stock 12, qty 5 -> would fall below 10 -> restock: 12 - 5 + 21 = 28.
+    # The recorded net delta is 5 - 21 = -16; abort must restore 12.
+    app = _make_app({1: 12})
+    TxPrepare("tx1", ((1, 5),)).apply(app)
+    assert app.state.items[1].i_stock == 28
+    assert app.state.pending_txns["tx1"] == ((1, -16),)
+    TxAbort("tx1").apply(app)
+    assert app.state.items[1].i_stock == 12
+
+
+def test_retried_prepare_is_idempotent():
+    app = _make_app({1: 100})
+    TxPrepare("tx1", ((1, 3),)).apply(app)
+    TxPrepare("tx1", ((1, 3),)).apply(app)  # coordinator retry
+    assert app.state.items[1].i_stock == 97  # taken once, not twice
+
+
+def test_prepare_after_decision_does_not_reapply():
+    app = _make_app({1: 100})
+    TxPrepare("tx1", ((1, 3),)).apply(app)
+    TxCommit("tx1").apply(app)
+    # a late duplicate prepare (retry raced the decision) must be a no-op
+    assert TxPrepare("tx1", ((1, 3),)).apply(app) is True
+    assert app.state.items[1].i_stock == 97
+    assert "tx1" not in app.state.pending_txns
+
+
+def test_decisions_are_idempotent():
+    app = _make_app({1: 100})
+    TxPrepare("tx1", ((1, 3),)).apply(app)
+    TxAbort("tx1").apply(app)
+    TxAbort("tx1").apply(app)  # broadcast duplicate
+    assert app.state.items[1].i_stock == 100
+    TxCommit("tx1").apply(app)  # conflicting late decision: no deltas left
+    assert app.state.items[1].i_stock == 100
+
+
+def test_unknown_items_are_skipped():
+    app = _make_app({1: 100})
+    TxPrepare("tx1", ((1, 2), (99, 5))).apply(app)
+    assert app.state.items[1].i_stock == 98
+    assert app.state.pending_txns["tx1"] == ((1, 2),)

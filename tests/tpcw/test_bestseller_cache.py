@@ -1,0 +1,107 @@
+"""The best-seller cache: spec clause 6.3's 30 s freshness allowance.
+
+The TTL is measured in *simulated* time (the facade's injected clock),
+and because the cache key and contents are pure functions of replicated
+state and the clock, any two replicas asked at the same sim time must
+serve identical results -- cached or not.
+"""
+
+import random
+
+from repro.tpcw.database import BESTSELLER_CACHE_TTL_S, TPCWDatabase
+from repro.tpcw.model import Item
+from repro.tpcw.state import BookstoreState
+
+
+class _App:
+    def __init__(self, state):
+        self.state = state
+
+
+class _StubRuntime:
+    """Just enough of TreplicaRuntime for the read path."""
+
+    def __init__(self, state):
+        self._app = _App(state)
+
+    def read(self, fn):
+        return fn(self._app)
+
+
+def _item(i_id, subject="ARTS"):
+    return Item(i_id, f"Book {i_id}", 1, 0.0, "pub", subject, "desc",
+                (1, 1, 1, 1, 1), "t.gif", "i.gif", 10.0, 8.0, 0.0, 100,
+                "isbn", 100, "HARDBACK", "8x10")
+
+
+def _make_state():
+    state = BookstoreState()
+    for i_id in range(1, 6):
+        state.add_item(_item(i_id))
+    state.bestseller_counts.update({1: 10, 2: 30, 3: 20})
+    return state
+
+
+def _facade(state, clock):
+    return TPCWDatabase(_StubRuntime(state), clock, random.Random(0))
+
+
+def test_ttl_matches_spec_clause():
+    assert BESTSELLER_CACHE_TTL_S == 30.0
+
+
+def test_cache_serves_stale_results_within_ttl():
+    state = _make_state()
+    now = [100.0]
+    db = _facade(state, lambda: now[0])
+    first = db.get_best_sellers("ARTS")
+    assert [(item.i_id, qty) for item, qty in first[:3]] == [
+        (2, 30), (3, 20), (1, 10)]
+
+    # The underlying counts move, but within 30 s of sim time the
+    # facade keeps serving the cached snapshot.
+    state.bestseller_counts[5] = 99
+    now[0] = 100.0 + BESTSELLER_CACHE_TTL_S  # boundary: still fresh
+    assert db.get_best_sellers("ARTS") is first
+
+
+def test_cache_recomputes_after_ttl_expires():
+    state = _make_state()
+    now = [100.0]
+    db = _facade(state, lambda: now[0])
+    db.get_best_sellers("ARTS")
+    state.bestseller_counts[5] = 99
+    now[0] = 100.0 + BESTSELLER_CACHE_TTL_S + 0.001
+    refreshed = db.get_best_sellers("ARTS")
+    assert refreshed[0][0].i_id == 5
+    assert refreshed[0][1] == 99
+
+
+def test_cache_is_per_subject():
+    state = _make_state()
+    state.add_item(_item(9, subject="SCIFI"))
+    state.bestseller_counts[9] = 7
+    db = _facade(state, lambda: 0.0)
+    arts = db.get_best_sellers("ARTS")
+    scifi = db.get_best_sellers("SCIFI")
+    assert {item.i_id for item, _qty in arts} == {1, 2, 3}
+    assert [(item.i_id, qty) for item, qty in scifi] == [(9, 7)]
+
+
+def test_replicas_agree_at_the_same_sim_time():
+    # Two replicas over clones of the same replicated state, clocks in
+    # lockstep: identical answers at every step, whether the answer came
+    # from the cache or a recompute.
+    states = [_make_state(), _make_state()]
+    now = [0.0]
+    facades = [_facade(state, lambda: now[0]) for state in states]
+
+    for t, mutation in [(0.0, None), (10.0, {4: 50}), (31.0, None),
+                        (40.0, {5: 80}), (70.0, None)]:
+        now[0] = t
+        if mutation:
+            for state in states:
+                state.bestseller_counts.update(mutation)
+        answers = [[(item.i_id, qty) for item, qty in
+                    db.get_best_sellers("ARTS")] for db in facades]
+        assert answers[0] == answers[1]
