@@ -28,6 +28,7 @@ from repro.harness.cluster import RobustStoreCluster
 from repro.harness.experiment import Experiment
 from repro.harness.experiments import (
     ExperimentResult,
+    MissingTraceError,
     MissingWindowError,
     run_baseline,
     run_delayed_recovery,
@@ -44,6 +45,7 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "ExperimentScale",
+    "MissingTraceError",
     "MissingWindowError",
     "RobustStoreCluster",
     "bench_scale",

@@ -1,4 +1,4 @@
-"""The ``repro`` command line: ``run``, ``sweep``, and ``report``.
+"""The ``repro`` command line: ``run``, ``sweep``, ``report``, ``trace``.
 
 ::
 
@@ -6,6 +6,8 @@
     python -m repro run --faultload 'crash@240:*,reboot@390:2'
     python -m repro sweep speedup --profile ordering
     python -m repro report result.json --timeline
+    python -m repro trace sequential --recovery-phases
+    python -m repro trace baseline --critical-path --export chrome --out t.json
 
 The pre-subcommand flat form (``python -m repro.harness --experiment
 one_crash``) still works: it is normalized to ``run`` with a
@@ -15,7 +17,9 @@ one_crash``) still works: it is normalized to ``run`` with a
 from __future__ import annotations
 
 import argparse
+import glob as globlib
 import json
+import os
 import re
 import sys
 import warnings
@@ -29,6 +33,7 @@ from repro.harness.config import (
 )
 from repro.harness.experiment import Experiment
 from repro.harness.report import format_series, format_table
+from repro.obs.trace import RECOVERY_PHASES
 
 #: CLI scenario name -> Experiment builder method.
 SCENARIOS = {
@@ -49,6 +54,13 @@ def _scale_for(name: str):
     if name == "tiny":
         return tiny_scale()
     return bench_scale()
+
+
+def _ensure_parent(path: str) -> None:
+    """Create the parent directory of an output ``path`` if missing."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 # ======================================================================
@@ -123,10 +135,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the sweep points as JSON")
 
+    trace = sub.add_parser(
+        "trace", help="run one traced experiment and analyze its spans")
+    trace.add_argument("scenario", nargs="?", choices=sorted(SCENARIOS),
+                       default="sequential")
+    _add_cluster_options(trace)
+    trace.add_argument("--faultload", metavar="SPEC", default=None,
+                       help="custom faultload (overrides the scenario); "
+                            "same grammar as `repro run --faultload`")
+    trace.add_argument("--nemesis", metavar="SPEC", default=None,
+                       help="standing message-fault schedule, same "
+                            "grammar as `repro run --nemesis`")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="print the WIRT critical-path decomposition "
+                            "(per-bucket quantiles and shares)")
+    trace.add_argument("--recovery-phases", action="store_true",
+                       help="print detection/election/checkpoint/"
+                            "catchup/replay per recovery window")
+    trace.add_argument("--export", choices=["chrome", "jsonl"],
+                       default=None,
+                       help="also export the raw spans: 'chrome' writes "
+                            "Perfetto-loadable trace-event JSON, 'jsonl' "
+                            "one span/mark per line")
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="output path for --export (parent "
+                            "directories are created)")
+
     report = sub.add_parser(
         "report", help="re-render a saved `repro run --json` result")
     report.add_argument("paths", nargs="+", metavar="path",
-                        help="JSON file(s) written by `repro run --json`")
+                        help="JSON file(s) written by `repro run --json` "
+                             "(globs accepted)")
     report.add_argument("--timeline", action="store_true",
                         help="also print the WIPS timeline")
     report.add_argument("--series", metavar="NAME", default=None,
@@ -141,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _normalize_legacy(argv):
     """Map the old flat CLI onto ``run`` (with a deprecation warning)."""
-    if argv and argv[0] in ("run", "sweep", "report"):
+    if argv and argv[0] in ("run", "sweep", "report", "trace"):
         return argv
     if argv and argv[0] in ("-h", "--help"):
         return argv
@@ -237,6 +276,7 @@ def _cmd_run(args) -> int:
             f"{profile['events_per_sim_s']:.0f}/sim-s)",
             ["layer", "events", "wall", "per event"], profile_rows))
     if args.obs_out:
+        _ensure_parent(args.obs_out)
         timeline = result.timeline
         if args.obs_out.endswith(".csv"):
             with open(args.obs_out, "w", encoding="utf-8") as handle:
@@ -246,6 +286,7 @@ def _cmd_run(args) -> int:
                 json.dump(timeline.to_dict(), handle, indent=2)
         print(f"wrote timeline to {args.obs_out}")
     if args.json:
+        _ensure_parent(args.json)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2)
         print(f"wrote {args.json}")
@@ -266,6 +307,12 @@ def _int_list(text: str):
 
 def _cmd_sweep(args) -> int:
     scale = _scale_for(args.scale)
+    swept = args.ebs_list if args.kind == "recovery" else args.replicas_list
+    option = "--ebs-list" if args.kind == "recovery" else "--replicas-list"
+    if not _int_list(swept):
+        print(f"error: {option} {swept!r} names no points to sweep",
+              file=sys.stderr)
+        return 2
     if args.kind == "speedup":
         points = sweeps.speedup_sweep(
             args.profile, _int_list(args.replicas_list),
@@ -293,9 +340,84 @@ def _cmd_sweep(args) -> int:
                            ["replicas", "AWIPS", "mean WIRT", "CV"], rows))
         dicts = [point.__dict__ for point in points]
     if args.json:
+        _ensure_parent(args.json)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(dicts, handle, indent=2)
         print(f"wrote {args.json}")
+    return 0
+
+
+# ======================================================================
+# trace
+# ======================================================================
+def _cmd_trace(args) -> int:
+    if args.export and not args.out:
+        print("error: --export needs --out PATH", file=sys.stderr)
+        return 2
+    scale = _scale_for(args.scale)
+    experiment = Experiment(
+        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
+        profile=args.profile, offered_wips=args.offered_wips,
+        seed=args.seed, enable_fast=not args.no_fast,
+        shards=args.shards).trace()
+    if args.faultload is not None:
+        experiment.faults(args.faultload)
+        label = "custom"
+    else:
+        getattr(experiment, SCENARIOS[args.scenario])()
+        label = args.scenario
+    if args.nemesis:
+        experiment.nemesis(args.nemesis)
+    config = experiment.build_config()
+    print(f"tracing {label} | {config.replicas} replicas | "
+          f"{config.profile} | {config.num_rbes} RBEs | scale={scale.name}",
+          flush=True)
+    result = experiment.run()
+    tracer = result.spans
+    print(f"{len(tracer.spans)} spans, {len(tracer.marks)} marks"
+          + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
+
+    both = not (args.critical_path or args.recovery_phases)
+    if args.critical_path or both:
+        report = result.critical_path()
+        rows = [[bucket,
+                 f"{row['p50'] * 1000:.1f} ms",
+                 f"{row['p90'] * 1000:.1f} ms",
+                 f"{row['p99'] * 1000:.1f} ms",
+                 f"{row['mean'] * 1000:.1f} ms",
+                 f"{row['share_pct']:.1f}%"]
+                for bucket, row in report.bucket_quantiles().items()]
+        print()
+        print(format_table(
+            f"WIRT critical path "
+            f"({len(report.interactions)} interactions)",
+            ["bucket", "p50", "p90", "p99", "mean", "share"], rows))
+    if args.recovery_phases or both:
+        phases = result.recovery_phases()
+        if not phases:
+            if args.recovery_phases:
+                print("\nno completed recoveries in this run "
+                      "(pick a crash scenario, e.g. `repro trace "
+                      "sequential`)")
+        else:
+            rows = [[entry["node"],
+                     *(f"{entry['phases'][phase]:.2f}s"
+                       for phase in RECOVERY_PHASES),
+                     f"{entry['total_s']:.2f}s"]
+                    for entry in phases]
+            print()
+            print(format_table(
+                f"recovery phases ({len(phases)} recoveries)",
+                ["node", *RECOVERY_PHASES, "total"], rows))
+
+    if args.export:
+        _ensure_parent(args.out)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            if args.export == "chrome":
+                json.dump(tracer.to_chrome(), handle)
+            else:
+                handle.write(tracer.to_jsonl())
+        print(f"\nwrote {args.export} trace to {args.out}")
     return 0
 
 
@@ -405,6 +527,16 @@ def _cmd_report_aggregate(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    expanded = []
+    for pattern in args.paths:
+        matches = sorted(globlib.glob(pattern))
+        if not matches:
+            print(f"error: no result files match {pattern!r} "
+                  f"(write them with `repro run --json PATH`)",
+                  file=sys.stderr)
+            return 2
+        expanded.extend(matches)
+    args.paths = expanded
     if args.aggregate:
         return _cmd_report_aggregate(args)
     if len(args.paths) > 1:
@@ -461,6 +593,8 @@ def main(argv=None) -> int:
         return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     build_parser().print_help()
     return 2
 

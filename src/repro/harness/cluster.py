@@ -29,7 +29,8 @@ from repro.faults.faultload import NEMESIS_KINDS, ONEWAY_KIND, FaultEvent, Fault
 from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.faults.watchdog import Watchdog
 from repro.harness.config import ClusterConfig
-from repro.obs import KernelProfiler, MetricsRegistry, TimelineSampler
+from repro.obs import (KernelProfiler, MetricsRegistry, SpanTracer,
+                       TimelineSampler)
 from repro.sim import (
     Nemesis,
     NemesisParams,
@@ -216,6 +217,10 @@ class RobustStoreCluster:
             self.sampler = TimelineSampler(
                 self.sim, self.metrics,
                 config.scale.t(config.obs_tick_s))
+        self.span_tracer: Optional[SpanTracer] = None
+        if config.span_tracing:
+            self.span_tracer = SpanTracer(self.sim)
+            self.sim.spans = self.span_tracer
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
         self.profile = profile_by_name(config.profile)

@@ -101,6 +101,21 @@ class Experiment:
         self._overrides["safety_tracing"] = True
         return self
 
+    def trace(self) -> "Experiment":
+        """Enable causal span tracing (:mod:`repro.obs.trace`).
+
+        Every interaction gets a trace id that follows it through proxy,
+        server, consensus, disk, and 2PC; the result exposes the raw
+        :class:`~repro.obs.trace.SpanTracer` as ``result.spans`` plus
+        the :meth:`~repro.harness.experiments.ExperimentResult.critical_path`
+        and
+        :meth:`~repro.harness.experiments.ExperimentResult.recovery_phases`
+        analyzers.  The run itself stays bit-for-bit identical to an
+        untraced run at the same seed.
+        """
+        self._overrides["span_tracing"] = True
+        return self
+
     def build_config(self) -> ClusterConfig:
         """The resolved :class:`ClusterConfig` this experiment will run."""
         if not self._overrides:

@@ -35,11 +35,17 @@ from repro.faults.metrics import (
 )
 from repro.harness.cluster import RobustStoreCluster
 from repro.harness.config import ClusterConfig
+from repro.obs import trace as obs_trace
 from repro.obs.timeline import Timeline
+from repro.obs.trace import SpanTracer
 
 
 class MissingWindowError(ValueError):
     """A result window was requested that this run never produced."""
+
+
+class MissingTraceError(ValueError):
+    """A trace analysis was requested on a run without span tracing."""
 
 
 @dataclass
@@ -62,6 +68,8 @@ class ExperimentResult:
     timeline: Optional[Timeline] = None
     kernel_profile: Optional[dict] = None
     metrics: Optional[dict] = None  # final registry snapshot
+    # Causal span tracer (only when config.span_tracing was on).
+    spans: Optional[SpanTracer] = None
     #: name of the faultload this run executed ("none" for baselines)
     faultload_name: str = "none"
 
@@ -119,6 +127,23 @@ class ExperimentResult:
 
     def window_between(self, start: float, end: float) -> WindowStats:
         return self.collector.window(start, end, self.bucket_s)
+
+    # trace analytics ----------------------------------------------------
+    def _require_spans(self) -> SpanTracer:
+        if self.spans is None:
+            raise MissingTraceError(
+                "this run recorded no spans; enable tracing with "
+                "Experiment(...).trace() or repro trace")
+        return self.spans
+
+    def critical_path(self) -> "obs_trace.CriticalPathReport":
+        """Per-interaction WIRT decomposition (requires ``.trace()``)."""
+        return obs_trace.critical_path(self._require_spans())
+
+    def recovery_phases(self) -> List[dict]:
+        """Per-recovery phase breakdown (requires ``.trace()``)."""
+        return obs_trace.recovery_phases(self._require_spans(),
+                                         self.recoveries)
 
     # measures -----------------------------------------------------------
     def pv_pct(self) -> Optional[float]:
@@ -269,6 +294,7 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         timeline=cluster.timeline,
         kernel_profile=kernel_profile,
         metrics=metrics_snapshot,
+        spans=cluster.span_tracer,
         faultload_name=faultload.name)
 
 

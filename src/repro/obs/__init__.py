@@ -13,10 +13,17 @@ a first-class observability layer:
   export, derived rates);
 * :mod:`repro.obs.profiler` -- :class:`KernelProfiler` attributes the
   event kernel's wall-clock to layers (events per simulated second,
-  wall-clock per event category).
+  wall-clock per event category);
+* :mod:`repro.obs.trace` -- :class:`SpanTracer` records causal spans per
+  TPC-W interaction across every layer (hops, queueing, disk, quorum
+  wait, apply), with a WIRT critical-path decomposer, recovery-phase
+  forensics, and JSONL / Chrome trace-event exports.
 
 Enable the whole stack on a run with ``ClusterConfig(observability=True)``
 or ``Experiment(...).observe()``; from the CLI, ``repro run --obs``.
+Span tracing is separate (``span_tracing=True`` / ``.trace()`` /
+``repro trace``) because it records per-event data rather than
+aggregates.
 """
 
 from repro.obs.profiler import KernelProfiler, category_of_module
@@ -30,17 +37,35 @@ from repro.obs.registry import (
     registry_of,
 )
 from repro.obs.timeline import Timeline, TimelineSampler
+from repro.obs.trace import (
+    CriticalPathReport,
+    Mark,
+    Span,
+    SpanTracer,
+    critical_path,
+    current_trace,
+    recovery_phases,
+    spans_of,
+)
 
 __all__ = [
     "NULL_REGISTRY",
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "KernelProfiler",
+    "Mark",
     "MetricsRegistry",
     "NullRegistry",
+    "Span",
+    "SpanTracer",
     "StreamingHistogram",
     "Timeline",
     "TimelineSampler",
     "category_of_module",
+    "critical_path",
+    "current_trace",
+    "recovery_phases",
     "registry_of",
+    "spans_of",
 ]

@@ -1,0 +1,543 @@
+"""Causal span tracing: per-interaction spans across every layer.
+
+A *trace* is one TPC-W interaction.  The RBE stamps its request with a
+trace id and opens a root ``interaction`` span; the id rides inside the
+``Request`` payload through proxy and server, is picked up by the
+replica's request process (``sim._current``), and so reaches the
+treplica ``execute`` path and the 2PC coordinator without any component
+threading an explicit context argument.  Every network message hop,
+disk operation, proxy/CPU queueing episode, and state-machine apply
+batch records a :class:`Span` with sim-time start/end, the node it ran
+on, and a kind; point-in-time milestones (a leader election, a replica
+catching up) are :class:`Mark` instants.
+
+The tracer follows the ``repro.obs`` null-object discipline: components
+capture ``sim.spans`` (``None`` unless the harness attached a
+:class:`SpanTracer`) and guard each emission with a single ``is not
+None`` check.  Recording is synchronous list appends -- no simulator
+events, no RNG draws -- so a traced run is bit-for-bit identical to an
+untraced run at the same seed (``tests/obs/test_trace.py`` locks this).
+
+On top of the raw spans sit two analyzers:
+
+* :func:`critical_path` -- decomposes each interaction's measured WIRT
+  into queueing / network / disk / quorum / apply buckets that sum to
+  the response time exactly (a priority sweep over the root span's
+  timeline; uncovered time is "other").
+* :func:`recovery_phases` -- splits each recovery window into the
+  paper's detection -> election -> checkpoint -> catch-up -> replay
+  phases using recovery milestones (marks), clamped so the phases
+  partition ``[crashed_at, ready_at]`` exactly.
+
+Exports are JSONL (one span or mark per line) and Chrome trace-event
+JSON (``ph: "X"`` complete events on one thread per node), loadable in
+Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "BUCKETS",
+    "CriticalPathReport",
+    "Mark",
+    "RECOVERY_PHASES",
+    "Span",
+    "SpanTracer",
+    "critical_path",
+    "current_trace",
+    "recovery_phases",
+    "spans_of",
+]
+
+
+# ----------------------------------------------------------------------
+# span records
+# ----------------------------------------------------------------------
+@dataclass
+class Span:
+    """One timed episode on one node, optionally tied to a trace id."""
+
+    span_id: int
+    kind: str
+    node: str
+    start: float
+    trace: Optional[str] = None
+    end: Optional[float] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass(frozen=True)
+class Mark:
+    """A point-in-time milestone (election won, replica caught up)."""
+
+    time: float
+    name: str
+    node: str
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+
+def spans_of(sim) -> Optional["SpanTracer"]:
+    """The simulator's span tracer, or ``None`` when tracing is off."""
+    return getattr(sim, "spans", None)
+
+
+def current_trace(sim) -> Optional[str]:
+    """Trace id of the currently resuming process, if it carries one.
+
+    The kernel tracks the process being resumed in ``sim._current``;
+    the web server stamps each request-handling process with the
+    request's trace id, so anything running under it (servlets, the
+    database, ``TreplicaRuntime.execute``, the 2PC coordinator) can
+    recover the causal context without plumbing arguments.
+    """
+    process = getattr(sim, "_current", None)
+    if process is None:
+        return None
+    return getattr(process, "trace", None)
+
+
+class SpanTracer:
+    """Collects :class:`Span` and :class:`Mark` records for one run.
+
+    Attached by the harness as ``sim.spans`` *before* any component is
+    built, mirroring how ``sim.metrics`` is installed.  All methods are
+    plain list appends against ``sim.now``; none schedules events or
+    draws randomness, which is what keeps traced and untraced runs
+    bit-for-bit identical.
+    """
+
+    def __init__(self, sim, max_spans: int = 2_000_000):
+        self.sim = sim
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.marks: List[Mark] = []
+        self.dropped = 0
+        self._next_id = 0
+
+    # -- recording -----------------------------------------------------
+    def begin(self, kind: str, node: str, trace: Optional[str] = None,
+              **fields: Any) -> Span:
+        """Open a span at ``sim.now``; close it later with :meth:`finish`."""
+        span = Span(self._next_id, kind, node, self.sim.now,
+                    trace=trace, fields=fields)
+        self._next_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def finish(self, span: Span, **fields: Any) -> Span:
+        """Close ``span`` at ``sim.now`` (idempotent: first close wins)."""
+        if span.end is None:
+            span.end = self.sim.now
+            if fields:
+                span.fields.update(fields)
+        return span
+
+    def complete(self, kind: str, node: str, start: float,
+                 trace: Optional[str] = None, **fields: Any) -> Span:
+        """Record a span that ran from ``start`` until ``sim.now``."""
+        span = self.begin(kind, node, trace=trace, **fields)
+        span.start = start
+        span.end = self.sim.now
+        return span
+
+    def instant(self, kind: str, node: str, trace: Optional[str] = None,
+                **fields: Any) -> Span:
+        """A zero-length span (e.g. a message eaten by the nemesis)."""
+        span = self.begin(kind, node, trace=trace, **fields)
+        span.end = span.start
+        return span
+
+    def mark(self, name: str, node: str, **fields: Any) -> Mark:
+        """Record a point-in-time milestone at ``sim.now``."""
+        mark = Mark(self.sim.now, name, node, tuple(sorted(fields.items())))
+        self.marks.append(mark)
+        return mark
+
+    # -- queries -------------------------------------------------------
+    def select(self, kind: Optional[str] = None,
+               trace: Optional[str] = None,
+               node_prefix: Optional[str] = None) -> List[Span]:
+        """Finished spans filtered by kind / trace id / node prefix.
+
+        ``node_prefix="s1."`` narrows a sharded run to one replica
+        group's stream.
+        """
+        out = []
+        for span in self.spans:
+            if span.end is None:
+                continue
+            if kind is not None and span.kind != kind:
+                continue
+            if trace is not None and span.trace != trace:
+                continue
+            if node_prefix is not None \
+                    and not span.node.startswith(node_prefix):
+                continue
+            out.append(span)
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for span in self.spans:
+            out[span.kind] = out.get(span.kind, 0) + 1
+        return out
+
+    # -- exports -------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line: spans (finished only) then marks."""
+        lines = []
+        for span in self.spans:
+            if span.end is None:
+                continue
+            lines.append(json.dumps({
+                "type": "span", "id": span.span_id, "kind": span.kind,
+                "node": span.node, "trace": span.trace,
+                "start": span.start, "end": span.end,
+                "fields": _jsonable(span.fields),
+            }, sort_keys=True))
+        for mark in self.marks:
+            lines.append(json.dumps({
+                "type": "mark", "name": mark.name, "node": mark.node,
+                "time": mark.time, "fields": _jsonable(dict(mark.fields)),
+            }, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome trace-event JSON: one pid, one tid per node.
+
+        Complete (``ph: "X"``) events carry the span kind as the event
+        name and the trace id in ``args``; marks become thread-scoped
+        instants.  Timestamps are microseconds of sim time, so the
+        Perfetto ruler reads directly in simulated wall clock.
+        """
+        events: List[Dict[str, Any]] = []
+        tids: Dict[str, int] = {}
+
+        def tid_of(node: str) -> int:
+            tid = tids.get(node)
+            if tid is None:
+                tid = tids[node] = len(tids) + 1
+                events.append({"ph": "M", "pid": 1, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": node}})
+            return tid
+
+        for span in self.spans:
+            if span.end is None:
+                continue
+            args = _jsonable(span.fields)
+            if span.trace is not None:
+                args["trace"] = span.trace
+            events.append({
+                "ph": "X", "pid": 1, "tid": tid_of(span.node),
+                "name": span.kind, "cat": span.kind.split(".")[0],
+                "ts": round(span.start * 1e6, 3),
+                "dur": round((span.end - span.start) * 1e6, 3),
+                "args": args,
+            })
+        for mark in self.marks:
+            events.append({
+                "ph": "i", "s": "t", "pid": 1, "tid": tid_of(mark.node),
+                "name": mark.name, "cat": "mark",
+                "ts": round(mark.time * 1e6, 3),
+                "args": _jsonable(dict(mark.fields)),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(fields: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in fields.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        elif not isinstance(value, (str, int, float, bool, list,
+                                    dict, type(None))):
+            value = str(value)
+        out[key] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# analyzer 1: WIRT critical-path decomposition
+# ----------------------------------------------------------------------
+#: Decomposition buckets, in report order.
+BUCKETS = ("queueing", "network", "disk", "quorum", "apply", "other")
+
+#: bucket and preemption priority for spans that carry the trace id.
+#: Higher priority wins where segments overlap (disk under an execute
+#: window beats the execute span itself, which beats the network hop
+#: that happened to overlap).
+_TRACE_BUCKETS = {
+    "net": ("network", 1),
+    "proxy.queue": ("queueing", 2),
+    "server.cpu": ("queueing", 2),
+    "execute": ("quorum", 3),
+    "txn.prepare": ("quorum", 3),
+}
+_APPLY_PRIORITY = 4
+_DISK_PRIORITY = 5
+
+
+class _NodeIndex:
+    """Interval index over one node's spans: sorted starts + prefix-max
+    ends, so ``overlapping(a, b)`` is exact without scanning everything."""
+
+    def __init__(self, spans: List[Span]):
+        spans.sort(key=lambda s: (s.start, s.span_id))
+        self.spans = spans
+        self.starts = [s.start for s in spans]
+        self.max_end: List[float] = []
+        running = -math.inf
+        for span in spans:
+            running = max(running, span.end)
+            self.max_end.append(running)
+
+    def overlapping(self, a: float, b: float) -> List[Span]:
+        hi = bisect.bisect_left(self.starts, b)
+        lo, r = 0, hi
+        while lo < r:  # leftmost index whose prefix-max end exceeds a
+            mid = (lo + r) // 2
+            if self.max_end[mid] > a:
+                r = mid
+            else:
+                lo = mid + 1
+        return [s for s in self.spans[lo:hi] if s.end > a]
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-interaction WIRT decompositions plus aggregate views."""
+
+    interactions: List[Dict[str, Any]]
+
+    def totals(self) -> Dict[str, float]:
+        """Summed seconds per bucket across all interactions."""
+        totals = {bucket: 0.0 for bucket in BUCKETS}
+        for entry in self.interactions:
+            for bucket, seconds in entry["buckets"].items():
+                totals[bucket] += seconds
+        return totals
+
+    def bucket_quantiles(
+            self, qs: Iterable[float] = (0.5, 0.9, 0.99),
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-bucket quantiles/mean/share over per-interaction seconds."""
+        wirt_total = sum(e["wirt_s"] for e in self.interactions) or 1.0
+        out: Dict[str, Dict[str, float]] = {}
+        for bucket in BUCKETS:
+            values = sorted(e["buckets"][bucket] for e in self.interactions)
+            row: Dict[str, float] = {}
+            for q in qs:
+                row[f"p{int(round(q * 100))}"] = _percentile(values, q)
+            row["mean"] = (sum(values) / len(values)) if values else 0.0
+            row["share_pct"] = 100.0 * sum(values) / wirt_total
+            out[bucket] = row
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"interactions": self.interactions,
+                "totals": self.totals(),
+                "quantiles": self.bucket_quantiles()}
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def critical_path(tracer: SpanTracer,
+                  include_failed: bool = False) -> CriticalPathReport:
+    """Attribute each interaction's response time to latency buckets.
+
+    For every root ``interaction`` span the decomposer collects the
+    trace's own spans (hops, queueing, execute/2PC waits), plus the
+    node-level ``disk`` and ``apply`` spans that overlap the trace's
+    ``execute`` windows on the executing replica, clips everything to
+    the root window, and sweeps the timeline: each elementary interval
+    is charged to the highest-priority covering segment, uncovered time
+    to "other".  The buckets therefore partition ``[start, end]`` and
+    sum to the measured WIRT exactly.
+    """
+    by_trace: Dict[str, List[Span]] = {}
+    disk_by_node: Dict[str, List[Span]] = {}
+    apply_by_node: Dict[str, List[Span]] = {}
+    roots: List[Span] = []
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        if span.kind == "disk":
+            disk_by_node.setdefault(span.node, []).append(span)
+        elif span.kind == "apply":
+            apply_by_node.setdefault(span.node, []).append(span)
+        elif span.kind == "interaction":
+            roots.append(span)
+        elif span.trace is not None:
+            by_trace.setdefault(span.trace, []).append(span)
+    disk_index = {node: _NodeIndex(spans)
+                  for node, spans in disk_by_node.items()}
+    apply_index = {node: _NodeIndex(spans)
+                   for node, spans in apply_by_node.items()}
+
+    interactions = []
+    for root in roots:
+        if not include_failed and not root.fields.get("ok", True):
+            continue
+        t0, t1 = root.start, root.end
+        if t1 <= t0:
+            continue
+        segments: List[Tuple[float, float, str, int]] = []
+        for span in by_trace.get(root.trace, ()):
+            mapped = _TRACE_BUCKETS.get(span.kind)
+            if mapped is None:
+                continue
+            a, b = max(span.start, t0), min(span.end, t1)
+            if b <= a:
+                continue
+            bucket, priority = mapped
+            segments.append((a, b, bucket, priority))
+            if span.kind != "execute":
+                continue
+            # Disk syncs and apply batches are node-level (they serve
+            # many commands at once); charge the slices that overlap
+            # this trace's quorum-wait window on the executing replica.
+            disk = disk_index.get(f"{span.node}-disk")
+            if disk is not None:
+                for other in disk.overlapping(a, b):
+                    c, d = max(other.start, a), min(other.end, b)
+                    if d > c:
+                        segments.append((c, d, "disk", _DISK_PRIORITY))
+            batches = apply_index.get(span.node)
+            if batches is not None:
+                for other in batches.overlapping(a, b):
+                    c, d = max(other.start, a), min(other.end, b)
+                    if d > c:
+                        segments.append((c, d, "apply", _APPLY_PRIORITY))
+        interactions.append({
+            "trace": root.trace,
+            "interaction": root.fields.get("interaction"),
+            "client": root.node,
+            "start": t0,
+            "wirt_s": t1 - t0,
+            "ok": bool(root.fields.get("ok", True)),
+            "buckets": _sweep(t0, t1, segments),
+        })
+    return CriticalPathReport(interactions)
+
+
+def _sweep(t0: float, t1: float,
+           segments: List[Tuple[float, float, str, int]]) -> Dict[str, float]:
+    """Charge each elementary interval of ``[t0, t1]`` to the
+    highest-priority covering segment; leftovers go to "other"."""
+    buckets = {bucket: 0.0 for bucket in BUCKETS}
+    cuts = {t0, t1}
+    for a, b, _bucket, _priority in segments:
+        cuts.add(a)
+        cuts.add(b)
+    points = sorted(cuts)
+    for left, right in zip(points, points[1:]):
+        if right <= left:
+            continue
+        midpoint = (left + right) / 2.0
+        best, best_priority = "other", 0
+        for a, b, bucket, priority in segments:
+            if priority > best_priority and a <= midpoint < b:
+                best, best_priority = bucket, priority
+        buckets[best] += right - left
+    return buckets
+
+
+# ----------------------------------------------------------------------
+# analyzer 2: recovery-phase forensics
+# ----------------------------------------------------------------------
+#: Phase names, in chronological order.
+RECOVERY_PHASES = ("detection", "election", "checkpoint", "catchup",
+                   "replay")
+
+
+def recovery_phases(tracer: SpanTracer,
+                    recoveries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Split each recovery window into the paper's phases.
+
+    Milestones inside ``[crashed_at, ready_at]``:
+
+    * ``rebooted_at`` (from the recovery record) ends **detection** --
+      the watchdog noticing the crash and restarting the process;
+    * the last ``paxos.elected`` mark in the replica's group ends
+      **election**;
+    * the replica's ``recovery.checkpoint_loaded`` /
+      ``recovery.checkpoint_transferred`` mark ends **checkpoint**
+      (local restore or remote state transfer);
+    * the replica's ``recovery.caught_up`` mark (applied watermark
+      reached the target observed at boot) ends **catchup**;
+    * everything after, until ``ready_at``, is **replay** -- draining
+      the residual decided-but-unapplied tail and the caught-up poll.
+
+    Each milestone is clamped to be monotone and inside the window, and
+    a missing milestone collapses its phase to zero, so the five phases
+    always partition ``[crashed_at, ready_at]`` exactly.
+    """
+    reports = []
+    for event in recoveries:
+        ready = event.get("ready_at")
+        if ready is None:
+            continue  # never came back inside the run
+        crashed = event["crashed_at"]
+        rebooted = event["rebooted_at"]
+        shard = event.get("shard")
+        prefix = f"s{shard}." if shard is not None else ""
+        node = f"{prefix}replica{event['replica']}"
+
+        def clamp(candidate: float, floor: float) -> float:
+            return min(max(candidate, floor), ready)
+
+        detection_end = clamp(rebooted, crashed)
+        elected = [m.time for m in tracer.marks
+                   if m.name == "paxos.elected"
+                   and m.node.startswith(prefix)
+                   and crashed < m.time <= ready]
+        election_end = clamp(max(elected), detection_end) if elected \
+            else detection_end
+        loaded = [m.time for m in tracer.marks
+                  if m.name in ("recovery.checkpoint_loaded",
+                                "recovery.checkpoint_transferred")
+                  and m.node == node and crashed < m.time <= ready]
+        checkpoint_end = clamp(min(loaded), election_end) if loaded \
+            else election_end
+        caught = [m.time for m in tracer.marks
+                  if m.name == "recovery.caught_up"
+                  and m.node == node and crashed < m.time <= ready]
+        catchup_end = clamp(min(caught), checkpoint_end) if caught \
+            else checkpoint_end
+
+        reports.append({
+            "replica": event["replica"],
+            "shard": shard,
+            "node": node,
+            "crashed_at": crashed,
+            "rebooted_at": rebooted,
+            "ready_at": ready,
+            "total_s": ready - crashed,
+            "phases": {
+                "detection": detection_end - crashed,
+                "election": election_end - detection_end,
+                "checkpoint": checkpoint_end - election_end,
+                "catchup": catchup_end - checkpoint_end,
+                "replay": ready - catchup_end,
+            },
+        })
+    return reports

@@ -145,6 +145,7 @@ class PaxosEngine:
         }
         # Cluster-wide observability instruments (no-ops unless the
         # harness attached a registry to the simulator).
+        self._spans = getattr(self.sim, "spans", None)
         obs = registry_of(self.sim)
         self._obs_proposals = obs.counter("paxos.proposals")
         self._obs_fast_proposals = obs.counter("paxos.fast_proposals")
@@ -551,6 +552,10 @@ class PaxosEngine:
         covered = max(per_instance) if per_instance else self._phase1_from - 1
         covered = max(covered, self.watermark, peer_wm)
         self.leading = True
+        if self._spans is not None:
+            # Recovery forensics milestone: the group has a leader again.
+            self._spans.mark("paxos.elected", self.node.name,
+                             round=self.my_ballot.round)
         self.next_instance = covered + 1
         for instance in range(self._phase1_from, covered + 1):
             if instance in self.decided:

@@ -40,7 +40,8 @@ from repro.faults.faultload import (
 from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.harness.cluster import ReplicaGroup
 from repro.harness.config import ClusterConfig
-from repro.obs import KernelProfiler, MetricsRegistry, TimelineSampler
+from repro.obs import (KernelProfiler, MetricsRegistry, SpanTracer,
+                       TimelineSampler)
 from repro.shard.database import ShardedTPCWDatabase
 from repro.shard.partition import Partitioner
 from repro.shard.router import ShardRouter
@@ -89,6 +90,10 @@ class ShardedCluster:
             self.sampler = TimelineSampler(
                 self.sim, self.metrics,
                 config.scale.t(config.obs_tick_s))
+        self.span_tracer: Optional[SpanTracer] = None
+        if config.span_tracing:
+            self.span_tracer = SpanTracer(self.sim)
+            self.sim.spans = self.span_tracer
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
         self.profile = profile_by_name(config.profile)

@@ -37,6 +37,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.registry import registry_of
+from repro.obs.trace import current_trace, spans_of
 from repro.sim.node import Node
 from repro.sim.trace import emit as trace_emit
 from repro.treplica.actions import Action
@@ -135,6 +136,7 @@ class TxnParticipant:
         self.node = node
         self.runtime = runtime
         self.shard = shard
+        self._spans = spans_of(node.sim)
 
     def start(self) -> None:
         self.node.handle(TXN_PORT, self._on_message)
@@ -147,7 +149,15 @@ class TxnParticipant:
         if not self.runtime.ready:
             return  # recovering: silence makes the coordinator retry
         if kind == "prepare":
+            span = None
+            if self._spans is not None:
+                # The tx id links this participant-side span to the
+                # coordinator's txn.prepare span in the trace view.
+                span = self._spans.begin("txn.participant", self.node.name,
+                                         tx=tx_id, shard=self.shard)
             vote = yield from self.runtime.execute(TxPrepare(tx_id, deltas))
+            if span is not None:
+                self._spans.finish(span, vote=bool(vote))
             trace_emit(self.node.sim, "txn", self.node.name, event="vote",
                        tx=tx_id, shard=self.shard, vote=bool(vote))
             self.node.send(src, TXN_REPLY_PORT,
@@ -171,6 +181,7 @@ class TxnCoordinator:
         self._max_retries = max_retries
         self._waiters: Dict[Tuple[str, int], object] = {}
         self._tx_seq = itertools.count(1)
+        self._spans = spans_of(node.sim)
         obs = registry_of(node.sim)
         self._obs_started = obs.counter("shard.txn_started")
         self._obs_committed = obs.counter("shard.txn_committed")
@@ -196,11 +207,18 @@ class TxnCoordinator:
         """Generator: phase 1 against every participant shard, in shard
         order (deterministic).  Returns True iff all voted yes."""
         self._obs_started.inc()
+        span = None
+        if self._spans is not None:
+            span = self._spans.begin("txn.prepare", self.node.name,
+                                     trace=current_trace(self.node.sim),
+                                     tx=tx_id, shards=tuple(sorted(parts)))
         all_yes = True
         for shard in sorted(parts):
             vote = yield from self._prepare_one(tx_id, shard, parts[shard])
             if not vote:
                 all_yes = False
+        if span is not None:
+            self._spans.finish(span, ok=all_yes)
         return all_yes
 
     def _prepare_one(self, tx_id: str, shard: int,
@@ -235,6 +253,10 @@ class TxnCoordinator:
         (self._obs_committed if commit else self._obs_aborted).inc()
         trace_emit(self.node.sim, "txn", self.node.name, event="decision",
                    tx=tx_id, outcome=outcome, shards=tuple(sorted(parts)))
+        if self._spans is not None:
+            self._spans.instant("txn.decide", self.node.name,
+                                trace=current_trace(self.node.sim),
+                                tx=tx_id, outcome=outcome)
         for shard in sorted(parts):
             for name in self._groups[shard]:
                 self.node.send(name, TXN_PORT, (outcome, tx_id, None),

@@ -43,11 +43,17 @@ class Simulator:
         self._counter = itertools.count()
         self._processes_started = 0
         # Optional hooks attached by the harness: a metrics registry
-        # (repro.obs.registry) and an event-kernel profiler.  Both stay
-        # None on uninstrumented runs; the profiler is the only one the
-        # kernel itself consults (one None-check per event).
+        # (repro.obs.registry), an event-kernel profiler, and a causal
+        # span tracer (repro.obs.trace).  All stay None on
+        # uninstrumented runs; the profiler is the only one the kernel
+        # itself consults (one None-check per event).
         self.metrics = None
         self.profiler = None
+        self.spans = None
+        # The process currently being resumed, for trace propagation:
+        # code running inside a process can ask "whose causal context am
+        # I in?" without threading arguments through every generator.
+        self._current: Optional["Process"] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -335,6 +341,9 @@ class Process(Awaitable):
         self.error: Optional[BaseException] = None
         self._joiners: List[Process] = []
         self._join_callbacks: List[Callable[["Process"], None]] = []
+        # Causal context: a trace id stamped on request-handling
+        # processes so work running under them can be attributed.
+        self.trace: Optional[str] = None
         sim.call_after(0, self._resume, None)
 
     # ------------------------------------------------------------------
@@ -373,6 +382,7 @@ class Process(Awaitable):
     def _resume(self, value: Any) -> None:
         if self.finished:
             return
+        self._sim._current = self
         try:
             yielded = self._gen.send(value)
         except StopIteration as stop:
@@ -381,11 +391,14 @@ class Process(Awaitable):
         except Exception as exc:  # noqa: BLE001 - process body failed
             self._finish(None, exc)
             return
+        finally:
+            self._sim._current = None
         self._wait_on(yielded)
 
     def _throw(self, error: BaseException) -> None:
         if self.finished:
             return
+        self._sim._current = self
         try:
             yielded = self._gen.throw(error)
         except StopIteration as stop:
@@ -394,6 +407,8 @@ class Process(Awaitable):
         except Exception as exc:  # noqa: BLE001
             self._finish(None, exc)
             return
+        finally:
+            self._sim._current = None
         self._wait_on(yielded)
 
     def _wait_on(self, yielded: Any) -> None:

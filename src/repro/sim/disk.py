@@ -52,6 +52,7 @@ class Disk:
         self._sim = sim
         self.params = params or DiskParams()
         self.name = name
+        self._spans = getattr(sim, "spans", None)
         self._station = ServiceStation(sim, name=f"{name}-io")
         self._store: Dict[str, Tuple[Any, float]] = {}
         self.bytes_written_mb = 0.0
@@ -70,14 +71,29 @@ class Disk:
         cost = (self.params.sync_write_latency_s
                 + size_mb / self.params.write_bandwidth_mb_s)
         self.bytes_written_mb += size_mb
-        return self._station.request(cost)
+        done = self._station.request(cost)
+        self._trace_op("write", size_mb, done)
+        return done
 
     def read(self, size_mb: float) -> Event:
         """A sequential read of ``size_mb``."""
         cost = (self.params.read_latency_s
                 + size_mb / self.params.read_bandwidth_mb_s)
         self.bytes_read_mb += size_mb
-        return self._station.request(cost)
+        done = self._station.request(cost)
+        self._trace_op("read", size_mb, done)
+        return done
+
+    def _trace_op(self, op: str, size_mb: float, done: Event) -> None:
+        # Span covers queueing behind the disk head plus the transfer
+        # itself; an op lost to a crash (station reset) never finishes
+        # and its open span is skipped by the exporters.
+        tracer = self._spans
+        if tracer is None:
+            return
+        span = tracer.begin("disk", self.name, op=op,
+                            size_mb=round(size_mb, 6))
+        done.add_callback(lambda _event: tracer.finish(span))
 
     # ------------------------------------------------------------------
     # durable key-value segments (checkpoints, metadata)

@@ -50,6 +50,9 @@ class Message:
     payload: Any
     size_mb: float
     sent_at: float = 0.0
+    # Open hop span piggybacked on the datagram when span tracing is on;
+    # shared by duplicate copies (the first delivery closes it).
+    span: Any = None
 
 
 # ======================================================================
@@ -201,6 +204,7 @@ class Network:
                  nemesis: Optional[Nemesis] = None):
         self._sim = sim
         self.params = params or NetworkParams()
+        self._spans = getattr(sim, "spans", None)
         self._rng = (seed or SeedTree(0)).fork_random("network-jitter")
         self._nodes: Dict[str, Any] = {}
         self._blocked: Set[Tuple[str, str]] = set()
@@ -253,11 +257,15 @@ class Network:
 
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, port: str, payload: Any,
-             size_mb: float = 0.0005) -> None:
+             size_mb: float = 0.0005, trace: Optional[str] = None) -> None:
         """Fire-and-forget datagram; delivery is scheduled, never guaranteed."""
         if dst not in self._nodes:
             raise SimulationError(f"unknown destination node: {dst}")
+        tracer = self._spans
         if (src, dst) in self._blocked:
+            if tracer is not None:
+                tracer.instant("net", f"{src}->{dst}", trace=trace,
+                               port=port, cause="partition")
             return
         fates = [0.0]
         if self.nemesis is not None:
@@ -265,11 +273,17 @@ class Network:
         self.messages_sent += 1
         self.mb_sent += size_mb
         if not fates:
+            if tracer is not None:
+                tracer.instant("net", f"{src}->{dst}", trace=trace,
+                               port=port, cause="dropped")
             return  # eaten by the nemesis
         target = self._nodes[dst]
         incarnation = target.incarnation
         message = Message(src, dst, port, payload, size_mb,
                           sent_at=self._sim.now)
+        if tracer is not None:
+            message.span = tracer.begin("net", f"{src}->{dst}",
+                                        trace=trace, port=port)
         for extra_delay in fates:
             delay = (self.params.base_latency_s
                      + size_mb / self.params.bandwidth_mb_s
@@ -282,12 +296,21 @@ class Network:
     def _deliver(self, message: Message, incarnation: int) -> None:
         self.inflight_messages -= 1
         self.inflight_mb -= message.size_mb
+        span = message.span
         target = self._nodes.get(message.dst)
         if target is None or not target.alive:
+            if span is not None:
+                self._spans.finish(span, cause="dest_down")
             return
         if target.incarnation != incarnation:
+            if span is not None:
+                self._spans.finish(span, cause="stale_incarnation")
             return  # node restarted while the message was in flight
         if (message.src, message.dst) in self._blocked:
+            if span is not None:
+                self._spans.finish(span, cause="partition")
             return
         self.messages_delivered += 1
+        if span is not None:
+            self._spans.finish(span)
         target.dispatch(message.port, message.payload, message.src)

@@ -84,11 +84,12 @@ class Node:
             handler(payload, src)
 
     def send(self, dst: str, port: str, payload: Any,
-             size_mb: float = 0.0005) -> None:
+             size_mb: float = 0.0005, trace: Optional[str] = None) -> None:
         """Send a datagram; a dead node cannot speak."""
         if not self.alive:
             return
-        self.network.send(self.name, dst, port, payload, size_mb)
+        self.network.send(self.name, dst, port, payload, size_mb,
+                          trace=trace)
 
     # ------------------------------------------------------------------
     # failure semantics

@@ -57,6 +57,8 @@ class RemoteBrowserEmulator:
         self.session: Dict[str, object] = {}
         self._responses = node.sim.channel()
         self._req_seq = itertools.count(1)
+        self._spans = getattr(node.sim, "spans", None)
+        self._open_span = None  # root span of the in-flight interaction
         obs = registry_of(node.sim)
         self._obs_ok = obs.counter("web.interactions_ok")
         self._obs_error = obs.counter("web.interactions_error")
@@ -89,8 +91,15 @@ class RemoteBrowserEmulator:
         request = Request(req_id, self.rbe_id, self.node.name,
                           self.reply_port, interaction,
                           dict(self.session), sent_at=sim.now)
+        if self._spans is not None:
+            # The req_id doubles as the trace id; the root span brackets
+            # the whole interaction and is closed in _record.
+            request.trace = req_id
+            self._open_span = self._spans.begin(
+                "interaction", self.node.name, trace=req_id,
+                interaction=interaction.value)
         self.node.send(self.proxy_name, CLIENT_IN_PORT, request,
-                       size_mb=REQUEST_SIZE_MB)
+                       size_mb=REQUEST_SIZE_MB, trace=request.trace)
         deadline = sim.now + self.timeout_s
         while True:
             getter = self._responses.get()
@@ -125,6 +134,9 @@ class RemoteBrowserEmulator:
             self._obs_wirt.observe(self.node.sim.now - request.sent_at)
         else:
             self._obs_error.inc()
+        if self._spans is not None and self._open_span is not None:
+            span, self._open_span = self._open_span, None
+            self._spans.finish(span, ok=ok, error=error_kind)
 
     # ------------------------------------------------------------------
     def _update_session(self, interaction: Interaction,

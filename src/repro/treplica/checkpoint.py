@@ -86,6 +86,10 @@ class CheckpointManager:
         self._obs_ckpt_duration.observe(node.sim.now - started_at)
         trace_emit(node.sim, "checkpoint", node.name, instance=instance,
                    size_mb=round(size_mb, 2))
+        spans = getattr(node.sim, "spans", None)
+        if spans is not None:
+            spans.complete("checkpoint", node.name, start=started_at,
+                           instance=instance, size_mb=round(size_mb, 3))
         floor = instance + 1 - config.log_retain_instances
         if floor > 0:
             runtime.engine.truncate_below(floor)

@@ -24,6 +24,7 @@ import math
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.registry import registry_of
+from repro.obs.trace import current_trace, spans_of
 from repro.paxos.messages import Command
 from repro.sim.core import Event, Simulator
 from repro.sim.disk import WriteAheadLog
@@ -75,6 +76,10 @@ class TreplicaRuntime:
         self.recovered_at: Optional[float] = None
         self._remote_ckpt_requested_at: Optional[float] = None
         self.stats = {"executed": 0, "remote_transfers": 0}
+        self._spans = spans_of(self.sim)
+        # Applied-watermark target the recovery forensics wait for; only
+        # armed (non-None) when span tracing is on.
+        self._catchup_target: Optional[int] = None
         obs = registry_of(self.sim)
         self._obs_applied = obs.counter("treplica.applied_commands")
         self._obs_apply_latency = obs.histogram("treplica.apply_latency_s")
@@ -96,6 +101,10 @@ class TreplicaRuntime:
     def _boot(self):
         if self._had_checkpoint:
             yield from self._load_local_checkpoint()
+            if self._spans is not None:
+                self._spans.mark("recovery.checkpoint_loaded",
+                                 self.node.name,
+                                 instance=self.applied_up_to)
             if self.config.sequential_recovery:
                 self.queue.start()  # ablation: resync only after the load
         self.node.spawn(self._applier(), name="treplica-applier")
@@ -138,6 +147,15 @@ class TreplicaRuntime:
         marks = self.engine.peer_watermarks
         target = max([self.engine.watermark, self.applied_up_to]
                      + list(marks.values()))
+        if self._spans is not None:
+            # The catch-up milestone fires the moment the applied
+            # watermark crosses the target (see _applier), not at the
+            # next poll -- the forensics want the true crossing time.
+            if self.applied_up_to >= target:
+                self._spans.mark("recovery.caught_up", self.node.name,
+                                 instance=self.applied_up_to)
+            else:
+                self._catchup_target = target
         while self.applied_up_to < target:
             yield self.sim.timeout(poll / 2)
 
@@ -152,8 +170,14 @@ class TreplicaRuntime:
                f":a{self._uid_counter}")
         waiter = self.sim.event()
         self._waiters[uid] = waiter
+        span = None
+        if self._spans is not None:
+            span = self._spans.begin("execute", self.node.name,
+                                     trace=current_trace(self.sim), uid=uid)
         self.engine.submit(Command(uid, action, size_mb=action.size_mb))
         result = yield waiter
+        if span is not None:
+            self._spans.finish(span)
         return result
 
     def read(self, fn: Callable[[Application], Any]) -> Any:
@@ -214,7 +238,17 @@ class TreplicaRuntime:
                         trace_emit(self.sim, "ack", self.node.name,
                                    uid=uid, instance=instance)
                         waiter.succeed(result)
+                if self._spans is not None:
+                    self._spans.complete("apply", self.node.name,
+                                         start=dequeued_at,
+                                         instance=instance,
+                                         commands=len(items))
             self.applied_up_to = max(self.applied_up_to, instance)
+            if (self._catchup_target is not None
+                    and self.applied_up_to >= self._catchup_target):
+                self._catchup_target = None
+                self._spans.mark("recovery.caught_up", self.node.name,
+                                 instance=self.applied_up_to)
 
     # ==================================================================
     # remote checkpoint transfer (peers truncated our backlog)
@@ -258,6 +292,14 @@ class TreplicaRuntime:
         self.engine.fast_forward(record.instance)
         self.stats["remote_transfers"] += 1
         self._obs_remote_transfers.inc()
+        if self._spans is not None:
+            self._spans.mark("recovery.checkpoint_transferred",
+                             self.node.name, instance=record.instance)
+            if (self._catchup_target is not None
+                    and self.applied_up_to >= self._catchup_target):
+                self._catchup_target = None
+                self._spans.mark("recovery.caught_up", self.node.name,
+                                 instance=self.applied_up_to)
 
 
 class StateMachine:

@@ -43,6 +43,7 @@ class Request:
     interaction: Interaction
     session: Dict[str, Any] = field(default_factory=dict)
     sent_at: float = 0.0
+    trace: Optional[str] = None  # causal trace id (repro.obs.trace)
 
 
 @dataclass

@@ -69,6 +69,7 @@ class ReverseProxy:
         self.stats = {"forwarded": 0, "redispatched": 0,
                       "broken_connections": 0, "no_backend": 0,
                       "removals": 0, "readds": 0}
+        self._spans = getattr(node.sim, "spans", None)
         obs = registry_of(node.sim)
         self._obs_forwarded = obs.counter("web.proxy_forwarded")
         self._obs_reroutes = obs.counter("web.proxy_reroutes")
@@ -79,16 +80,30 @@ class ReverseProxy:
     # ------------------------------------------------------------------
     def start(self) -> None:
         self._work = self.node.sim.channel()
-        self.node.handle(CLIENT_IN_PORT,
-                         lambda payload, src: self._work.put(("req", payload, src)))
-        self.node.handle(PROXY_RESP_PORT,
-                         lambda payload, src: self._work.put(("resp", payload, src)))
+        self.node.handle(CLIENT_IN_PORT, self._accept_request)
+        self.node.handle(PROXY_RESP_PORT, self._accept_response)
         self.node.handle(PROBE_REPLY_PORT, self._on_probe_reply)
         self.node.spawn(self._worker(), name="proxy-worker")
         self.node.spawn(self._probe_loop(), name="proxy-probe")
         for backend in self.backends:
             self.node.network.node(backend).add_crash_listener(
                 self._on_backend_crash)
+
+    def _accept_request(self, payload, src: str) -> None:
+        span = None
+        if self._spans is not None:
+            span = self._spans.begin("proxy.queue", self.node.name,
+                                     trace=payload.trace, dir="req")
+        self._work.put(("req", payload, src, span))
+
+    def _accept_response(self, payload, src: str) -> None:
+        span = None
+        if self._spans is not None:
+            entry = self._inflight.get(payload.req_id)
+            trace = entry[0].trace if entry is not None else None
+            span = self._spans.begin("proxy.queue", self.node.name,
+                                     trace=trace, dir="resp")
+        self._work.put(("resp", payload, src, span))
 
     def _worker(self):
         """Serialize proxying through the proxy machine's CPU (drained in
@@ -99,9 +114,11 @@ class ReverseProxy:
             group = [first] + self._work.take(63)
             cost = sum(params.cpu_request_s if kind == "req"
                        else params.cpu_response_s
-                       for kind, _payload, _src in group)
+                       for kind, _payload, _src, _span in group)
             yield self.node.cpu.request(cost)
-            for kind, payload, src in group:
+            for kind, payload, src, span in group:
+                if span is not None:
+                    self._spans.finish(span)
                 if kind == "req":
                     self._on_client_request(payload, src)
                 else:
@@ -139,11 +156,12 @@ class ReverseProxy:
         self._inflight[pxid] = (request, backend, attempt)
         forwarded = Request(pxid, request.client_id, self.node.name,
                             PROXY_RESP_PORT, request.interaction,
-                            request.session, request.sent_at)
+                            request.session, request.sent_at,
+                            trace=request.trace)
         self.stats["forwarded"] += 1
         self._obs_forwarded.inc()
         self.node.send(backend, HTTP_PORT, forwarded,
-                       size_mb=REQUEST_SIZE_MB)
+                       size_mb=REQUEST_SIZE_MB, trace=request.trace)
 
     def _on_backend_response(self, response: Response, src: str) -> None:
         entry = self._inflight.pop(response.req_id, None)
@@ -162,7 +180,8 @@ class ReverseProxy:
     def _reply(self, request: Request, response: Response) -> None:
         response.req_id = request.req_id
         self.node.send(request.reply_to, request.reply_port, response,
-                       size_mb=0.0045 if response.ok else 0.0002)
+                       size_mb=0.0045 if response.ok else 0.0002,
+                       trace=request.trace)
 
     # ------------------------------------------------------------------
     # failure handling

@@ -34,6 +34,7 @@ class ApplicationServer:
         self.runtime = runtime
         self.servlets = servlets
         self.service_times = service_times or SERVICE_TIMES
+        self._spans = getattr(node.sim, "spans", None)
         self.requests_served = 0
         self.requests_refused = 0
         self.requests_failed = 0
@@ -55,16 +56,27 @@ class ApplicationServer:
             self.node.send(src, "proxy-resp",
                            Response(request.req_id, ok=False, refused=True,
                                     error="not ready"),
-                           size_mb=0.0002)
+                           size_mb=0.0002, trace=request.trace)
             self.requests_refused += 1
             return
-        self.node.spawn(self._process(request, src), name="request")
+        process = self.node.spawn(self._process(request, src),
+                                  name="request")
+        # Stamp the handling process with the causal context so work
+        # running under it (servlets, execute, 2PC) can be attributed.
+        process.trace = request.trace
 
     def _process(self, request: Request, src: str):
+        span = None
+        if self._spans is not None:
+            span = self._spans.begin("server.cpu", self.node.name,
+                                     trace=request.trace,
+                                     interaction=request.interaction.value)
         # Request threads are the bulk class; middleware work (consensus
         # messages, the applier) runs at higher scheduling priority.
         yield self.node.cpu.request(self.service_times[request.interaction],
                                     priority=1)
+        if span is not None:
+            self._spans.finish(span)
         try:
             data = yield from self.servlets.handle(request.interaction,
                                                    request.session)
@@ -73,4 +85,5 @@ class ApplicationServer:
         except Exception as exc:  # noqa: BLE001 - a 500, not a sim bug
             response = Response(request.req_id, ok=False, error=repr(exc))
             self.requests_failed += 1
-        self.node.send(src, "proxy-resp", response, size_mb=RESPONSE_SIZE_MB)
+        self.node.send(src, "proxy-resp", response, size_mb=RESPONSE_SIZE_MB,
+                       trace=request.trace)

@@ -176,6 +176,106 @@ def test_report_multiple_paths_require_aggregate(sharded_json, capsys):
 
 
 # ----------------------------------------------------------------------
+# the `trace` subcommand and the output-path / empty-input fixes
+# ----------------------------------------------------------------------
+def trace_args(extra=()):
+    return ["trace", "one_crash", "--scale", "tiny", "--replicas", "3",
+            "--offered-wips", "400", *extra]
+
+
+def test_trace_prints_both_analyses_by_default(capsys):
+    code = main(trace_args())
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "WIRT critical path" in out
+    assert "recovery phases" in out
+    for column in ("queueing", "quorum", "detection", "checkpoint"):
+        assert column in out
+
+
+def test_trace_critical_path_only(capsys):
+    code = main(trace_args(["--critical-path"]))
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "WIRT critical path" in out
+    assert "recovery phases" not in out
+
+
+def test_trace_export_chrome_creates_parent_dirs(tmp_path, capsys):
+    out_path = tmp_path / "not" / "yet" / "there" / "trace.json"
+    code = main(trace_args(["--recovery-phases", "--export", "chrome",
+                            "--out", str(out_path)]))
+    assert code == 0
+    document = json.loads(out_path.read_text())
+    assert document["displayTimeUnit"] == "ms"
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert complete and all(e["dur"] >= 0 for e in complete)
+
+
+def test_trace_export_jsonl(tmp_path):
+    out_path = tmp_path / "spans.jsonl"
+    code = main(trace_args(["--critical-path", "--export", "jsonl",
+                            "--out", str(out_path)]))
+    assert code == 0
+    lines = out_path.read_text().splitlines()
+    assert lines and all(
+        json.loads(line)["type"] in ("span", "mark") for line in lines)
+
+
+def test_trace_export_requires_out(capsys):
+    code = main(["trace", "baseline", "--export", "chrome"])
+    assert code == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_run_json_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "results" / "run.json"
+    code = main(run_args(["--json", str(path)]))
+    assert code == 0
+    assert json.loads(path.read_text())["config"]["replicas"] == 3
+
+
+def test_run_obs_out_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "timeline.csv"
+    code = main(run_args(["--obs-out", str(path)]))
+    assert code == 0
+    assert path.read_text().startswith("t,")
+
+
+def test_report_glob_expansion(tmp_path, capsys):
+    path = tmp_path / "result.json"
+    main(run_args(["--json", str(path)]))
+    capsys.readouterr()
+    code = main(["report", str(tmp_path / "*.json")])
+    assert code == 0
+    assert "AWIPS" in capsys.readouterr().out
+
+
+def test_report_empty_glob_is_a_clear_error(tmp_path, capsys):
+    code = main(["report", str(tmp_path / "nothing-*.json")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "no result files match" in err
+    assert "nothing-*.json" in err
+
+
+def test_report_missing_file_is_a_clear_error(tmp_path, capsys):
+    code = main(["report", str(tmp_path / "absent.json")])
+    assert code == 2
+    assert "no result files match" in capsys.readouterr().err
+
+
+def test_sweep_empty_points_list_is_a_clear_error(capsys):
+    code = main(["sweep", "speedup", "--scale", "tiny",
+                 "--replicas-list", ","])
+    assert code == 2
+    assert "--replicas-list" in capsys.readouterr().err
+    code = main(["sweep", "recovery", "--scale", "tiny", "--ebs-list", ""])
+    assert code == 2
+    assert "--ebs-list" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # the historical flat form still works, with a deprecation warning
 # ----------------------------------------------------------------------
 def test_legacy_flat_form_is_normalized(capsys):

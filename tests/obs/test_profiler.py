@@ -72,3 +72,47 @@ def test_unprofiled_simulator_has_no_overhead_attributes():
     sim = Simulator()
     assert sim.profiler is None
     assert sim.metrics is None
+
+
+def test_per_category_attribution_sums_to_totals():
+    # Whatever the kernel dispatches, the per-category breakdown must
+    # account for every event and every recorded wall-second exactly.
+    sim = Simulator()
+    ticks = [0.0]
+    profiler = KernelProfiler(
+        clock=lambda: ticks.__setitem__(0, ticks[0] + 1e-3) or ticks[0])
+    sim.profiler = profiler
+
+    def proc(delay):
+        for _ in range(4):
+            yield sim.timeout(delay)
+
+    sim.spawn(proc(1.0), name="a")
+    sim.spawn(proc(1.5), name="b")
+    sim.run(until=10.0)
+    events = sum(count for count, _wall in profiler.by_category.values())
+    wall = sum(wall for _count, wall in profiler.by_category.values())
+    assert events == profiler.events > 0
+    assert wall == pytest.approx(profiler.wall_s)
+    summary = profiler.summary(sim_elapsed_s=10.0)
+    assert sum(row["events"] for row in summary["by_category"].values()) \
+        == summary["events"]
+    assert sum(row["wall_s"] for row in summary["by_category"].values()) \
+        == pytest.approx(summary["wall_s"])
+
+
+def test_detached_profiler_sees_nothing_from_step():
+    # A profiler that is never attached as ``sim.profiler`` must stay
+    # empty: the kernel's step loop takes the unprofiled path outright.
+    sim = Simulator()
+    bystander = KernelProfiler()
+
+    def proc():
+        for _ in range(5):
+            yield sim.timeout(1.0)
+
+    sim.spawn(proc(), name="p")
+    sim.run(until=10.0)
+    assert bystander.events == 0
+    assert bystander.wall_s == 0.0
+    assert bystander.by_category == {}

@@ -126,3 +126,26 @@ def test_empty_histogram_quantile_is_zero():
     hist = StreamingHistogram("t")
     assert hist.quantile(0.5) == 0.0
     assert hist.count == 0
+
+
+@pytest.mark.parametrize("q", [0.0, 0.001, 0.5, 0.99, 1.0])
+def test_empty_histogram_every_quantile_defined(q):
+    hist = StreamingHistogram("t")
+    assert hist.quantile(q) == 0.0
+    summary = hist.summary()
+    assert summary["count"] == 0
+    assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+    assert summary["mean"] == 0.0
+
+
+@pytest.mark.parametrize("q", [0.0, 0.001, 0.5, 0.99, 1.0])
+@pytest.mark.parametrize("value", [1e-9, 0.125, 4096.0])
+def test_single_sample_quantile_is_the_sample(value, q):
+    # With one observation min == max == value, so the [min, max] clamp
+    # collapses every quantile to the sample itself -- no bucket error.
+    hist = StreamingHistogram("t")
+    hist.observe(value)
+    assert hist.quantile(q) == value
+    summary = hist.summary()
+    assert summary["min"] == summary["max"] == value
+    assert summary["mean"] == pytest.approx(value)
