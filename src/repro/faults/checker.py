@@ -20,7 +20,13 @@ can be checked for safety, not just for recovered throughput:
   crash + nemesis);
 * **transaction atomicity** -- on sharded runs (:mod:`repro.shard`),
   every cross-shard 2PC reaches at most one outcome, and a commit is
-  only ever decided after a yes vote from every participant shard.
+  only ever decided after a yes vote from every participant shard;
+* **accept consistency** -- on runs with storage faults (the engine
+  emits the ``accept`` category only then), no acceptor votes twice in
+  the same ballot for different values.  A replica whose disk silently
+  lost a vote -- an fsync lie or a corrupted log suffix that escaped
+  the scrub-and-fence path -- shows up here as a *two-faced acceptor*,
+  so storage-level amnesia is caught mechanically, not by luck.
 
 On sharded deployments each consensus group is independent, so the
 instance-number spaces overlap by design: all per-instance checks are
@@ -66,7 +72,8 @@ class SafetyViolation(AssertionError):
 class Violation:
     """One invariant breach, with enough detail to debug the run."""
 
-    kind: str    # agreement | deliver-agreement | order | duplicate | lost-ack
+    kind: str    # agreement | deliver-agreement | order | duplicate
+                 # | lost-ack | accept-conflict | txn-*
     detail: str
 
     def __str__(self) -> str:
@@ -77,8 +84,10 @@ class SafetyChecker:
     """Checks consensus/queue safety invariants over a recorded trace."""
 
     #: the trace categories the checker consumes; pass to ``Tracer`` to
-    #: keep long runs from recording anything else.
-    CATEGORIES = ("decide", "deliver", "ack", "txn")
+    #: keep long runs from recording anything else.  ``accept`` events
+    #: are only emitted when a storage nemesis is armed, so listing the
+    #: category here costs nothing on clean runs.
+    CATEGORIES = ("decide", "deliver", "ack", "txn", "accept")
 
     def __init__(self, tracer: Tracer):
         self._tracer = tracer
@@ -90,8 +99,10 @@ class SafetyChecker:
         found += self._check_agreement("decide")
         found += self._check_agreement("deliver")
         found += self._check_delivery_streams()
+        found += self._check_cross_incarnation_duplicates()
         found += self._check_acked_durability()
         found += self._check_transactions()
+        found += self._check_accept_consistency()
         return found[:max_violations]
 
     def assert_ok(self) -> None:
@@ -162,6 +173,37 @@ class SafetyChecker:
                     seen_uids.add(uid)
         return violations
 
+    def _check_cross_incarnation_duplicates(self) -> List[Violation]:
+        """Exactly-once must survive reboots, not just incarnations.
+
+        Consensus may decide the same uid in several instances (a fast
+        collision makes the coordinator re-propose the losers), and the
+        delivery dedup suppresses every repeat.  But that dedup memory
+        must be durable: if a replica checkpoints between the first
+        delivery and a repeat, reboots, and then delivers the repeat as
+        *fresh*, the command is applied twice.  Delivering a uid fresh
+        at the *same* instance across incarnations is legitimate replay
+        of a pre-checkpoint suffix; two *different* instances is the
+        double-apply.
+        """
+        violations = []
+        first_at: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        for (source, inc), events in sorted(self._delivery_streams().items()):
+            for event in events:
+                if event.get("event") == "transfer":
+                    continue
+                instance = event["instance"]
+                for uid in event["fresh"]:
+                    prior = first_at.setdefault((source, uid),
+                                                (instance, inc))
+                    if prior[0] != instance:
+                        violations.append(Violation("duplicate", (
+                            f"{source} delivered uid {uid!r} fresh at "
+                            f"instance {prior[0]} (inc {prior[1]}) and "
+                            f"again at instance {instance} (inc {inc}, "
+                            f"t={event.time:.4f})")))
+        return violations
+
     # ------------------------------------------------------------------
     # durability of client-acked commands
     # ------------------------------------------------------------------
@@ -209,6 +251,33 @@ class SafetyChecker:
                     violations.append(Violation("lost-ack", (
                         f"{who} delivered past instance {instance} "
                         f"without it, losing acked uid {uid!r}")))
+        return violations
+
+    # ------------------------------------------------------------------
+    # acceptor vote consistency (storage-fault runs only; no-op otherwise)
+    # ------------------------------------------------------------------
+    def _check_accept_consistency(self) -> List[Violation]:
+        # An acceptor may legitimately re-vote the same value in a ballot
+        # after its lost vote was scrubbed and re-proposed; what Paxos
+        # forbids is one acceptor's signature on two *different* values
+        # for the same (instance, ballot).
+        votes: Dict[tuple, Tuple[Tuple[str, ...], float]] = {}
+        violations = []
+        for event in self._tracer.select("accept"):
+            ident = (_group_of(event.source), event.source,
+                     event["instance"],
+                     (event["round"], event["proposer"], event["fast"]))
+            key = event["key"]
+            first = votes.get(ident)
+            if first is None:
+                votes[ident] = (key, event.time)
+            elif first[0] != key:
+                violations.append(Violation("accept-conflict", (
+                    f"{event.source} voted {first[0]!r} (t={first[1]:.4f}) "
+                    f"and then {key!r} (t={event.time:.4f}) for instance "
+                    f"{event['instance']} in ballot round "
+                    f"{event['round']}.{event['proposer']} -- durable "
+                    f"acceptor state was lost")))
         return violations
 
     # ------------------------------------------------------------------

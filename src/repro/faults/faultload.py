@@ -29,6 +29,19 @@ Grammar (one comma-separated event per chunk)::
     oneway@30:2>3      cut the replica2 -> replica3 direction at t=30
     oneway@30-90:2>3   the same, healed at t=90
 
+The **storage extension** makes replica disks a fault domain (handled by
+:class:`repro.sim.disk.StorageNemesis`)::
+
+    corrupt@240:1          silently damage one durable record on replica
+                           1's disk at t=240 (found on read-back)
+    torn@200-400:1         crashes of replica 1 in [200,400) tear the
+                           in-flight write instead of dropping it
+    torn@200:1:p=0.5       the same, open-ended, tearing with prob. 0.5
+    fsynclie@200-300:1     replica 1's write cache lies in [200,300):
+                           completions acked there are lost by a crash
+                           inside the window
+    failslow@200-300:1:m=4 replica 1's disk runs 4x slower in [200,300)
+
 On sharded deployments (:mod:`repro.shard`) targets may be
 shard-qualified with a dotted ``shard.replica`` form::
 
@@ -63,7 +76,11 @@ NEMESIS_KINDS = ("drop", "dup", "delay")
 #: the asymmetric partition: a directed pair, optionally windowed.
 ONEWAY_KIND = "oneway"
 
-ALL_KINDS = REPLICA_KINDS + NEMESIS_KINDS + (ONEWAY_KIND,)
+#: storage faults against one replica's disk: ``corrupt`` is a point
+#: event, the others are (optionally open-ended) windows.
+STORAGE_KINDS = ("torn", "corrupt", "fsynclie", "failslow")
+
+ALL_KINDS = REPLICA_KINDS + NEMESIS_KINDS + (ONEWAY_KIND,) + STORAGE_KINDS
 
 
 @dataclass(frozen=True)
@@ -86,6 +103,7 @@ class FaultEvent:
     p: Optional[float] = None
     dst: Optional[int] = None
     delay_mean_s: Optional[float] = None
+    factor: Optional[float] = None   # fail-slow cost multiplier (m=)
     shard: Optional[int] = None      # shard of ``replica`` (sharded runs)
     dst_shard: Optional[int] = None  # shard of ``dst``
 
@@ -105,8 +123,11 @@ class FaultEvent:
     def __post_init__(self):
         if self.kind not in ALL_KINDS:
             raise ValueError(f"unknown fault kind: {self.kind!r}")
-        if self.at < 0:
-            raise ValueError(f"fault time must be >= 0, got {self.at!r}")
+        if not (math.isfinite(self.at) and self.at >= 0):
+            raise ValueError(
+                f"fault time must be a finite number >= 0, got {self.at!r}")
+        if self.until is not None and math.isnan(self.until):
+            raise ValueError("fault window end may not be NaN")
         for label, value in (("shard", self.shard),
                              ("dst shard", self.dst_shard)):
             if value is not None and value < 0:
@@ -124,10 +145,10 @@ class FaultEvent:
                     f"{self.kind!r} needs a fixed replica index "
                     f"(random '*' targets are only valid for crash)")
             if self.until is not None or self.p is not None \
-                    or self.dst is not None:
+                    or self.dst is not None or self.delay_mean_s is not None:
                 raise ValueError(
                     f"{self.kind!r} takes a single replica target, "
-                    f"not a window/probability/pair")
+                    f"not a window/probability/option/pair")
         elif self.kind in NEMESIS_KINDS:
             if self.until is None:
                 raise ValueError(
@@ -149,6 +170,55 @@ class FaultEvent:
                 raise ValueError(
                     f"{self.kind!r} pair must name both ends ('1>2') "
                     f"or neither")
+            if self.delay_mean_s is not None:
+                if self.kind != "delay":
+                    raise ValueError(
+                        f"{self.kind!r} does not take an 'm=' mean")
+                if not (math.isfinite(self.delay_mean_s)
+                        and self.delay_mean_s > 0):
+                    raise ValueError(
+                        f"'delay' mean must be a finite number > 0, "
+                        f"got {self.delay_mean_s!r}")
+        elif self.kind in STORAGE_KINDS:
+            if self.replica is None:
+                raise ValueError(
+                    f"{self.kind!r} needs a fixed replica target, e.g. "
+                    f"'{self.kind}@240:1' (random '*' targets are only "
+                    f"valid for crash)")
+            if self.dst is not None:
+                raise ValueError(
+                    f"{self.kind!r} takes a single replica target, "
+                    f"not a pair")
+            if self.kind == "corrupt":
+                if self.until is not None:
+                    raise ValueError(
+                        "'corrupt' is a point event and takes no time "
+                        "window")
+            elif self.until is not None and self.until <= self.at:
+                raise ValueError(
+                    f"{self.kind!r} window must end after it starts "
+                    f"({self.at} >= {self.until})")
+            if self.p is not None:
+                if self.kind != "torn":
+                    raise ValueError(
+                        f"{self.kind!r} does not take a probability")
+                if not 0.0 < self.p <= 1.0:
+                    raise ValueError(
+                        f"'torn' probability must be in (0, 1], "
+                        f"got {self.p!r}")
+            if self.factor is not None:
+                if self.kind != "failslow":
+                    raise ValueError(
+                        f"{self.kind!r} does not take an 'm=' multiplier")
+                if not (math.isfinite(self.factor) and self.factor >= 1.0):
+                    raise ValueError(
+                        f"'failslow' multiplier must be >= 1.0, "
+                        f"got {self.factor!r}")
+            if self.delay_mean_s is not None:
+                # 'm=' only means something for failslow (the multiplier,
+                # already moved into ``factor`` by the parser).
+                raise ValueError(
+                    f"{self.kind!r} does not take an 'm=' option")
         else:  # oneway
             if self.replica is None or self.dst is None:
                 raise ValueError(
@@ -163,6 +233,8 @@ class FaultEvent:
                     f"({self.at} >= {self.until})")
             if self.p is not None:
                 raise ValueError("'oneway' does not take a probability")
+            if self.delay_mean_s is not None:
+                raise ValueError("'oneway' does not take an 'm=' option")
 
 
 @dataclass(frozen=True)
@@ -180,6 +252,9 @@ class Faultload:
 
     def nemesis_events(self) -> Tuple[FaultEvent, ...]:
         return tuple(e for e in self.events if e.kind in NEMESIS_KINDS)
+
+    def storage_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind in STORAGE_KINDS)
 
     @classmethod
     def parse(cls, spec: str, name: str = "custom") -> "Faultload":
@@ -212,7 +287,8 @@ def _parse_event(chunk: str) -> FaultEvent:
     replica = dst = p = mean = shard = dst_shard = None
     for part in parts[1:]:
         if "=" in part:
-            if kind not in NEMESIS_KINDS:
+            if kind not in NEMESIS_KINDS and kind not in ("torn",
+                                                          "failslow"):
                 raise ValueError(
                     f"{kind!r} takes no key=value options: {chunk!r}")
             p, mean = _parse_options(part, p, mean, chunk)
@@ -236,7 +312,7 @@ def _parse_event(chunk: str) -> FaultEvent:
                     f"not {kind!r}: {chunk!r}")
             replica = None
         else:
-            if kind not in REPLICA_KINDS:
+            if kind not in REPLICA_KINDS and kind not in STORAGE_KINDS:
                 raise ValueError(
                     f"{kind!r} needs a directed pair 'src>dst', "
                     f"got bare target {part!r}: {chunk!r}")
@@ -245,9 +321,13 @@ def _parse_event(chunk: str) -> FaultEvent:
                 raise ValueError(
                     f"random target '*' is only valid for crash, "
                     f"not {kind!r}: {chunk!r}")
+    factor = None
+    if kind == "failslow":
+        # The generic 'm=' option carries the fail-slow multiplier.
+        factor, mean = mean, None
     try:
         return FaultEvent(at, kind, replica, until=until, p=p, dst=dst,
-                          delay_mean_s=mean, shard=shard,
+                          delay_mean_s=mean, factor=factor, shard=shard,
                           dst_shard=dst_shard)
     except ValueError as error:
         raise ValueError(f"{error} (in {chunk!r})") from None
@@ -255,20 +335,27 @@ def _parse_event(chunk: str) -> FaultEvent:
 
 def _parse_time(text: str, kind: str,
                 chunk: str) -> Tuple[float, Optional[float]]:
+    if text.startswith("-"):
+        raise ValueError(
+            f"fault time must be >= 0, got {text!r} in {chunk!r}")
     start_text, dash, end_text = text.partition("-")
     try:
         at = float(start_text)
     except ValueError:
         raise ValueError(f"bad fault time {start_text!r} in {chunk!r}")
+    if math.isnan(at):
+        raise ValueError(f"fault time may not be NaN in {chunk!r}")
     if not dash:
         return at, None
-    if kind in REPLICA_KINDS:
+    if kind in REPLICA_KINDS or kind == "corrupt":
         raise ValueError(
             f"{kind!r} is a point event and takes no time window: {chunk!r}")
     try:
         until = float(end_text)
     except ValueError:
         raise ValueError(f"bad window end {end_text!r} in {chunk!r}")
+    if math.isnan(until):
+        raise ValueError(f"fault window end may not be NaN in {chunk!r}")
     return at, until
 
 
@@ -319,7 +406,8 @@ class FaultInjector:
     The cluster must expose ``crash_replica``, ``reboot_replica``,
     ``live_replicas``, and -- when the faultload uses the extension
     kinds -- ``partition_replica``/``heal_replica``, ``apply_nemesis``
-    (windowed message faults), and ``block_oneway``/``unblock_oneway``.
+    (windowed message faults), ``apply_storage_fault`` (disk faults),
+    and ``block_oneway``/``unblock_oneway``.
     """
 
     def __init__(self, sim, cluster, faultload: Faultload,
@@ -330,6 +418,7 @@ class FaultInjector:
         self._rng = rng or random.Random(0)
         self.injected: List[tuple] = []  # (time, kind, target)
         self.nemesis_windows: List[FaultEvent] = []
+        self.storage_faults: List[FaultEvent] = []
 
     def arm(self) -> None:
         for event in self.faultload.events:
@@ -338,6 +427,11 @@ class FaultInjector:
                 # itself gates them by simulated time.
                 self._cluster.apply_nemesis(event)
                 self.nemesis_windows.append(event)
+            elif event.kind in STORAGE_KINDS:
+                # Same discipline for disk faults: the storage nemesis
+                # gates windows (and schedules corruption instants).
+                self._cluster.apply_storage_fault(event)
+                self.storage_faults.append(event)
             elif event.kind == ONEWAY_KIND:
                 self._sim.call_at(event.at, self._fire, event)
                 if event.until is not None and not math.isinf(event.until):

@@ -10,14 +10,24 @@ simulator-level process rather than on the monitored node.  Restarts it
 performs are *autonomous* -- they do not count against the autonomy
 measure.  It can be disabled per replica to stage the delayed-recovery
 faultload.
+
+Crash-loop protection: a replica that reboots into corrupt state and
+immediately re-crashes would otherwise be restarted at a fixed cadence
+forever.  Consecutive restarts (no stable period in between) back off
+exponentially up to a cap, and after ``max_restarts`` of them the
+circuit breaker trips: the watchdog gives up, which *does* count as a
+loss of autonomy -- a human has to look at the machine.  A node that
+stays up for ``stable_after_s`` resets the backoff, so isolated crashes
+spaced through a run see the same fixed ``restart_delay_s`` as before.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sim.core import Simulator
 from repro.sim.node import Node
+from repro.sim.trace import emit as trace_emit
 
 
 class Watchdog:
@@ -26,13 +36,23 @@ class Watchdog:
     def __init__(self, sim: Simulator, node: Node,
                  poll_interval_s: float = 0.5,
                  restart_delay_s: float = 1.0,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 backoff_factor: float = 2.0,
+                 max_restart_delay_s: float = 30.0,
+                 max_restarts: Optional[int] = 8,
+                 stable_after_s: float = 10.0):
         self._sim = sim
         self.node = node
         self.poll_interval_s = poll_interval_s
         self.restart_delay_s = restart_delay_s
         self.enabled = enabled
+        self.backoff_factor = backoff_factor
+        self.max_restart_delay_s = max_restart_delay_s
+        self.max_restarts = max_restarts
+        self.stable_after_s = stable_after_s
         self.restarts: List[float] = []
+        self.consecutive_restarts = 0
+        self.tripped = False
         self._started = False
 
     def start(self) -> None:
@@ -41,12 +61,34 @@ class Watchdog:
         self._started = True
         self._sim.spawn(self._loop(), name=f"watchdog-{self.node.name}")
 
+    def next_delay_s(self) -> float:
+        """The restart delay the current crash-loop streak has earned."""
+        delay = (self.restart_delay_s
+                 * self.backoff_factor ** self.consecutive_restarts)
+        return min(delay, self.max_restart_delay_s)
+
     def _loop(self):
         while True:
             yield self._sim.timeout(self.poll_interval_s)
+            if self.node.alive:
+                # A stable stretch forgives the crash-loop streak.
+                if (self.consecutive_restarts and self.restarts
+                        and self._sim.now - self.restarts[-1]
+                        >= self.stable_after_s):
+                    self.consecutive_restarts = 0
+                continue
+            if not self.enabled or self.tripped:
+                continue
+            if (self.max_restarts is not None
+                    and self.consecutive_restarts >= self.max_restarts):
+                self.tripped = True
+                trace_emit(self._sim, "node", self.node.name,
+                           event="watchdog_tripped",
+                           restarts=len(self.restarts))
+                continue
+            # Detection happened; model exec/startup latency, then boot.
+            yield self._sim.timeout(self.next_delay_s())
             if self.enabled and not self.node.alive:
-                # Detection happened; model exec/startup latency, then boot.
-                yield self._sim.timeout(self.restart_delay_s)
-                if self.enabled and not self.node.alive:
-                    self.node.reboot()
-                    self.restarts.append(self._sim.now)
+                self.node.reboot()
+                self.restarts.append(self._sim.now)
+                self.consecutive_restarts += 1

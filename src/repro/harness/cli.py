@@ -107,9 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(times in paper-timeline seconds; "
                           "overrides the scenario)")
     run.add_argument("--nemesis", metavar="SPEC", default=None,
-                     help="standing message-fault schedule applied on "
-                          "top of the faultload, e.g. "
-                          "'drop@60-300:p=0.1,oneway@120-180:2>3'")
+                     help="standing message/storage-fault schedule "
+                          "applied on top of the faultload, e.g. "
+                          "'drop@60-300:p=0.1,oneway@120-180:2>3' or "
+                          "'corrupt@240:1,torn@200-400:2'")
     run.add_argument("--check-safety", action="store_true",
                      help="record decide/deliver/ack traces and run "
                           "the consensus safety checker on the run")
@@ -252,6 +253,17 @@ def _cmd_run(args) -> int:
         rows += [["nemesis drop/dup/delay",
                   f"{nemesis.dropped} / {nemesis.duplicated} / "
                   f"{nemesis.delayed} of {nemesis.messages_sent} msgs"]]
+    storage = result.storage
+    if storage:
+        injected = (storage.get("torn_writes", 0)
+                    + storage.get("corrupted_frames", 0)
+                    + storage.get("corrupted_objects", 0)
+                    + storage.get("lied_writes", 0))
+        rows += [["storage faults injected", str(injected)],
+                 ["storage repairs",
+                  f"{storage.get('frames_dropped', 0)} frames dropped / "
+                  f"{storage.get('checkpoint_discards', 0)} ckpt discards / "
+                  f"{storage.get('peer_repairs', 0)} peer repairs"]]
     if result.safety_violations is not None:
         verdict = ("OK" if not result.safety_violations
                    else f"{len(result.safety_violations)} VIOLATION(S)")

@@ -25,7 +25,8 @@ from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from repro.faults.checker import SafetyChecker
-from repro.faults.faultload import NEMESIS_KINDS, ONEWAY_KIND, FaultEvent, Faultload
+from repro.faults.faultload import (NEMESIS_KINDS, ONEWAY_KIND,
+                                    STORAGE_KINDS, FaultEvent, Faultload)
 from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.faults.watchdog import Watchdog
 from repro.harness.config import ClusterConfig
@@ -40,6 +41,8 @@ from repro.sim import (
     Node,
     SeedTree,
     Simulator,
+    StorageFault,
+    StorageNemesis,
 )
 from repro.sim.trace import Tracer
 from repro.tpcw.app import BookstoreApplication
@@ -106,9 +109,20 @@ class ReplicaGroup:
                 self.sim, node,
                 poll_interval_s=config.scale.t(0.5),
                 restart_delay_s=config.scaled_watchdog_delay_s,
-                enabled=config.watchdog_enabled)
+                enabled=config.watchdog_enabled,
+                backoff_factor=config.watchdog_backoff_factor,
+                max_restart_delay_s=config.scale.t(
+                    config.watchdog_max_delay_s),
+                max_restarts=config.watchdog_max_restarts,
+                stable_after_s=config.scale.t(
+                    config.watchdog_stable_after_s))
             watchdog.start()
             self.watchdogs.append(watchdog)
+
+    def attach_storage_nemesis(self, nemesis: StorageNemesis) -> None:
+        """Put every replica disk in the group under ``nemesis``."""
+        for node in self.replica_nodes:
+            nemesis.attach(node.disk)
 
     def _make_boot(self, index: int):
         def boot(node: Node) -> None:
@@ -223,6 +237,10 @@ class RobustStoreCluster:
             self.sim.spans = self.span_tracer
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
+        # Created lazily by the first storage fault (apply_storage_fault):
+        # with none configured, no disk ever consults a nemesis and runs
+        # are bit-for-bit identical to a storage-fault-free build.
+        self.storage_nemesis: Optional[StorageNemesis] = None
         self.profile = profile_by_name(config.profile)
         self.collector = MetricsCollector()
 
@@ -320,11 +338,20 @@ class RobustStoreCluster:
         timeline seconds, compressed like every other fault time)."""
         scale = self.config.scale
         for event in Faultload.parse(spec, name="config-nemesis").events:
+            for index in (event.replica, event.dst):
+                if index is not None and not (
+                        0 <= index < len(self.replica_nodes)):
+                    raise ValueError(
+                        f"nemesis spec targets replica {index} but the "
+                        f"deployment has replicas 0.."
+                        f"{len(self.replica_nodes) - 1}: {spec!r}")
             scaled = replace(
                 event, at=scale.t(event.at),
                 until=None if event.until is None else scale.t(event.until))
             if scaled.kind in NEMESIS_KINDS:
                 self.apply_nemesis(scaled)
+            elif scaled.kind in STORAGE_KINDS:
+                self.apply_storage_fault(scaled)
             elif scaled.kind == ONEWAY_KIND:
                 self.sim.call_at(scaled.at, self.block_oneway,
                                  scaled.replica, scaled.dst)
@@ -333,9 +360,9 @@ class RobustStoreCluster:
                                      scaled.replica, scaled.dst)
             else:
                 raise ValueError(
-                    f"nemesis_spec only takes message faults "
-                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}), "
-                    f"got {scaled.kind!r}")
+                    f"nemesis_spec only takes message and storage faults "
+                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}, "
+                    f"{', '.join(STORAGE_KINDS)}), got {scaled.kind!r}")
 
     # ------------------------------------------------------------------
     # fault-injection interface
@@ -387,6 +414,29 @@ class RobustStoreCluster:
         self.network.nemesis.add_window(
             NemesisWindow(event.at, end, params, pairs))
 
+    def _ensure_storage_nemesis(self) -> StorageNemesis:
+        if self.storage_nemesis is None:
+            self.storage_nemesis = StorageNemesis(self.sim, seed=self.seed)
+            self.group.attach_storage_nemesis(self.storage_nemesis)
+            # The engine's accept audit trail (and nothing else) keys off
+            # this attribute; see PaxosEngine._vote.
+            self.sim.storage_faults = self.storage_nemesis
+        return self.storage_nemesis
+
+    def apply_storage_fault(self, event: FaultEvent) -> None:
+        """Install one storage-fault event (times already on the
+        compressed timeline) on the deployment's storage nemesis."""
+        nemesis = self._ensure_storage_nemesis()
+        disk_name = self.replica_nodes[event.replica].disk.name
+        if event.kind == "corrupt":
+            nemesis.schedule_corruption(event.at, disk_name)
+            return
+        nemesis.add_window(StorageFault(
+            kind=event.kind, disk=disk_name, start=event.at,
+            end=event.until if event.until is not None else math.inf,
+            p=event.p if event.p is not None else 1.0,
+            slow_factor=event.factor if event.factor is not None else 4.0))
+
     def disable_watchdog(self, index: int) -> None:
         self.group.disable_watchdog(index)
 
@@ -395,6 +445,20 @@ class RobustStoreCluster:
     # ------------------------------------------------------------------
     def nemesis_stats(self) -> NemesisStats:
         return NemesisStats.from_network(self.network)
+
+    def storage_stats(self) -> Optional[Dict[str, int]]:
+        """Injection counters (None when no storage fault was configured)."""
+        if self.storage_nemesis is None:
+            return None
+        return dict(self.storage_nemesis.counters)
+
+    def breaker_trips(self) -> int:
+        """Watchdogs that gave up on a crash-looping replica.
+
+        Each trip means a human would have to intervene, so the harness
+        counts it against autonomy alongside manual reboots.
+        """
+        return sum(1 for watchdog in self.watchdogs if watchdog.tripped)
 
     def safety_checker(self) -> SafetyChecker:
         tracer = getattr(self.sim, "tracer", None)

@@ -117,6 +117,15 @@ class ClusterConfig:
     scale: ExperimentScale = field(default_factory=bench_scale)
     watchdog_enabled: bool = True
     watchdog_restart_delay_s: float = 1.0
+    # Crash-loop protection: consecutive restarts (no stable stretch of
+    # watchdog_stable_after_s in between) back off exponentially up to
+    # watchdog_max_delay_s, and after watchdog_max_restarts of them the
+    # circuit breaker trips (counted as a loss of autonomy).  Isolated
+    # crashes always see the plain watchdog_restart_delay_s.
+    watchdog_backoff_factor: float = 2.0
+    watchdog_max_delay_s: float = 30.0
+    watchdog_max_restarts: Optional[int] = 8
+    watchdog_stable_after_s: float = 10.0
     rbe_timeout_s: float = 10.0
     # Ablation knobs, applied on top of the defaults: pairs of
     # (field name, value) for PaxosConfig / TreplicaConfig respectively.

@@ -30,6 +30,7 @@ from typing import Optional
 from repro.faults.faultload import (
     NEMESIS_KINDS,
     ONEWAY_KIND,
+    STORAGE_KINDS,
     FaultEvent,
     Faultload,
 )
@@ -70,13 +71,16 @@ class Experiment:
         return self
 
     def nemesis(self, spec: str) -> "Experiment":
-        """A standing message-fault schedule (drop/dup/delay/oneway
-        windows) applied on top of whatever the scenario injects."""
+        """A standing message- or storage-fault schedule (drop/dup/delay/
+        oneway windows, torn/corrupt/fsynclie/failslow disk faults)
+        applied on top of whatever the scenario injects."""
+        allowed = NEMESIS_KINDS + (ONEWAY_KIND,) + STORAGE_KINDS
         for event in Faultload.parse(spec, name="nemesis").events:
-            if event.kind not in NEMESIS_KINDS and event.kind != ONEWAY_KIND:
+            if event.kind not in allowed:
                 raise ValueError(
                     f"nemesis() only takes message faults "
-                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}), "
+                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}) and "
+                    f"storage faults ({', '.join(STORAGE_KINDS)}), "
                     f"got {event.kind!r}; put {event.kind!r} in faults()")
         self._overrides["nemesis_spec"] = spec
         return self

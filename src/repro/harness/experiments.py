@@ -70,6 +70,10 @@ class ExperimentResult:
     metrics: Optional[dict] = None  # final registry snapshot
     # Causal span tracer (only when config.span_tracing was on).
     spans: Optional[SpanTracer] = None
+    # Storage-nemesis counters (only when a storage faultload ran):
+    # injections (torn/corrupted/lied writes) and repairs (frames
+    # scrubbed, suffix truncations, checkpoint discards, peer repairs).
+    storage: Optional[Dict[str, float]] = None
     #: name of the faultload this run executed ("none" for baselines)
     faultload_name: str = "none"
 
@@ -216,6 +220,7 @@ class ExperimentResult:
                          else self.timeline.to_dict()),
             "kernel_profile": self.kernel_profile,
             "metrics": self.metrics,
+            "storage": self.storage,
         }
 
 
@@ -282,11 +287,15 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         kernel_profile = cluster.profiler.summary(scale.total_s)
     if cluster.metrics is not None:
         metrics_snapshot = cluster.metrics.snapshot()
+    # A tripped restart breaker is a manual intervention the paper's
+    # autonomy measure must count: the operator has to step in, exactly
+    # like a manual reboot.
+    interventions = injector.interventions + cluster.breaker_trips()
     return ExperimentResult(
         config=config, collector=cluster.collector,
         measure_start=scale.measure_start, measure_end=scale.measure_end,
         faults_injected=injector.faults_injected,
-        interventions=injector.interventions,
+        interventions=interventions,
         recoveries=cluster.recoveries,
         first_crash_at=first_crash,
         nemesis=cluster.nemesis_stats(),
@@ -295,6 +304,7 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         kernel_profile=kernel_profile,
         metrics=metrics_snapshot,
         spans=cluster.span_tracer,
+        storage=cluster.storage_stats(),
         faultload_name=faultload.name)
 
 

@@ -490,6 +490,13 @@ def recovery_phases(tracer: SpanTracer,
     Each milestone is clamped to be monotone and inside the window, and
     a missing milestone collapses its phase to zero, so the five phases
     always partition ``[crashed_at, ready_at]`` exactly.
+
+    Storage-fault recoveries additionally report ``repair_s``: the span
+    from the replica's ``recovery.scrub_started`` mark (damaged durable
+    state detected) to its last ``recovery.repaired_from_peer`` mark
+    (replacement state installed), 0.0 when no repair happened.  Repair
+    overlaps the phases above (it *is* mostly checkpoint/catchup work),
+    so it is an attribution, not a sixth partition slice.
     """
     reports = []
     for event in recoveries:
@@ -523,6 +530,14 @@ def recovery_phases(tracer: SpanTracer,
                   and m.node == node and crashed < m.time <= ready]
         catchup_end = clamp(min(caught), checkpoint_end) if caught \
             else checkpoint_end
+        scrubbed = [m.time for m in tracer.marks
+                    if m.name == "recovery.scrub_started"
+                    and m.node == node and crashed < m.time <= ready]
+        repaired = [m.time for m in tracer.marks
+                    if m.name == "recovery.repaired_from_peer"
+                    and m.node == node and crashed < m.time <= ready]
+        repair_s = (max(repaired) - min(scrubbed)) \
+            if scrubbed and repaired else 0.0
 
         reports.append({
             "replica": event["replica"],
@@ -532,6 +547,7 @@ def recovery_phases(tracer: SpanTracer,
             "rebooted_at": rebooted,
             "ready_at": ready,
             "total_s": ready - crashed,
+            "repair_s": repair_s,
             "phases": {
                 "detection": detection_end - crashed,
                 "election": election_end - detection_end,

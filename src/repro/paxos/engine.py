@@ -29,7 +29,7 @@ via ``LearnRequest`` paging.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.paxos.config import PaxosConfig
 from repro.paxos.failure_detector import FailureDetector
@@ -75,7 +75,8 @@ class PaxosEngine:
     def __init__(self, node: Node, replica_names: List[str], my_id: int,
                  config: PaxosConfig, seed: SeedTree,
                  wal: Optional[WriteAheadLog] = None,
-                 start_instance: int = 0):
+                 start_instance: int = 0,
+                 delivered_uids: Iterable[str] = ()):
         self.node = node
         self.sim: Simulator = node.sim
         self.names = list(replica_names)
@@ -101,7 +102,12 @@ class PaxosEngine:
         self.log_start = start_instance
         self.decided: Dict[int, Batch] = {}
         self.watermark = start_instance - 1  # highest contiguous decided
-        self._enqueued_uids: Set[str] = set()
+        # uid -> instance of first fresh delivery.  Seeded from the
+        # checkpoint so a reboot cannot re-deliver a repeat (a uid decided
+        # again after a fast collision) whose first occurrence is hidden
+        # inside the restored snapshot.
+        self._enqueued_uids: Dict[str, int] = {
+            uid: start_instance - 1 for uid in delivered_uids}
         self._decided_uids: Set[str] = set()
         self._vote_sets: Dict[int, Dict[Tuple[Ballot, Tuple[str, ...]], Set[int]]] = {}
         self.max_seen_instance = start_instance - 1
@@ -127,6 +133,18 @@ class PaxosEngine:
         self._learn_inflight = False
         self._truncated_hint: Optional[int] = None
         self.on_truncated_peer: Optional[Callable[[int], None]] = None
+
+        # --- rejoin fence (storage-fault recovery) ---
+        # A replica whose disk lost acked state (fsync lie, corrupted log
+        # suffix) may have promised or voted things it no longer remembers.
+        # Until its runtime learns a safe high-water mark from every peer,
+        # the acceptor role is fenced off entirely; afterwards it stays
+        # fenced below the learned marks, so the replica can never
+        # contradict a vote or promise it forgot.  All three fields are
+        # inert on a clean boot.
+        self.rejoin_fenced = False
+        self.vote_fence_instance = -1
+        self.vote_fence_round = -1
 
         # --- infrastructure ---
         self.fd = FailureDetector(
@@ -230,13 +248,27 @@ class PaxosEngine:
         """Latest decided watermarks heard from peers (via heartbeats)."""
         return dict(self._peer_watermarks)
 
-    def fast_forward(self, instance: int) -> None:
+    def delivered_up_to(self, instance: int) -> FrozenSet[str]:
+        """Uids first delivered at or below ``instance``.
+
+        Checkpoints persist this set: delivery dedup is what keeps the
+        apply stream exactly-once when a uid gets decided again in a
+        later instance, and that memory must survive a reboot.
+        """
+        return frozenset(uid for uid, at in self._enqueued_uids.items()
+                         if at <= instance)
+
+    def fast_forward(self, instance: int,
+                     delivered_uids: Iterable[str] = ()) -> None:
         """Jump the learner past ``instance`` after a remote state transfer.
 
         Everything at or below ``instance`` is covered by the transferred
         snapshot; decided values below it are dropped and delivery resumes
-        at ``instance + 1``.
+        at ``instance + 1``.  ``delivered_uids`` carries the sender's
+        delivery-dedup knowledge for the transferred prefix.
         """
+        for uid in delivered_uids:
+            self._enqueued_uids.setdefault(uid, instance)
         if instance <= self.watermark:
             return
         for i in [i for i in self.decided if i <= instance]:
@@ -267,6 +299,32 @@ class PaxosEngine:
             self._drop_vote_tracking(i)
         self.wal.truncate_below(
             lambda entry: entry[0] in ("promise", "fast") or entry[1] >= instance)
+
+    def fence_info(self) -> Tuple[int, int]:
+        """This replica's high-water marks, served to a fenced rejoiner.
+
+        ``(instance_high, round_high)``: no instance above the first and no
+        ballot round above the second can have been touched with this
+        replica's participation.  Any vote or promise a storage-faulted
+        peer might have made and forgotten is covered by the element-wise
+        maximum of these marks across its peers, because every quorum the
+        peer ever joined contains at least one replica that remembers it.
+        """
+        instance_high = max(self.max_seen_instance, self.next_instance - 1,
+                            self._next_fast_instance - 1)
+        return instance_high, self.max_round_seen
+
+    def install_rejoin_fence(self, instance_high: int,
+                             round_high: int) -> None:
+        """Re-admit a fenced acceptor above the learned high-water marks."""
+        self.vote_fence_instance = max(self.vote_fence_instance,
+                                       instance_high)
+        self.vote_fence_round = max(self.vote_fence_round, round_high)
+        self.rejoin_fenced = False
+        trace_emit(self.sim, "storage", self.node.name,
+                   event="fence_installed",
+                   instance=self.vote_fence_instance,
+                   round=self.vote_fence_round)
 
     # ==================================================================
     # messaging plumbing
@@ -647,12 +705,24 @@ class PaxosEngine:
     def _effective_rnd(self, instance: int) -> Ballot:
         return max(self.min_promised, self.inst_rnd.get(instance, NULL_BALLOT))
 
+    def _vote_fenced(self, instance: int, ballot: Ballot) -> bool:
+        """Whether the rejoin fence forbids voting here (see fence_info)."""
+        return (self.rejoin_fenced
+                or instance <= self.vote_fence_instance
+                or ballot.round <= self.vote_fence_round)
+
     def _observe_round(self, ballot: Ballot) -> None:
         if ballot.round > self.max_round_seen:
             self.max_round_seen = ballot.round
 
     def _on_prepare(self, message: Prepare, src: int) -> None:
         self._observe_round(message.ballot)
+        if self.rejoin_fenced or self.watermark < self.vote_fence_instance:
+            # Fenced below the rejoin marks: promising now could censor a
+            # forgotten vote from the leader's phase-1 read.  Once the
+            # watermark passes the fence, decided instances are learned
+            # through the peer-watermark rule instead of re-proposed.
+            return
         if message.ballot < self.min_promised:
             return
         previous = self.min_promised
@@ -677,6 +747,8 @@ class PaxosEngine:
 
     def _on_prepare_instance(self, message: PrepareInstance, src: int) -> None:
         self._observe_round(message.ballot)
+        if self.rejoin_fenced or message.instance <= self.vote_fence_instance:
+            return
         if message.ballot < self._effective_rnd(message.instance):
             return
         self.inst_rnd[message.instance] = message.ballot
@@ -691,6 +763,8 @@ class PaxosEngine:
 
     def _on_any(self, message: AnyMessage, src: int) -> None:
         self._observe_round(message.ballot)
+        if self.rejoin_fenced or message.ballot.round <= self.vote_fence_round:
+            return
         if message.ballot < self.min_promised:
             return
         if self.fast_round is not None and message.ballot <= self.fast_round:
@@ -705,6 +779,8 @@ class PaxosEngine:
     def _on_phase2a(self, message: Phase2a, src: int) -> None:
         self._observe_round(message.ballot)
         self._note_seen_instance(message.instance)
+        if self._vote_fenced(message.instance, message.ballot):
+            return
         if message.ballot < self._effective_rnd(message.instance):
             return
         vrnd, vval = self.votes.get(message.instance, (NULL_BALLOT, None))
@@ -719,6 +795,8 @@ class PaxosEngine:
     def _on_fast_propose(self, message: FastPropose, src: int) -> None:
         self._observe_round(message.ballot)
         self._note_seen_instance(message.instance)
+        if self._vote_fenced(message.instance, message.ballot):
+            return
         reject = FastReject(message.ballot, message.instance)
         if self.fast_round is None or message.ballot != self.fast_round:
             self._send_to(src, reject)
@@ -762,6 +840,15 @@ class PaxosEngine:
         announcement = Accepted(ballot, instance, value)
 
         def durable(_event) -> None:
+            if getattr(self.sim, "storage_faults", None) is not None:
+                # Votes leave an audit trail only when disks can lie: the
+                # checker cross-examines them for a two-faced acceptor --
+                # one that votes twice in the same ballot for different
+                # values because its first vote was silently lost.
+                trace_emit(self.sim, "accept", self.node.name,
+                           instance=instance, round=ballot.round,
+                           proposer=ballot.proposer, fast=ballot.fast,
+                           key=value.key, inc=self.node.incarnation)
             self._broadcast(announcement)
 
         self.wal.append(("vote", instance, ballot, value),
@@ -885,7 +972,7 @@ class PaxosEngine:
             fresh = []
             for command in batch.commands:
                 if command.uid not in self._enqueued_uids:
-                    self._enqueued_uids.add(command.uid)
+                    self._enqueued_uids[command.uid] = self.watermark
                     fresh.append(command)
             trace_emit(self.sim, "deliver", self.node.name,
                        instance=self.watermark, key=batch.key,

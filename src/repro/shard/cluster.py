@@ -34,6 +34,7 @@ from repro.faults.checker import SafetyChecker
 from repro.faults.faultload import (
     NEMESIS_KINDS,
     ONEWAY_KIND,
+    STORAGE_KINDS,
     FaultEvent,
     Faultload,
 )
@@ -55,6 +56,8 @@ from repro.sim import (
     Node,
     SeedTree,
     Simulator,
+    StorageFault,
+    StorageNemesis,
 )
 from repro.sim.trace import Tracer
 from repro.tpcw.population import PopulationParams, populate
@@ -96,6 +99,10 @@ class ShardedCluster:
             self.sim.spans = self.span_tracer
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
+        # Created lazily by the first storage fault (apply_storage_fault);
+        # shared by every group so the audit counters are deployment-wide.
+        # Storage-fault-free runs never construct it: bit-for-bit parity.
+        self.storage_nemesis: Optional[StorageNemesis] = None
         self.profile = profile_by_name(config.profile)
         self.collector = MetricsCollector()
 
@@ -228,6 +235,10 @@ class ShardedCluster:
             shard, index = 0, target
         if not 0 <= shard < len(self.groups):
             raise ValueError(f"no such shard: {shard}")
+        if not 0 <= index < len(self._group_names[shard]):
+            raise ValueError(
+                f"shard {shard} has replicas 0.."
+                f"{len(self._group_names[shard]) - 1}, no replica {index}")
         return shard, index
 
     def _replica_name(self, target: Target) -> str:
@@ -300,17 +311,56 @@ class ShardedCluster:
                 if scaled.until is not None and not math.isinf(scaled.until):
                     self.sim.call_at(scaled.until, self.unblock_oneway,
                                      scaled.src_target, scaled.dst_target)
+            elif scaled.kind in STORAGE_KINDS:
+                self.apply_storage_fault(scaled)
             else:
                 raise ValueError(
-                    f"nemesis_spec only takes message faults "
-                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}), "
-                    f"got {scaled.kind!r}")
+                    f"nemesis_spec only takes message and storage faults "
+                    f"({', '.join(NEMESIS_KINDS)}, {ONEWAY_KIND}, "
+                    f"{', '.join(STORAGE_KINDS)}), got {scaled.kind!r}")
+
+    def _ensure_storage_nemesis(self) -> StorageNemesis:
+        if self.storage_nemesis is None:
+            self.storage_nemesis = StorageNemesis(self.sim, seed=self.seed)
+            for group in self.groups:
+                group.attach_storage_nemesis(self.storage_nemesis)
+            # The engine's accept audit trail (and nothing else) keys off
+            # this attribute; see PaxosEngine._vote.
+            self.sim.storage_faults = self.storage_nemesis
+        return self.storage_nemesis
+
+    def apply_storage_fault(self, event: FaultEvent) -> None:
+        """Install one storage-fault event (times already on the
+        compressed timeline) on the shared storage nemesis."""
+        nemesis = self._ensure_storage_nemesis()
+        shard, index = self._resolve(event.src_target)
+        disk_name = self.groups[shard].replica_nodes[index].disk.name
+        if event.kind == "corrupt":
+            nemesis.schedule_corruption(event.at, disk_name)
+            return
+        nemesis.add_window(StorageFault(
+            kind=event.kind, disk=disk_name, start=event.at,
+            end=event.until if event.until is not None else math.inf,
+            p=event.p if event.p is not None else 1.0,
+            slow_factor=event.factor if event.factor is not None else 4.0))
 
     # ------------------------------------------------------------------
     # run auditing
     # ------------------------------------------------------------------
     def nemesis_stats(self) -> NemesisStats:
         return NemesisStats.from_network(self.network)
+
+    def storage_stats(self) -> Optional[dict]:
+        """Injection counters (None when no storage fault was configured)."""
+        if self.storage_nemesis is None:
+            return None
+        return dict(self.storage_nemesis.counters)
+
+    def breaker_trips(self) -> int:
+        """Watchdogs (across every group) that gave up on a crash-looping
+        replica; each trip counts against autonomy like a manual reboot."""
+        return sum(1 for group in self.groups
+                   for watchdog in group.watchdogs if watchdog.tripped)
 
     def safety_checker(self) -> SafetyChecker:
         tracer = getattr(self.sim, "tracer", None)

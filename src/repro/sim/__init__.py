@@ -29,7 +29,15 @@ from repro.sim.core import (
     Simulator,
     Timeout,
 )
-from repro.sim.disk import Disk, DiskParams, WriteAheadLog
+from repro.sim.disk import (
+    CorruptObject,
+    Disk,
+    DiskParams,
+    LogFrame,
+    StorageFault,
+    StorageNemesis,
+    WriteAheadLog,
+)
 from repro.sim.network import (
     Message,
     Nemesis,
@@ -45,8 +53,10 @@ from repro.sim.rng import SeedTree
 __all__ = [
     "AllOf",
     "Channel",
+    "CorruptObject",
     "Disk",
     "DiskParams",
+    "LogFrame",
     "Event",
     "Interrupted",
     "Message",
@@ -61,6 +71,8 @@ __all__ = [
     "ServiceStation",
     "SimulationError",
     "Simulator",
+    "StorageFault",
+    "StorageNemesis",
     "Timeout",
     "WriteAheadLog",
 ]

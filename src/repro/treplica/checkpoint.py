@@ -7,13 +7,20 @@ written in chunks so that Paxos group commits interleave with the bulk
 write instead of stalling behind it.  The record is committed with a final
 small write, so a crash mid-checkpoint leaves the previous record intact
 (shadow-update discipline).
+
+Commit records alternate between two slots (``treplica:checkpoint:a`` /
+``:b``), so even a *torn* commit -- a storage fault that leaves an
+unreadable payload under the key instead of atomically dropping the write
+-- damages only the newest slot; the recovery-time scrub discards corrupt
+slots and falls back to the surviving one, or to peer state transfer when
+both are gone.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, FrozenSet, Optional
 
 from repro.obs.registry import registry_of
 from repro.sim.trace import emit as trace_emit
@@ -21,16 +28,24 @@ from repro.sim.trace import emit as trace_emit
 
 CHECKPOINT_KEY = "treplica:checkpoint"
 
+#: the two alternating commit-record slots (shadow-update discipline);
+#: the bare legacy key is still read for pre-slot disks.
+CHECKPOINT_SLOTS = (CHECKPOINT_KEY + ":a", CHECKPOINT_KEY + ":b")
+
 
 @dataclass(frozen=True)
 class CheckpointRecord:
     """What is durably stored: the applied instance, the opaque snapshot,
-    and the nominal state size that drives simulated load timing."""
+    the nominal state size that drives simulated load timing, and the
+    delivery-dedup memory for the covered prefix (uids first delivered at
+    or below ``instance`` -- without it a rebooted replica would re-apply
+    a command that consensus decided a second time after the checkpoint)."""
 
     instance: int
     snapshot: Any
     size_mb: float
     taken_at: float
+    delivered_uids: FrozenSet[str] = frozenset()
 
 
 class CheckpointManager:
@@ -40,7 +55,7 @@ class CheckpointManager:
         self._runtime = runtime
         self.last_instance: int = -1
         self.checkpoints_taken = 0
-        existing = runtime.node.disk.peek(CHECKPOINT_KEY)
+        existing = self.stored_record(runtime.node.disk)
         if existing is not None:
             self.last_instance = existing.instance
         obs = registry_of(runtime.sim)
@@ -70,7 +85,9 @@ class CheckpointManager:
         snapshot = runtime.app.snapshot()  # atomic within this event
         size_mb = runtime.app.state_size_mb()
         started_at = node.sim.now
-        record = CheckpointRecord(instance, snapshot, size_mb, node.sim.now)
+        record = CheckpointRecord(
+            instance, snapshot, size_mb, node.sim.now,
+            delivered_uids=runtime.engine.delivered_up_to(instance))
         chunks = max(1, math.ceil(size_mb / config.chunk_mb))
         chunk_mb = size_mb / chunks
         for _chunk in range(chunks):
@@ -78,7 +95,8 @@ class CheckpointManager:
             yield node.cpu.request(config.checkpoint_cpu_s_per_mb * chunk_mb,
                                    priority=1)
             yield node.disk.write(chunk_mb)
-        yield node.disk.write_object(CHECKPOINT_KEY, record, 0.001)
+        yield node.disk.write_object(self._next_slot(node.disk), record,
+                                     0.001)
         self.last_instance = instance
         self.checkpoints_taken += 1
         self._obs_checkpoints.inc()
@@ -97,6 +115,49 @@ class CheckpointManager:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def stored_record(disk) -> Optional[CheckpointRecord]:
-        """The latest durable checkpoint on ``disk`` (metadata peek)."""
-        return disk.peek(CHECKPOINT_KEY)
+    def _slot_records(disk):
+        for key in CHECKPOINT_SLOTS + (CHECKPOINT_KEY,):
+            record = disk.peek(key)
+            if isinstance(record, CheckpointRecord):
+                yield key, record
+
+    @classmethod
+    def _next_slot(cls, disk) -> str:
+        """The slot to overwrite: the one *not* holding the newest record."""
+        newest_key = None
+        newest_instance = -1
+        for key, record in cls._slot_records(disk):
+            if key in CHECKPOINT_SLOTS and record.instance > newest_instance:
+                newest_key, newest_instance = key, record.instance
+        if newest_key == CHECKPOINT_SLOTS[0]:
+            return CHECKPOINT_SLOTS[1]
+        return CHECKPOINT_SLOTS[0]
+
+    @classmethod
+    def stored_record(cls, disk) -> Optional[CheckpointRecord]:
+        """The latest valid durable checkpoint on ``disk`` (metadata peek).
+
+        Slots holding anything other than a :class:`CheckpointRecord`
+        (notably a torn/corrupted payload) are ignored.
+        """
+        best = None
+        for _key, record in cls._slot_records(disk):
+            if best is None or record.instance > best.instance:
+                best = record
+        return best
+
+    @staticmethod
+    def scrub_slots(disk) -> int:
+        """Drop unreadable checkpoint slots; return how many were dropped.
+
+        The simulated analogue of a payload-checksum failure on the commit
+        record: a slot whose stored value is a :class:`CorruptObject` (or
+        any non-record garbage) is deleted so it can never be loaded.
+        """
+        dropped = 0
+        for key in CHECKPOINT_SLOTS + (CHECKPOINT_KEY,):
+            if disk.contains(key) and not isinstance(disk.peek(key),
+                                                     CheckpointRecord):
+                disk.delete(key)
+                dropped += 1
+        return dropped

@@ -35,7 +35,8 @@ class PersistentQueue:
                  config: Optional[PaxosConfig] = None,
                  seed: Optional[SeedTree] = None,
                  start_instance: int = 0,
-                 wal: Optional[WriteAheadLog] = None):
+                 wal: Optional[WriteAheadLog] = None,
+                 delivered_uids=()):
         self.node = node
         self._sim = node.sim
         config = config or PaxosConfig()
@@ -44,7 +45,8 @@ class PersistentQueue:
             wal = WriteAheadLog(self._sim, node.disk,
                                 name=f"{node.name}-queue-wal", node=node)
         self.engine = PaxosEngine(node, replica_names, my_id, config, seed,
-                                  wal=wal, start_instance=start_instance)
+                                  wal=wal, start_instance=start_instance,
+                                  delivered_uids=delivered_uids)
         self._stream = self._sim.channel()  # (instance, ((uid, payload), ...))
         self._items = []  # item-level buffer for dequeue()
         self._uid_counter = 0

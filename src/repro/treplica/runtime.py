@@ -33,7 +33,7 @@ from repro.sim.rng import SeedTree
 from repro.sim.trace import emit as trace_emit
 from repro.treplica.actions import Action
 from repro.treplica.application import Application
-from repro.treplica.checkpoint import CHECKPOINT_KEY, CheckpointManager, CheckpointRecord
+from repro.treplica.checkpoint import CheckpointManager, CheckpointRecord
 from repro.treplica.config import TreplicaConfig
 from repro.treplica.queue import PersistentQueue
 
@@ -54,15 +54,27 @@ class TreplicaRuntime:
         self.config = config or TreplicaConfig()
         self._seed = seed or SeedTree(0)
 
-        record = CheckpointManager.stored_record(node.disk)
-        start_instance = record.instance + 1 if record is not None else 0
+        self._spans = spans_of(self.sim)
         wal = WriteAheadLog(self.sim, node.disk,
                             name=f"{node.name}-queue-wal", node=node)
+        # Scrub before anything reads durable state back: verify the log's
+        # CRC frames, drop a torn/corrupted suffix, discard unreadable
+        # checkpoint slots.  A no-op (and skipped entirely) on a healthy
+        # disk with no storage nemesis attached.
+        self.scrub_report = self._scrub_storage(wal)
+        record = CheckpointManager.stored_record(node.disk)
+        start_instance = record.instance + 1 if record is not None else 0
         self.queue = PersistentQueue(
             node, replica_names, my_id, self.config.paxos, self._seed,
-            start_instance=start_instance, wal=wal)
+            start_instance=start_instance, wal=wal,
+            delivered_uids=getattr(record, "delivered_uids", frozenset())
+            if record is not None else frozenset())
         self.engine = self.queue.engine
         self.engine.on_truncated_peer = self._request_remote_checkpoint
+        if self.scrub_report is not None and self.scrub_report["fence"]:
+            # The disk lost acked state: stay out of the acceptor role
+            # until every peer has told us its high-water marks.
+            self.engine.rejoin_fenced = True
 
         self.applied_up_to = start_instance - 1
         self._had_checkpoint = record is not None
@@ -76,7 +88,7 @@ class TreplicaRuntime:
         self.recovered_at: Optional[float] = None
         self._remote_ckpt_requested_at: Optional[float] = None
         self.stats = {"executed": 0, "remote_transfers": 0}
-        self._spans = spans_of(self.sim)
+        self._fence_replies: Dict[int, tuple] = {}
         # Applied-watermark target the recovery forensics wait for; only
         # armed (non-None) when span tracing is on.
         self._catchup_target: Optional[int] = None
@@ -96,6 +108,8 @@ class TreplicaRuntime:
             # The paper's scheme: the queue starts resynchronizing the
             # backlog in parallel with the local checkpoint load.
             self.queue.start()
+        if self.engine.rejoin_fenced:
+            self.node.spawn(self._fence_loop(), name="treplica-fence")
         self.node.spawn(self._boot(), name="treplica-boot")
 
     def _boot(self):
@@ -120,6 +134,82 @@ class TreplicaRuntime:
             # refresh the checkpoint so the next crash replays less.
             yield from self.checkpoints.take()
         self.node.spawn(self.checkpoints.loop(), name="treplica-checkpoint")
+
+    def _scrub_storage(self, wal: WriteAheadLog) -> Optional[dict]:
+        """Verify durable state after a (possibly lying) disk's crash.
+
+        Frame verification is metadata-speed bookkeeping piggybacked on
+        the recovery reads the boot path pays for anyway, so no simulated
+        time passes here.  Returns a report dict, or ``None`` when no
+        storage nemesis is attached (the zero-cost path).
+        """
+        disk = self.node.disk
+        self._storage_repair_pending = False
+        if disk.nemesis is None:
+            return None
+        intact, dropped = wal.scrub()
+        discarded = CheckpointManager.scrub_slots(disk)
+        dirty = disk.dirty
+        disk.dirty = False
+        # A lost log suffix (torn tail, corrupt frame, or a crash that
+        # revoked lied-about fsyncs) may include promises or votes this
+        # replica no longer remembers: fence the acceptor role until the
+        # peers' high-water marks are known.  A damaged checkpoint alone
+        # loses no acceptor state.
+        fence = dirty or dropped > 0
+        report = {"frames_intact": intact, "frames_dropped": dropped,
+                  "checkpoints_discarded": discarded, "dirty": dirty,
+                  "fence": fence}
+        obs = registry_of(self.sim)
+        obs.counter("storage.frames_scrubbed").inc(intact + dropped)
+        disk.nemesis.count("frames_scrubbed", intact + dropped)
+        if dropped or discarded or dirty:
+            self._storage_repair_pending = True
+            obs.counter("storage.frames_dropped").inc(dropped)
+            disk.nemesis.count("frames_dropped", dropped)
+            if dropped:
+                obs.counter("storage.suffix_truncations").inc()
+                disk.nemesis.count("suffix_truncations")
+            obs.counter("storage.checkpoint_discards").inc(discarded)
+            disk.nemesis.count("checkpoint_discards", discarded)
+            trace_emit(self.sim, "storage", self.node.name, event="scrub",
+                       dropped=dropped, discarded=discarded, dirty=dirty)
+            if self._spans is not None:
+                self._spans.mark("recovery.scrub_started", self.node.name,
+                                 dropped=dropped, discarded=discarded)
+        return report
+
+    def _fence_loop(self):
+        """Nag the peers for fence_info until the rejoin fence installs."""
+        interval = max(2 * self.config.paxos.heartbeat_interval_s, 0.2)
+        while self.engine.rejoin_fenced:
+            for peer, name in enumerate(self.names):
+                if peer != self.my_id and peer not in self._fence_replies:
+                    self.node.send(name, TREPLICA_PORT, ("fence_req",),
+                                   size_mb=0.0002)
+            yield self.sim.timeout(interval)
+
+    def _on_fence_reply(self, src: str, instance_high: int,
+                        round_high: int) -> None:
+        if not self.engine.rejoin_fenced:
+            return
+        try:
+            peer = self.names.index(src)
+        except ValueError:
+            return
+        self._fence_replies[peer] = (instance_high, round_high)
+        expected = set(range(len(self.names))) - {self.my_id}
+        if not expected <= set(self._fence_replies):
+            return
+        # Every peer answered: the element-wise maximum bounds everything
+        # this replica could have promised or voted and forgotten --
+        # any quorum it ever joined contains a peer that remembers.
+        self.engine.install_rejoin_fence(
+            max(v[0] for v in self._fence_replies.values()),
+            max(v[1] for v in self._fence_replies.values()))
+        registry_of(self.sim).counter("storage.rejoin_fences").inc()
+        if self.node.disk.nemesis is not None:
+            self.node.disk.nemesis.count("rejoin_fences")
 
     def _load_local_checkpoint(self):
         """Chunked checkpoint load: disk reads + deserialization CPU.
@@ -270,6 +360,15 @@ class TreplicaRuntime:
             record = payload[1]
             self.node.spawn(self._install_remote_checkpoint(record),
                             name="ckpt-install")
+        elif kind == "fence_req":
+            # Served even before this replica is ready: fence_info only
+            # reads engine high-water marks, which a booting engine
+            # restored from its own (scrubbed) log.
+            self.node.send(src, TREPLICA_PORT,
+                           ("fence",) + self.engine.fence_info(),
+                           size_mb=0.0002)
+        elif kind == "fence":
+            self._on_fence_reply(src, payload[1], payload[2])
 
     def _serve_checkpoint(self, requester: str):
         record = CheckpointManager.stored_record(self.node.disk)
@@ -289,9 +388,26 @@ class TreplicaRuntime:
                 self.config.restore_cpu_s_per_mb * chunk_mb)
         self.app.restore(record.snapshot)
         self.applied_up_to = max(self.applied_up_to, record.instance)
-        self.engine.fast_forward(record.instance)
+        self.engine.fast_forward(
+            record.instance,
+            delivered_uids=getattr(record, "delivered_uids", ()))
         self.stats["remote_transfers"] += 1
         self._obs_remote_transfers.inc()
+        if self._storage_repair_pending:
+            # This transfer replaces state the scrub had to throw away.
+            self._storage_repair_pending = False
+            obs = registry_of(self.sim)
+            obs.counter("storage.peer_repairs").inc()
+            obs.counter("storage.repair_mb").inc(record.size_mb)
+            if self.node.disk.nemesis is not None:
+                self.node.disk.nemesis.count("peer_repairs")
+                self.node.disk.nemesis.count("repair_mb", record.size_mb)
+            trace_emit(self.sim, "storage", self.node.name,
+                       event="repaired_from_peer", instance=record.instance)
+            if self._spans is not None:
+                self._spans.mark("recovery.repaired_from_peer",
+                                 self.node.name, instance=record.instance,
+                                 size_mb=round(record.size_mb, 3))
         if self._spans is not None:
             self._spans.mark("recovery.checkpoint_transferred",
                              self.node.name, instance=record.instance)

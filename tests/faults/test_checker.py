@@ -100,7 +100,8 @@ def test_duplicate_uid_is_flagged():
     tracer.emit("deliver", "r0", instance=1, key=("u1",), fresh=("u1",), inc=0)
     tracer.emit("deliver", "r0", instance=2, key=("u1",), fresh=("u1",), inc=0)
     violations = SafetyChecker(tracer).violations()
-    assert [v.kind for v in violations] == ["duplicate"]
+    # Flagged by both the per-stream and the cross-instance dedup rules.
+    assert violations and {v.kind for v in violations} == {"duplicate"}
     assert "u1" in violations[0].detail
 
 
@@ -141,6 +142,59 @@ def test_checkpoint_transfer_skip_is_not_a_violation():
     tracer.emit("deliver", "r1", instance=1, key=("w",), fresh=("w",), inc=0)
     tracer.emit("deliver", "r1", event="transfer", upto=4, inc=0)
     tracer.emit("deliver", "r1", instance=5, key=("z",), fresh=("z",), inc=0)
+    assert SafetyChecker(tracer).violations() == []
+
+
+def test_cross_incarnation_duplicate_delivery_is_flagged():
+    """Consensus re-decided u1 (fast-collision repropose) at instance 8;
+    inc 0 deduped the repeat, but the reboot forgot the first delivery
+    (checkpoint without dedup memory) and applied u1 a second time."""
+    _sim, tracer = make_tracer()
+    tracer.emit("deliver", "r0", instance=5, key=("u1",), fresh=("u1",), inc=0)
+    tracer.emit("deliver", "r0", event="transfer", upto=7, inc=1)
+    tracer.emit("deliver", "r0", instance=8, key=("u1",), fresh=("u1",), inc=1)
+    violations = SafetyChecker(tracer).violations()
+    assert [v.kind for v in violations] == ["duplicate"]
+    assert "inc 1" in violations[0].detail
+
+
+def test_same_instance_replay_across_incarnations_passes():
+    """An un-checkpointed suffix is legitimately redelivered after a
+    reboot: the same uid at the *same* instance is replay, not a dup."""
+    _sim, tracer = make_tracer()
+    tracer.emit("deliver", "r0", instance=5, key=("u1",), fresh=("u1",), inc=0)
+    tracer.emit("deliver", "r0", instance=5, key=("u1",), fresh=("u1",), inc=1)
+    assert SafetyChecker(tracer).violations() == []
+
+
+def test_accept_conflict_is_flagged():
+    """One acceptor, one (instance, ballot), two different values: its
+    durable vote must have evaporated between the two signatures."""
+    _sim, tracer = make_tracer()
+    tracer.emit("accept", "r0", instance=3, round=1, proposer=0, fast=False,
+                key=("u1",))
+    tracer.emit("accept", "r0", instance=3, round=1, proposer=0, fast=False,
+                key=("u2",))
+    violations = SafetyChecker(tracer).violations()
+    assert [v.kind for v in violations] == ["accept-conflict"]
+    assert "instance 3" in violations[0].detail
+
+
+def test_same_value_revote_is_not_a_conflict():
+    _sim, tracer = make_tracer()
+    for _ in range(2):  # retransmitted Phase2a, identical vote
+        tracer.emit("accept", "r0", instance=3, round=1, proposer=0,
+                    fast=False, key=("u1",))
+    assert SafetyChecker(tracer).violations() == []
+
+
+def test_different_ballot_revote_is_not_a_conflict():
+    """Voting a different value in a *higher* ballot is just Paxos."""
+    _sim, tracer = make_tracer()
+    tracer.emit("accept", "r0", instance=3, round=1, proposer=0, fast=True,
+                key=("u1",))
+    tracer.emit("accept", "r0", instance=3, round=2, proposer=1, fast=False,
+                key=("u2",))
     assert SafetyChecker(tracer).violations() == []
 
 

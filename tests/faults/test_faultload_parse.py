@@ -161,6 +161,9 @@ def test_non_crash_replica_kinds_need_fixed_target(spec):
     "drop@10-60:p=0",      # p in (0, 1]
     "drop@10-60:p=1.5",
     "drop@10-60:1:p=0.5",  # bare target invalid: pairs only
+    "drop@10-60:p=0.2:m=4",     # m= is delay-only among message kinds
+    "delay@10-60:p=0.3:m=0",    # delay mean must be > 0
+    "delay@10-60:p=0.3:m=-1",
     "oneway@30",           # oneway needs its pair
     "oneway@30:2",
     "oneway@30:2>2",       # ...with distinct ends
@@ -185,6 +188,87 @@ def test_fault_event_direct_construction_validates_too():
 
 
 # ----------------------------------------------------------------------
+# storage extension grammar: torn / corrupt / fsynclie / failslow
+# ----------------------------------------------------------------------
+def test_parse_corrupt_point_event():
+    event = Faultload.parse("corrupt@240:1").events[0]
+    assert event == FaultEvent(240.0, "corrupt", 1)
+
+
+def test_parse_torn_window_with_probability():
+    event = Faultload.parse("torn@200-400:1:p=0.5").events[0]
+    assert (event.kind, event.at, event.until) == ("torn", 200.0, 400.0)
+    assert (event.replica, event.p) == (1, 0.5)
+
+
+def test_parse_torn_open_ended_window():
+    event = Faultload.parse("torn@200:2").events[0]
+    assert (event.at, event.until, event.p) == (200.0, None, None)
+
+
+def test_parse_fsynclie_window():
+    event = Faultload.parse("fsynclie@200-300:0").events[0]
+    assert (event.kind, event.at, event.until, event.replica) == (
+        "fsynclie", 200.0, 300.0, 0)
+
+
+def test_parse_failslow_maps_m_to_factor():
+    event = Faultload.parse("failslow@200-300:1:m=4").events[0]
+    assert (event.kind, event.factor) == ("failslow", 4.0)
+    assert event.delay_mean_s is None
+
+
+def test_parse_shard_qualified_storage_target():
+    event = Faultload.parse("corrupt@240:1.2").events[0]
+    assert (event.shard, event.replica) == (1, 2)
+    assert event.src_target == (1, 2)
+
+
+def test_storage_events_selector():
+    faultload = Faultload.parse(
+        "crash@240:1, torn@200-400:1, drop@10-60:p=0.2, corrupt@300:2")
+    assert [e.kind for e in faultload.storage_events()] == ["torn", "corrupt"]
+
+
+@pytest.mark.parametrize("spec, fragment", [
+    ("torn@-5:1", "must be >= 0"),            # negative time
+    ("torn@nan:1", "NaN"),                    # NaN time
+    ("torn@200-nan:1", "NaN"),                # NaN window end
+    ("corrupt@200-300:1", "point event"),     # corrupt takes no window
+    ("corrupt@240", "fixed replica"),         # storage kinds need a target
+    ("corrupt@240:*", "random target"),       # ...a fixed one
+    ("torn@200:1>2", "pair"),                 # no directed pairs
+    ("torn@400-200:1", "end after it starts"),
+    ("torn@200:1:p=0", "(0, 1]"),             # p out of range
+    ("torn@200:1:p=1.5", "(0, 1]"),
+    ("fsynclie@200-300:1:p=0.5", "key=value"),  # p only for torn
+    ("corrupt@240:1:m=3", "key=value"),       # m only for failslow
+    ("torn@200-400:1:m=4", "'m='"),           # torn accepts p=, never m=
+    ("failslow@200-300:1:m=0.5", ">= 1.0"),   # multiplier must slow down
+    ("failslow@200-300:1:m=inf", ">= 1.0"),   # ...and must be finite
+    ("fsync@200-300:1", "unknown fault kind"),
+])
+def test_storage_grammar_rejections_identify_the_chunk(spec, fragment):
+    with pytest.raises(ValueError) as error:
+        Faultload.parse(spec)
+    assert fragment in str(error.value)
+    assert spec.split(":")[0].split("@")[0] in str(error.value)
+
+
+def test_storage_fault_event_direct_construction_validates_too():
+    with pytest.raises(ValueError):
+        FaultEvent(float("nan"), "torn", 1)       # NaN time
+    with pytest.raises(ValueError):
+        FaultEvent(float("inf"), "corrupt", 1)    # infinite time
+    with pytest.raises(ValueError):
+        FaultEvent(200.0, "fsynclie", 1, until=float("nan"))
+    with pytest.raises(ValueError):
+        FaultEvent(200.0, "failslow", 1, until=300.0, factor=0.25)
+    for kind in ("torn", "corrupt", "fsynclie", "failslow"):
+        assert kind in ALL_KINDS
+
+
+# ----------------------------------------------------------------------
 # injector wiring for the new kinds
 # ----------------------------------------------------------------------
 class RecordingCluster:
@@ -196,6 +280,9 @@ class RecordingCluster:
 
     def apply_nemesis(self, event):
         self.calls.append((self._sim.now, "nemesis", event.kind))
+
+    def apply_storage_fault(self, event):
+        self.calls.append((self._sim.now, "storage", event.kind))
 
     def block_oneway(self, src, dst):
         self.calls.append((self._sim.now, "block", (src, dst)))
@@ -245,5 +332,25 @@ def test_injector_counts_ignore_nemesis_events():
         "drop@10-60:p=0.2, oneway@30:2>3"))
     injector.arm()
     sim.run(until=100.0)
+    assert injector.faults_injected == 0
+    assert injector.interventions == 0
+
+
+def test_injector_hands_storage_faults_to_the_cluster_up_front():
+    sim = Simulator()
+    cluster = RecordingCluster(sim)
+    injector = FaultInjector(sim, cluster, Faultload.parse(
+        "torn@200-400:1, corrupt@240:2, fsynclie@100-150:0"))
+    injector.arm()
+    # Like nemesis windows: handed over at arm() time, the storage
+    # nemesis gates them by simulated time itself.
+    assert cluster.calls == [(0.0, "storage", "torn"),
+                             (0.0, "storage", "corrupt"),
+                             (0.0, "storage", "fsynclie")]
+    assert [e.kind for e in injector.storage_faults] == [
+        "torn", "corrupt", "fsynclie"]
+    sim.run(until=500.0)
+    # Storage faults are environment misbehaviour, not injected crashes:
+    # they never count towards the autonomy denominators.
     assert injector.faults_injected == 0
     assert injector.interventions == 0

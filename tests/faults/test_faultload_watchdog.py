@@ -141,6 +141,96 @@ def test_watchdog_cannot_start_twice():
 
 
 # ----------------------------------------------------------------------
+# crash-loop protection: exponential backoff + circuit breaker
+# ----------------------------------------------------------------------
+def crash_loop(sim, node, until):
+    """Re-crash the node the instant the watchdog reboots it."""
+
+    def boot_and_die(_node):
+        if sim.now < until:
+            sim.call_after(0.01, node.crash)
+
+    node.boot = boot_and_die
+
+
+def test_backoff_grows_exponentially_and_caps():
+    sim, cluster = make(1)
+    watchdog = Watchdog(sim, cluster.nodes[0], restart_delay_s=1.0,
+                        backoff_factor=2.0, max_restart_delay_s=6.0,
+                        max_restarts=None)
+    assert watchdog.next_delay_s() == 1.0
+    watchdog.consecutive_restarts = 1
+    assert watchdog.next_delay_s() == 2.0
+    watchdog.consecutive_restarts = 2
+    assert watchdog.next_delay_s() == 4.0
+    watchdog.consecutive_restarts = 3
+    assert watchdog.next_delay_s() == 6.0  # capped
+
+
+def test_crash_loop_trips_the_breaker():
+    sim, cluster = make(1)
+    node = cluster.nodes[0]
+    watchdog = Watchdog(sim, node, poll_interval_s=0.2, restart_delay_s=0.1,
+                        backoff_factor=2.0, max_restart_delay_s=1.0,
+                        max_restarts=3, stable_after_s=30.0)
+    watchdog.start()
+    crash_loop(sim, node, until=100.0)
+    sim.call_after(1.0, node.crash)
+    sim.run(until=100.0)
+    assert watchdog.tripped
+    assert len(watchdog.restarts) == 3  # gave up after max_restarts
+    assert not node.alive               # ...and left the node down
+
+
+def test_stable_stretch_resets_the_streak():
+    sim, cluster = make(1)
+    node = cluster.nodes[0]
+    watchdog = Watchdog(sim, node, poll_interval_s=0.2, restart_delay_s=0.5,
+                        max_restarts=2, stable_after_s=5.0)
+    watchdog.start()
+    # Three isolated crashes, each followed by a long stable stretch:
+    # more crashes than max_restarts, but never a *consecutive* streak.
+    for at in (1.0, 20.0, 40.0):
+        sim.call_after(at, node.crash)
+    sim.run(until=60.0)
+    assert not watchdog.tripped
+    assert len(watchdog.restarts) == 3
+    assert node.alive
+
+
+def test_isolated_crashes_always_see_the_base_delay():
+    # Restart timing parity with the pre-backoff watchdog: crashes spaced
+    # beyond stable_after_s never pay more than restart_delay_s.
+    sim, cluster = make(1)
+    node = cluster.nodes[0]
+    watchdog = Watchdog(sim, node, poll_interval_s=0.5, restart_delay_s=1.0,
+                        stable_after_s=10.0)
+    watchdog.start()
+    sim.call_after(5.0, node.crash)
+    sim.call_after(30.0, node.crash)
+    sim.run(until=60.0)
+    assert len(watchdog.restarts) == 2
+    for crash_at, restarted_at in zip((5.0, 30.0), watchdog.restarts):
+        # detection (<= poll) + base restart delay, never a backoff
+        assert restarted_at - crash_at <= 0.5 + 1.0 + 1e-9
+
+
+def test_tripped_breaker_still_allows_manual_reboot():
+    sim, cluster = make(1)
+    node = cluster.nodes[0]
+    watchdog = Watchdog(sim, node, poll_interval_s=0.2, restart_delay_s=0.1,
+                        max_restarts=1, stable_after_s=30.0)
+    watchdog.start()
+    crash_loop(sim, node, until=10.0)
+    sim.call_after(1.0, node.crash)
+    sim.run(until=20.0)
+    assert watchdog.tripped and not node.alive
+    node.reboot()   # the operator steps in
+    sim.run(until=30.0)
+    assert node.alive  # the tripped watchdog leaves it alone
+
+
+# ----------------------------------------------------------------------
 # faultload DSL
 # ----------------------------------------------------------------------
 def test_parse_full_spec():

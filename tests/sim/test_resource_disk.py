@@ -179,6 +179,59 @@ def test_disk_contents_survive_crash():
 
 
 # ----------------------------------------------------------------------
+# byte accounting: completed transfers only
+# ----------------------------------------------------------------------
+def test_disk_books_bytes_at_completion_not_submission():
+    sim = Simulator()
+    disk = make_disk(sim)
+    disk.write(5.0)   # completes at 0.51
+    disk.read(2.0)    # then 0.21 more
+    sim.run(until=0.25)
+    assert (disk.bytes_written_mb, disk.bytes_read_mb) == (0.0, 0.0)
+    sim.run()
+    assert disk.bytes_written_mb == pytest.approx(5.0)
+    assert disk.bytes_read_mb == pytest.approx(2.0)
+
+
+def test_byte_counters_sum_only_completed_ops_across_a_crash():
+    sim = Simulator()
+    disk = make_disk(sim)
+    completed = []
+
+    def writer(size):
+        yield disk.write(size)
+        completed.append(size)
+
+    sim.spawn(writer(1.0))   # done at 0.11
+    sim.spawn(writer(10.0))  # would finish at 1.12; crash drops it
+    sim.call_after(0.5, disk.on_crash)
+    sim.run(until=2.0)
+
+    def late_writer():
+        yield disk.write(3.0)
+        completed.append(3.0)
+
+    sim.spawn(late_writer())
+    sim.run()
+    # The crash-dropped 10 MB op never moved data to the platter: the
+    # counter is exactly the sum of the completed ops' sizes.
+    assert completed == [1.0, 3.0]
+    assert disk.bytes_written_mb == pytest.approx(sum(completed))
+
+
+def test_crash_dropped_reads_are_not_booked_either():
+    sim = Simulator()
+    disk = make_disk(sim)
+    disk.write_object("blob", "x", size_mb=0.1)
+    sim.run()
+    booked = disk.bytes_read_mb
+    disk.read(8.0)  # needs 0.81s
+    sim.call_after(0.2, disk.on_crash)
+    sim.run(until=5.0)
+    assert disk.bytes_read_mb == booked
+
+
+# ----------------------------------------------------------------------
 # WriteAheadLog
 # ----------------------------------------------------------------------
 def test_wal_appends_become_durable_in_order():
