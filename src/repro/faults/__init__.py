@@ -12,15 +12,30 @@ dependability benchmark = system spec + workload + **faultload** +
 * :mod:`repro.faults.metrics` -- WIPS/WIRT series and the four measures:
   availability, performability, accuracy, autonomy;
 * :mod:`repro.faults.checker` -- the mechanical consensus/queue safety
-  oracle (agreement, total order, exactly-once, acked durability).
+  oracle (agreement, total order, exactly-once, acked durability);
+* :mod:`repro.faults.explore` -- systematic fault-space exploration:
+  trace-derived crash/drop point enumeration, prefix-pruned search over
+  bounded fault combinations, counterexample shrinking.
 """
 
 from repro.faults.checker import SafetyChecker, SafetyViolation, Violation
+from repro.faults.explore import (
+    ExplorationRunner,
+    ExploreReport,
+    Verdict,
+    dedupe_points,
+    explore,
+    schedule_spec,
+    shrink,
+    spec_of,
+)
 from repro.faults.faultload import FaultEvent, FaultInjector, Faultload
 from repro.faults.metrics import MetricsCollector, NemesisStats, WindowStats
 from repro.faults.watchdog import Watchdog
 
 __all__ = [
+    "ExplorationRunner",
+    "ExploreReport",
     "FaultEvent",
     "FaultInjector",
     "Faultload",
@@ -28,7 +43,13 @@ __all__ = [
     "NemesisStats",
     "SafetyChecker",
     "SafetyViolation",
+    "Verdict",
     "Violation",
     "Watchdog",
     "WindowStats",
+    "dedupe_points",
+    "explore",
+    "schedule_spec",
+    "shrink",
+    "spec_of",
 ]

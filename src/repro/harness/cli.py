@@ -1,4 +1,5 @@
-"""The ``repro`` command line: ``run``, ``sweep``, ``report``, ``trace``.
+"""The ``repro`` command line: ``run``, ``sweep``, ``report``, ``trace``,
+``explore``.
 
 ::
 
@@ -8,6 +9,8 @@
     python -m repro report result.json --timeline
     python -m repro trace sequential --recovery-phases
     python -m repro trace baseline --critical-path --export chrome --out t.json
+    python -m repro explore --shards 2 --replicas 3 --scale tiny \\
+        --max-faults 1 --budget 64 --out coverage.json
 
 The pre-subcommand flat form (``python -m repro.harness --experiment
 one_crash``) still works: it is normalized to ``run`` with a
@@ -162,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path for --export (parent "
                             "directories are created)")
 
+    explore = sub.add_parser(
+        "explore", help="systematically explore the 2PC fault space "
+                        "(trace-derived crash/drop points, prefix-pruned "
+                        "search, counterexample shrinking)")
+    _add_cluster_options(explore)
+    explore.add_argument("--max-faults", type=int, default=1, metavar="K",
+                         help="search fault combinations up to K faults "
+                              "per schedule (default 1: the full "
+                              "single-fault sweep)")
+    explore.add_argument("--budget", type=int, default=64, metavar="N",
+                         help="cap on executed experiments; schedules "
+                              "skipped for budget are counted in the "
+                              "report, never silently dropped")
+    explore.add_argument("--interaction", action="append", default=None,
+                         metavar="NAME",
+                         help="interaction class(es) to enumerate points "
+                              "for (repeatable; default buy_confirm)")
+    explore.add_argument("--out", metavar="PATH", default=None,
+                         help="write the JSON coverage report "
+                              "(points, runs, counters, violations)")
+
     report = sub.add_parser(
         "report", help="re-render a saved `repro run --json` result")
     report.add_argument("paths", nargs="+", metavar="path",
@@ -181,7 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _normalize_legacy(argv):
     """Map the old flat CLI onto ``run`` (with a deprecation warning)."""
-    if argv and argv[0] in ("run", "sweep", "report", "trace"):
+    if argv and argv[0] in ("run", "sweep", "report", "trace", "explore"):
         return argv
     if argv and argv[0] in ("-h", "--help"):
         return argv
@@ -434,6 +458,61 @@ def _cmd_trace(args) -> int:
 
 
 # ======================================================================
+# explore
+# ======================================================================
+def _cmd_explore(args) -> int:
+    from repro.faults.explore import ExplorationRunner, explore
+
+    scale = _scale_for(args.scale)
+    config = ClusterConfig(
+        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
+        profile=args.profile, offered_wips=args.offered_wips,
+        seed=args.seed, enable_fast=not args.no_fast, shards=args.shards)
+    interactions = tuple(args.interaction) if args.interaction \
+        else ("buy_confirm",)
+    try:
+        runner = ExplorationRunner(config, interactions=interactions)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"exploring {', '.join(interactions)} | {config.shards} shards x "
+          f"{config.replicas} replicas | scale={scale.name} | "
+          f"max_faults={args.max_faults} budget={args.budget}", flush=True)
+    report = explore(runner, max_faults=args.max_faults, budget=args.budget)
+    counters = report.counters
+    rows = [
+        ["injection points (concrete)", str(counters["points_concrete"])],
+        ["injection points (deduped)", str(counters["points_deduped"])],
+        ["experiments executed", str(counters["executed"])],
+        ["single-fault coverage", f"{report.coverage_pct:.1f}%"],
+        ["pruned (violating prefix)", str(counters["pruned_prefix"])],
+        ["skipped (budget)", str(counters["budget_skipped"])],
+        ["shrink runs", str(counters["shrink_runs"])],
+        ["violations", str(len(report.violations))],
+    ]
+    print(format_table(
+        f"fault-space exploration (seed {config.seed})",
+        ["measure", "value"], rows))
+    stages = sorted({tuple(p["signature"]) for p in report.points})
+    print("\nstages covered:")
+    for interaction, stage, role in stages:
+        print(f"  {interaction}: {stage} [{role}]")
+    if args.out:
+        _ensure_parent(args.out)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nwrote {args.out}")
+    if report.violations:
+        print("\nviolations (minimized, replayable):")
+        for violation in report.violations:
+            print(f"  {violation['minimal']}")
+            for line in violation["safety"] + violation["liveness"]:
+                print(f"    {line}")
+        return 1
+    return 0
+
+
+# ======================================================================
 # report
 # ======================================================================
 def _load_result(path: str) -> dict:
@@ -607,6 +686,8 @@ def main(argv=None) -> int:
         return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
     build_parser().print_help()
     return 2
 

@@ -163,6 +163,16 @@ class ClusterConfig:
     # rbe_timeout_s), so it is deliberately NOT timeline-scaled.
     txn_timeout_s: float = 1.0
     txn_max_retries: int = 2
+    # Termination protocol (repro.shard.txn): a participant replica that
+    # holds a prepared-but-undecided transaction for longer than this
+    # asks the tx's home group for the outcome (presumed abort) and
+    # orders it through its own log.  Load-domain, like txn_timeout_s:
+    # it tracks decision-broadcast latency, not the paper timeline.
+    txn_orphan_timeout_s: float = 5.0
+    # Keep the live cluster object on the ExperimentResult (excluded
+    # from serialization) so callers -- chiefly the fault-space explorer
+    # (repro.faults.explore) -- can inspect end-of-run replica state.
+    keep_cluster: bool = False
 
     @property
     def effective_offered_wips(self) -> float:

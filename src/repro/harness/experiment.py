@@ -120,6 +120,13 @@ class Experiment:
         self._overrides["span_tracing"] = True
         return self
 
+    def keep_cluster(self) -> "Experiment":
+        """Keep the live cluster on the result (``result.cluster``) so
+        post-run oracles can inspect end-of-run replica state.  Used by
+        the fault-space explorer (:mod:`repro.faults.explore`)."""
+        self._overrides["keep_cluster"] = True
+        return self
+
     def build_config(self) -> ClusterConfig:
         """The resolved :class:`ClusterConfig` this experiment will run."""
         if not self._overrides:

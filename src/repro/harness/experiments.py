@@ -76,6 +76,10 @@ class ExperimentResult:
     storage: Optional[Dict[str, float]] = None
     #: name of the faultload this run executed ("none" for baselines)
     faultload_name: str = "none"
+    # The live cluster object (only when config.keep_cluster was on);
+    # never serialized -- it exists so post-run oracles (the fault-space
+    # explorer's liveness check) can read end-of-run replica state.
+    cluster: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property
@@ -305,7 +309,8 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         metrics=metrics_snapshot,
         spans=cluster.span_tracer,
         storage=cluster.storage_stats(),
-        faultload_name=faultload.name)
+        faultload_name=faultload.name,
+        cluster=cluster if config.keep_cluster else None)
 
 
 # ======================================================================

@@ -39,11 +39,13 @@ from repro.obs.registry import (
 from repro.obs.timeline import Timeline, TimelineSampler
 from repro.obs.trace import (
     CriticalPathReport,
+    InjectionPoint,
     Mark,
     Span,
     SpanTracer,
     critical_path,
     current_trace,
+    injection_points,
     recovery_phases,
     spans_of,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "Counter",
     "CriticalPathReport",
     "Gauge",
+    "InjectionPoint",
     "KernelProfiler",
     "Mark",
     "MetricsRegistry",
@@ -65,6 +68,7 @@ __all__ = [
     "category_of_module",
     "critical_path",
     "current_trace",
+    "injection_points",
     "recovery_phases",
     "registry_of",
     "spans_of",

@@ -45,12 +45,14 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "BUCKETS",
     "CriticalPathReport",
+    "InjectionPoint",
     "Mark",
     "RECOVERY_PHASES",
     "Span",
     "SpanTracer",
     "critical_path",
     "current_trace",
+    "injection_points",
     "recovery_phases",
     "spans_of",
 ]
@@ -459,6 +461,141 @@ def _sweep(t0: float, t1: float,
                 best, best_priority = bucket, priority
         buckets[best] += right - left
     return buckets
+
+
+# ----------------------------------------------------------------------
+# analyzer 3: fault-injection-point extraction (repro.faults.explore)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InjectionPoint:
+    """One candidate fault derived from a golden run's 2PC hop graph.
+
+    ``signature`` is the dynamic-equivalence key
+    ``(interaction, stage, role)``: two concrete points with the same
+    signature perturb the same protocol step of the same interaction
+    class (on possibly different transactions/replicas), so the
+    explorer executes only the earliest of them.  Times are **sim
+    seconds** of the golden run; the explorer converts them to
+    paper-timeline faultload specs (multiply by ``scale.time_div``).
+    """
+
+    signature: Tuple[str, str, str]
+    kind: str                  # "crash" | "drop"
+    at: float                  # sim-time
+    node: str                  # crash: the victim; drop: "src->dst"
+    until: Optional[float] = None   # drop window end (sim-time)
+    trace: Optional[str] = None
+    tx: Optional[str] = None
+
+    @property
+    def stage(self) -> str:
+        return self.signature[1]
+
+
+#: Crash offset: far enough from the span edge to dodge the float
+#: rounding of the paper-seconds round trip (spec times keep 4
+#: decimals; at time_div=20 that is 5e-6 sim-s of slack), close enough
+#: that no other protocol step fits in between.
+_INJECT_EPS = 1e-4
+#: Half-width of a drop window around one message's send instant.  The
+#: nemesis rolls dice at *send* time, so the window only has to cover
+#: that instant; 5 ms stays far under the 2PC retry timeout (1 s), so a
+#: window can never eat the retry it is supposed to provoke.
+_DROP_HALF_S = 0.005
+
+
+def injection_points(tracer: SpanTracer,
+                     interactions: Optional[Iterable[str]] = None,
+                     cutoff: Optional[float] = None) -> List[InjectionPoint]:
+    """Enumerate candidate faults from a traced run's 2PC spans.
+
+    Walks every coordinator ``txn.prepare`` span (with its participant
+    and decide spans, joined on the tx id) and emits, per transaction:
+
+    * **coordinator crashes** around every protocol step --
+      ``prepare.send`` (first prepare in flight), ``prepare.wait``
+      (mid-vote-collection), ``prepare.done`` (all votes in, nothing
+      decided -- the classic orphan window), ``commit.order`` (the home
+      commit record is being ordered), ``decide.after`` (decision
+      broadcast just sent);
+    * **participant crashes** around each foreign prepare --
+      ``participant.recv`` (ordering the TxPrepare) and
+      ``participant.voted`` (vote sent, decision pending);
+    * **message drops** on each directed 2PC hop -- ``drop.prepare``,
+      ``drop.vote``, ``drop.decision`` -- as probability-1 nemesis
+      windows around the send instant of one concrete message.
+
+    Every concrete occurrence is returned (sorted by time, then
+    signature); the explorer dedupes by signature.  ``interactions``
+    restricts to those interaction classes; ``cutoff`` (sim-time) drops
+    points too late in the run to observe recovery afterwards.
+    """
+    interaction_of: Dict[str, str] = {}
+    for root in tracer.select(kind="interaction"):
+        if root.trace is not None:
+            interaction_of[root.trace] = root.fields.get("interaction")
+    participants_by_tx: Dict[str, List[Span]] = {}
+    for span in tracer.select(kind="txn.participant"):
+        participants_by_tx.setdefault(span.fields["tx"], []).append(span)
+    decide_by_tx: Dict[str, Span] = {}
+    for span in tracer.select(kind="txn.decide"):
+        decide_by_tx.setdefault(span.fields["tx"], span)
+    wanted = None if interactions is None else set(interactions)
+
+    points: List[InjectionPoint] = []
+
+    def add(iclass: str, stage: str, role: str, kind: str, at: float,
+            node: str, until: Optional[float], trace, tx) -> None:
+        if cutoff is not None and at > cutoff:
+            return
+        points.append(InjectionPoint(
+            signature=(iclass, stage, role), kind=kind, at=at, node=node,
+            until=until, trace=trace, tx=tx))
+
+    for prep in tracer.select(kind="txn.prepare"):
+        iclass = interaction_of.get(prep.trace)
+        if iclass is None or (wanted is not None and iclass not in wanted):
+            continue
+        tx = prep.fields["tx"]
+        trace = prep.trace
+        coord = prep.node
+
+        def crash(stage: str, role: str, at: float, node: str) -> None:
+            add(iclass, stage, role, "crash", at, node, None, trace, tx)
+
+        def drop(stage: str, role: str, send_at: float, pair: str) -> None:
+            add(iclass, stage, role, "drop", send_at - _DROP_HALF_S,
+                pair, send_at + _DROP_HALF_S, trace, tx)
+
+        crash("prepare.send", "coordinator", prep.start + _INJECT_EPS, coord)
+        crash("prepare.wait", "coordinator",
+              (prep.start + prep.end) / 2.0, coord)
+        crash("prepare.done", "coordinator", prep.end + _INJECT_EPS, coord)
+        decide = decide_by_tx.get(tx)
+        if decide is not None:
+            if decide.start - _INJECT_EPS > prep.end:
+                # While the home group orders the commit record.
+                crash("commit.order", "coordinator",
+                      (prep.end + decide.start) / 2.0, coord)
+            crash("decide.after", "coordinator",
+                  decide.start + _INJECT_EPS, coord)
+        for part in sorted(participants_by_tx.get(tx, ()),
+                           key=lambda s: (s.start, s.span_id)):
+            crash("participant.recv", "participant",
+                  part.start + _INJECT_EPS, part.node)
+            crash("participant.voted", "participant",
+                  part.end + _INJECT_EPS, part.node)
+            # The prepare's send instant: arrival minus the network
+            # latency -- covered generously by the window half-width.
+            drop("drop.prepare", "coordinator>participant",
+                 part.start, f"{coord}->{part.node}")
+            drop("drop.vote", "participant>coordinator",
+                 part.end, f"{part.node}->{coord}")
+            if decide is not None:
+                drop("drop.decision", "coordinator>participant",
+                     decide.start, f"{coord}->{part.node}")
+    points.sort(key=lambda p: (p.at, p.signature, p.node))
+    return points
 
 
 # ----------------------------------------------------------------------

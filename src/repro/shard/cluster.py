@@ -185,7 +185,12 @@ class ShardedCluster:
             timeout_s=self.config.txn_timeout_s,
             max_retries=self.config.txn_max_retries)
         coordinator.start()
-        TxnParticipant(node, runtime, group.shard).start()
+        TxnParticipant(
+            node, runtime, group.shard,
+            group_names=self._group_names,
+            resolve_timeout_s=self.config.txn_timeout_s,
+            resolve_retries=self.config.txn_max_retries,
+            orphan_timeout_s=self.config.txn_orphan_timeout_s).start()
         return ShardedTPCWDatabase(
             runtime, clock=lambda: self.sim.now,
             rng=group.seed.fork_random(f"db-{index}-{node.incarnation}"),

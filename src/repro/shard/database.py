@@ -81,7 +81,7 @@ class ShardedTPCWDatabase(TPCWDatabase):
                                   for i_id, _ in deltas)
         action = self._buy_confirm_action(
             sc_id, c_id, cc_type, cc_number, cc_name, shipping_type,
-            ship_addr, foreign_items=foreign_items)
+            ship_addr, foreign_items=foreign_items, tx_id=tx_id)
         o_id = yield from self._runtime.execute(action)
         self._coordinator.decide(tx_id, parts, commit=o_id is not None)
         return o_id

@@ -29,6 +29,32 @@ The coordinator emits ``txn`` trace events (``vote`` at participants,
 :class:`repro.faults.checker.SafetyChecker` audits: one decision per
 transaction, and no commit without a yes vote from every participant
 shard.
+
+**Termination protocol** (coordinator-crash tolerance).  A coordinator
+that crashes between ``prepare`` and ``decide`` -- or whose decision
+broadcast never reaches a participant group -- would otherwise leave the
+prepared deltas pending forever.  Three pieces close that window:
+
+* the home shard's :class:`~repro.tpcw.actions.BuyConfirm` commit record
+  is stamped with the tx id and writes a durable outcome into
+  ``state.txn_decisions`` when it orders;
+* :class:`TxResolve`, ordered through the **home** group's log, returns
+  the recorded outcome or -- when there is none -- records *presumed
+  abort*.  Total order against the BuyConfirm makes the race safe: if
+  the resolve orders first, the late commit record sees the abort and
+  refuses to order;
+* every participant replica runs an **orphan watcher**: a pending tx
+  older than ``txn_orphan_timeout_s`` (volatile first-seen clock, reset
+  per incarnation) is resolved by querying the home group (the shard is
+  parsed from the tx id) and ordering the outcome through the
+  participant's own log.  Resolution is idempotent, so concurrent
+  resolvers -- or a resolver racing the coordinator's own late
+  broadcast -- converge on the same outcome.
+
+Resolvers emit the same ``decision`` trace events as the coordinator
+(scoped to their own shard), so the safety checker cross-audits the
+termination protocol against the coordinator's decision: any
+disagreement is a ``txn-decision`` violation.
 """
 
 from __future__ import annotations
@@ -44,9 +70,24 @@ from repro.treplica.actions import Action
 
 TXN_PORT = "txn"
 TXN_REPLY_PORT = "txn-reply"
+TXN_RESOLVE_REPLY_PORT = "txn-resolve-reply"
 
 #: Sentinel delivered when the prepare timeout fires first.
 _TIMED_OUT = object()
+
+
+def home_shard_of(tx_id: str) -> Optional[int]:
+    """The coordinating (home) shard encoded in a tx id.
+
+    Ids look like ``s0.replica2.3:tx7`` (coordinator node name dot
+    incarnation); ``None`` when the name carries no shard prefix."""
+    if not tx_id.startswith("s"):
+        return None
+    head = tx_id[1:].split(".", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
 
 
 # ======================================================================
@@ -126,20 +167,66 @@ class TxAbort(Action):
         return True
 
 
+class TxResolve(Action):
+    """Termination protocol, home-group side: fix a tx's outcome.
+
+    Ordered through the *home* group's log, so it is totally ordered
+    against the tx's own :class:`~repro.tpcw.actions.BuyConfirm` commit
+    record.  Returns the recorded outcome; when there is none yet the
+    coordinator can no longer commit (the commit record checks the
+    decision table before ordering), so *presumed abort* is recorded
+    and returned.
+    """
+
+    cpu_cost_s = 0.0001
+    size_mb = 0.0002
+
+    def __init__(self, tx_id: str):
+        self.tx_id = tx_id
+
+    def apply(self, app):
+        state = app.state
+        if self.tx_id not in state.txn_decisions:
+            state.txn_decisions[self.tx_id] = False  # presumed abort
+        return "commit" if state.txn_decisions[self.tx_id] else "abort"
+
+
 # ======================================================================
 # per-replica protocol endpoints
 # ======================================================================
 class TxnParticipant:
-    """Serves 2PC messages by ordering them through the local group."""
+    """Serves 2PC messages by ordering them through the local group.
 
-    def __init__(self, node: Node, runtime, shard: int):
+    When given the full group map and an orphan timeout, it also runs
+    the termination protocol's participant side: a watcher process (one
+    per replica incarnation, volatile first-seen clocks) that resolves
+    pending transactions whose decision never arrived by asking the
+    home group and ordering the outcome through its own log.
+    """
+
+    def __init__(self, node: Node, runtime, shard: int,
+                 group_names: Optional[List[List[str]]] = None,
+                 resolve_timeout_s: float = 1.0,
+                 resolve_retries: int = 2,
+                 orphan_timeout_s: Optional[float] = None):
         self.node = node
         self.runtime = runtime
         self.shard = shard
+        self._groups = group_names
+        self._resolve_timeout_s = resolve_timeout_s
+        self._resolve_retries = resolve_retries
+        self._orphan_timeout_s = orphan_timeout_s
+        self._resolve_waiters: Dict[str, object] = {}
+        self._resolving: set = set()
         self._spans = spans_of(node.sim)
+        obs = registry_of(node.sim)
+        self._obs_resolved = obs.counter("shard.txn_resolved")
 
     def start(self) -> None:
         self.node.handle(TXN_PORT, self._on_message)
+        if self._groups is not None and self._orphan_timeout_s is not None:
+            self.node.handle(TXN_RESOLVE_REPLY_PORT, self._on_resolve_reply)
+            self.node.spawn(self._watch(), name="txn-orphan-watcher")
 
     def _on_message(self, payload, src: str) -> None:
         self.node.spawn(self._serve(payload, src), name="txn-participant")
@@ -162,10 +249,91 @@ class TxnParticipant:
                        tx=tx_id, shard=self.shard, vote=bool(vote))
             self.node.send(src, TXN_REPLY_PORT,
                            (tx_id, self.shard, bool(vote)), size_mb=0.0002)
+        elif kind == "resolve":
+            # Home-group side of the termination protocol: order the
+            # resolve through *this* group's log and report the outcome.
+            outcome = yield from self.runtime.execute(TxResolve(tx_id))
+            self.node.send(src, TXN_RESOLVE_REPLY_PORT, (tx_id, outcome),
+                           size_mb=0.0002)
         elif kind == "commit":
             yield from self.runtime.execute(TxCommit(tx_id))
         else:  # abort
             yield from self.runtime.execute(TxAbort(tx_id))
+
+    # ------------------------------------------------------------------
+    # orphan watcher (participant side of the termination protocol)
+    # ------------------------------------------------------------------
+    def _on_resolve_reply(self, payload, src: str) -> None:
+        tx_id, outcome = payload
+        waiter = self._resolve_waiters.pop(tx_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(outcome)
+
+    def _watch(self):
+        sim = self.node.sim
+        first_seen: Dict[str, float] = {}
+        poll = max(self._orphan_timeout_s / 4.0, 0.05)
+        while True:
+            yield sim.timeout(poll)
+            if not self.runtime.ready:
+                first_seen.clear()  # recovering: restart the clocks
+                continue
+            pending = self.runtime.app.state.pending_txns
+            for tx_id in [t for t in first_seen if t not in pending]:
+                del first_seen[tx_id]
+            now = sim.now
+            for tx_id in sorted(pending):
+                first_seen.setdefault(tx_id, now)
+            for tx_id in sorted(first_seen):
+                if now - first_seen[tx_id] < self._orphan_timeout_s:
+                    continue
+                if tx_id in self._resolving:
+                    continue
+                home = home_shard_of(tx_id)
+                if home is None or home == self.shard \
+                        or not 0 <= home < len(self._groups):
+                    continue  # malformed id: nothing to ask
+                self._resolving.add(tx_id)
+                self.node.spawn(self._resolve(tx_id, home),
+                                name="txn-resolve")
+
+    def _resolve(self, tx_id: str, home: int):
+        sim = self.node.sim
+        names = self._groups[home]
+        outcome = None
+        for attempt in range(self._resolve_retries + 1):
+            target = names[attempt % len(names)]
+            waiter = sim.event()
+            self._resolve_waiters[tx_id] = waiter
+            self.node.send(target, TXN_PORT, ("resolve", tx_id, None),
+                           size_mb=0.0002)
+            timer = sim.call_after(
+                self._resolve_timeout_s,
+                lambda ev=waiter: None if ev.triggered
+                else ev.succeed(_TIMED_OUT))
+            reply = yield waiter
+            timer.cancel()
+            self._resolve_waiters.pop(tx_id, None)
+            if reply is not _TIMED_OUT:
+                outcome = reply
+                break
+        if outcome is None or not self.runtime.ready:
+            # Home group unreachable (or we started recovering): give up
+            # for now; the watcher keeps the tx on its clock and retries.
+            self._resolving.discard(tx_id)
+            return
+        trace_emit(self.node.sim, "txn", self.node.name, event="decision",
+                   tx=tx_id, outcome=outcome, shards=(self.shard,),
+                   via="resolve")
+        if self._spans is not None:
+            self._spans.instant("txn.resolve", self.node.name, tx=tx_id,
+                                shard=self.shard, outcome=outcome)
+        self._obs_resolved.inc()
+        if outcome == "commit":
+            yield from self.runtime.execute(TxCommit(tx_id))
+        else:
+            yield from self.runtime.execute(TxAbort(tx_id))
+        self._resolving.discard(tx_id)
 
 
 class TxnCoordinator:

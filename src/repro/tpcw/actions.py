@@ -158,7 +158,8 @@ class BuyConfirm(Action):
                  timestamp: float, ship_date_offset: float, auth_id: str,
                  ship_addr: Optional[Tuple[str, str, str, str, str, int]] = None,
                  comment: str = "",
-                 foreign_items: frozenset = frozenset()):
+                 foreign_items: frozenset = frozenset(),
+                 tx_id: Optional[str] = None):
         self.sc_id = sc_id
         self.c_id = c_id
         self.cc_type = cc_type
@@ -175,12 +176,23 @@ class BuyConfirm(Action):
         # prepared through 2PC on the owner group (repro.shard.txn), so
         # this local commit record must not touch them.
         self.foreign_items = foreign_items
+        # Cross-shard runs stamp the commit record with the transaction
+        # id so the home group's log doubles as the durable decision
+        # record (state.txn_decisions) the termination protocol reads.
+        self.tx_id = tx_id
 
     def apply(self, app):
         state = app.state
+        if self.tx_id is not None \
+                and state.txn_decisions.get(self.tx_id) is False:
+            # A TxResolve was ordered ahead of this record: the tx is
+            # already presumed-aborted, so the order must not happen.
+            return None
         cart = state.carts.get(self.sc_id)
         customer = state.customers.get(self.c_id)
         if cart is None or customer is None or not cart.lines:
+            if self.tx_id is not None:
+                state.txn_decisions[self.tx_id] = False
             return None
         if self.ship_addr is not None:
             ship_addr_id = _enter_address(state, *self.ship_addr)
@@ -216,6 +228,8 @@ class BuyConfirm(Action):
             state.addresses[ship_addr_id].addr_co_id))
         cart.lines.clear()
         cart.sc_time = self.timestamp
+        if self.tx_id is not None:
+            state.txn_decisions[self.tx_id] = True
         return o_id
 
 

@@ -187,11 +187,13 @@ class TPCWDatabase:
                             cc_name: Optional[str],
                             shipping_type: Optional[str],
                             ship_addr: Optional[Tuple],
-                            foreign_items: frozenset = frozenset()):
+                            foreign_items: frozenset = frozenset(),
+                            tx_id: Optional[str] = None):
         """Resolve all non-determinism and build the BuyConfirm action.
 
         Shared with the sharded facade (repro.shard.database), which must
-        draw the same randomness but exclude foreign-owned stock."""
+        draw the same randomness but exclude foreign-owned stock (and
+        stamp the record with its 2PC transaction id)."""
         rng = self._rng
         now = self._clock()
         return acts.BuyConfirm(
@@ -205,7 +207,8 @@ class TPCWDatabase:
             ship_date_offset=rng.uniform(0.0, 7 * 86400.0),
             auth_id=f"AUTH{rng.randint(0, 10**9):09d}",
             ship_addr=ship_addr,
-            foreign_items=foreign_items)
+            foreign_items=foreign_items,
+            tx_id=tx_id)
 
     def buy_confirm(self, sc_id: int, c_id: int,
                     cc_type: Optional[str] = None,

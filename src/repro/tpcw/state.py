@@ -94,6 +94,13 @@ class BookstoreState:
         # idempotent.  Both stay empty on unsharded deployments.
         self.pending_txns: Dict[str, Tuple[Tuple[int, int], ...]] = {}
         self.finished_txns: Set[str] = set()
+        # Durable commit/abort record of the *home* group's 2PC outcome
+        # (tx_id -> True for commit, False for abort).  Written by the
+        # BuyConfirm commit record and by the termination protocol's
+        # TxResolve (presumed abort); because both travel through the
+        # home group's totally ordered log, every replica agrees on the
+        # outcome and a resolve can never race the commit record.
+        self.txn_decisions: Dict[str, bool] = {}
 
     # ==================================================================
     # mutators (called from population and from deterministic actions)

@@ -1,0 +1,144 @@
+"""Table-driven unit tests for the explorer's reduction logic.
+
+A ``FakeRunner`` duck-types :class:`repro.faults.explore.ExplorationRunner`
+(``config``/``golden``/``extract``/``run``) and records every schedule
+actually executed, so each reduction rule -- signature dedupe, prefix
+pruning, budget capping, extension filtering -- is checked against the
+exact set of experiments it admits, without ever booting a cluster.
+"""
+
+from types import SimpleNamespace
+
+from repro.faults.explore import Verdict, dedupe_points, explore, spec_of
+from repro.obs.trace import InjectionPoint
+
+
+def _crash(stage, at, node="s1.replica1", interaction="buy_confirm",
+           role="coordinator"):
+    return InjectionPoint(signature=(interaction, stage, role),
+                          kind="crash", at=at, node=node)
+
+
+def _drop(stage, at, hop="s1.replica1->s0.replica0",
+          interaction="buy_confirm", role="coordinator>participant"):
+    return InjectionPoint(signature=(interaction, stage, role),
+                          kind="drop", at=at, node=hop, until=at + 0.01)
+
+
+class FakeRunner:
+    """Deterministic stand-in: a fixed point set and a violation rule.
+
+    ``violates`` maps a frozenset of stages to True when that exact
+    schedule (by stage names) must be judged violating.
+    """
+
+    def __init__(self, points, violates=frozenset()):
+        self.config = SimpleNamespace(
+            scale=SimpleNamespace(name="fake", time_div=1.0, total_s=30.0),
+            seed=7, shards=2, replicas=3)
+        self.interactions = ("buy_confirm",)
+        self._points = list(points)
+        self._violates = {frozenset(v) for v in violates}
+        self.executed = []          # every schedule run() saw, in order
+        self.shrunk = []            # schedules the shrinker probed
+
+    def golden(self):
+        return object(), list(self._points)
+
+    def extract(self, _result):
+        # a fresh run of this fake system always shows the same points
+        return list(self._points)
+
+    def run(self, schedule):
+        stages = tuple(p.stage for p in schedule)
+        self.executed.append(stages)
+        violated = frozenset(stages) in self._violates
+        verdict = Verdict(safety=("boom",) if violated else ())
+        return object(), verdict
+
+
+def test_dedupe_keeps_the_earliest_of_each_signature():
+    a1 = _crash("prepare.send", 3.0)
+    a2 = _crash("prepare.send", 5.0)     # same signature, later
+    b = _crash("prepare.done", 4.0)
+    kept = dedupe_points([a1, a2, b])
+    assert kept == [a1, b]               # time-ordered, earliest kept
+    # insertion order breaks the tie, so a2-first keeps a2
+    assert dedupe_points([a2, a1, b]) == [b, a2]
+
+
+def test_single_fault_sweep_executes_every_deduped_point_once():
+    points = [_crash("prepare.send", 1.0), _crash("prepare.done", 2.0),
+              _crash("prepare.send", 3.0)]    # duplicate signature
+    runner = FakeRunner(points)
+    report = explore(runner, max_faults=1, budget=64)
+    assert runner.executed == [("prepare.send",), ("prepare.done",)]
+    assert report.counters["points_concrete"] == 3
+    assert report.counters["points_deduped"] == 2
+    assert report.counters["deduped_skipped"] == 1
+    assert report.counters["executed"] == 2
+    assert report.coverage_pct == 100.0
+
+
+def test_violating_prefix_is_never_extended():
+    points = [_crash("prepare.send", 1.0), _crash("prepare.done", 2.0),
+              _drop("drop.vote", 3.0)]
+    runner = FakeRunner(points, violates=[{"prepare.send"}])
+    report = explore(runner, max_faults=2, budget=64, do_shrink=False)
+    # no executed depth-2 schedule starts with the violating point
+    supersets = [s for s in runner.executed
+                 if len(s) > 1 and s[0] == "prepare.send"]
+    assert supersets == []
+    # its would-be extensions are counted as pruned, not dropped
+    assert report.counters["pruned_prefix"] == len(points) - 1
+    assert len(report.violations) == 1
+
+
+def test_extensions_are_later_in_time_and_new_in_signature():
+    points = [_crash("prepare.send", 1.0), _crash("prepare.done", 2.0),
+              _drop("drop.vote", 3.0)]
+    runner = FakeRunner(points)
+    explore(runner, max_faults=2, budget=64)
+    deeper = [s for s in runner.executed if len(s) == 2]
+    # each clean single extends only with strictly-later, unseen stages
+    assert deeper == [
+        ("prepare.send", "prepare.done"),
+        ("prepare.send", "drop.vote"),
+        ("prepare.done", "drop.vote"),
+    ]
+
+
+def test_budget_caps_executions_and_counts_the_skips():
+    points = [_crash(f"stage.{i}", float(i)) for i in range(5)]
+    runner = FakeRunner(points)
+    report = explore(runner, max_faults=1, budget=3)
+    assert len(runner.executed) == 3
+    assert report.counters["executed"] == 3
+    assert report.counters["budget_skipped"] == 2
+    assert report.coverage_pct == 100.0 * 3 / 5
+
+
+def test_violation_is_shrunk_to_a_minimal_schedule():
+    # the pair (prepare.done, drop.vote) violates, and so does
+    # drop.vote alone -- the shrinker must strip prepare.done
+    points = [_crash("prepare.done", 2.0), _drop("drop.vote", 3.0)]
+    runner = FakeRunner(points, violates=[
+        {"drop.vote"}, {"prepare.done", "drop.vote"}])
+    report = explore(runner, max_faults=2, budget=64)
+    minimal = {v["minimal"] for v in report.violations}
+    td = runner.config.scale.time_div
+    assert minimal == {spec_of(points[1], td)}
+    assert report.counters["shrink_runs"] >= 1
+
+
+def test_report_is_deterministic_across_runs():
+    points = [_crash("prepare.send", 1.0), _crash("prepare.done", 2.0),
+              _drop("drop.vote", 3.0), _crash("participant.recv", 1.5,
+                                              node="s0.replica0",
+                                              role="participant")]
+    violates = [{"prepare.done"}]
+    first = explore(FakeRunner(points, violates), max_faults=2,
+                    budget=64).to_dict()
+    second = explore(FakeRunner(points, violates), max_faults=2,
+                     budget=64).to_dict()
+    assert first == second

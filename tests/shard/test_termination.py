@@ -1,0 +1,94 @@
+"""Unit tests for the 2PC termination protocol's durable decision record.
+
+The protocol's safety hinges on one total-order argument: the home
+group's log orders the tx-stamped ``BuyConfirm`` commit record against
+``TxResolve``.  Whichever applies first fixes the outcome in
+``state.txn_decisions``; the later one must observe it and conform.
+"""
+
+from repro.shard.txn import TxResolve, home_shard_of
+from repro.tpcw.actions import BuyConfirm, CreateNewCustomer
+from repro.tpcw.model import Item, ShoppingCart
+from repro.tpcw.state import BookstoreState
+
+
+class _App:
+    def __init__(self, state):
+        self.state = state
+
+
+def _make_app_with_cart():
+    """A state holding one customer and one non-empty cart, ready for a
+    BuyConfirm to order."""
+    state = BookstoreState()
+    state.add_item(Item(1, "Book 1", 1, 0.0, "pub", "ARTS", "desc",
+                        (1, 1, 1, 1, 1), "t.gif", "i.gif", 10.0, 8.0, 0.0,
+                        50, "isbn", 100, "HARDBACK", "8x10"))
+    app = _App(state)
+    c_id = CreateNewCustomer(
+        "Ada", "Lovelace", "1 St", "", "City", "SP", "11111", 1,
+        "555", "ada@example.com", 0.0, "data", 0.0, 0.0).apply(app)
+    cart = ShoppingCart(7, 0.0)
+    cart.lines[1] = 2
+    state.add_cart(cart)
+    return app, c_id
+
+
+def _buy(c_id, tx_id):
+    return BuyConfirm(7, c_id, "VISA", "1234", "ADA", 1e9, "AIR",
+                      timestamp=1.0, ship_date_offset=1.0, auth_id="AUTH",
+                      tx_id=tx_id)
+
+
+def test_resolve_records_presumed_abort():
+    app = _App(BookstoreState())
+    assert TxResolve("s1.replica1.0:tx1").apply(app) == "abort"
+    assert app.state.txn_decisions["s1.replica1.0:tx1"] is False
+    # idempotent: the recorded outcome sticks
+    assert TxResolve("s1.replica1.0:tx1").apply(app) == "abort"
+
+
+def test_resolve_reports_a_recorded_commit():
+    app = _App(BookstoreState())
+    app.state.txn_decisions["tx1"] = True
+    assert TxResolve("tx1").apply(app) == "commit"
+
+
+def test_buy_confirm_records_the_commit_decision():
+    app, c_id = _make_app_with_cart()
+    o_id = _buy(c_id, "tx1").apply(app)
+    assert o_id is not None
+    assert app.state.txn_decisions["tx1"] is True
+    # a resolve arriving after the commit record sees commit
+    assert TxResolve("tx1").apply(app) == "commit"
+
+
+def test_buy_confirm_refuses_after_a_presumed_abort():
+    # the resolve ordered first: the late commit record must not order
+    app, c_id = _make_app_with_cart()
+    assert TxResolve("tx1").apply(app) == "abort"
+    assert _buy(c_id, "tx1").apply(app) is None
+    assert app.state.orders == {}
+    assert app.state.txn_decisions["tx1"] is False
+    # the cart is untouched, so a re-driven interaction could still buy
+    assert app.state.carts[7].lines == {1: 2}
+
+
+def test_buy_confirm_records_abort_when_it_cannot_order():
+    app, c_id = _make_app_with_cart()
+    app.state.carts[7].lines.clear()          # nothing to buy
+    assert _buy(c_id, "tx1").apply(app) is None
+    assert app.state.txn_decisions["tx1"] is False
+
+
+def test_untagged_buy_confirm_leaves_no_decision_record():
+    app, c_id = _make_app_with_cart()
+    assert _buy(c_id, None).apply(app) is not None
+    assert app.state.txn_decisions == {}
+
+
+def test_home_shard_parsing():
+    assert home_shard_of("s1.replica2.0:tx5") == 1
+    assert home_shard_of("s0.replica0.3:tx1") == 0
+    assert home_shard_of("replica2.0:tx5") is None
+    assert home_shard_of("sX.replica2.0:tx5") is None
