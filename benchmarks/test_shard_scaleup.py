@@ -31,10 +31,10 @@ SWEEP_SEEDS = 25
 
 
 def _run(shards, seed=1, **overrides):
-    fields = dict(replicas=3, num_ebs=60, offered_wips=SATURATING_WIPS,
-                  profile="ordering", seed=seed)
+    fields = dict(replicas=3, num_ebs=60, seed=seed)
     fields.update(overrides)
     return (Experiment(tiny_scale(), **fields)
+            .load("closed", wips=SATURATING_WIPS, mix="ordering")
             .shards(shards).observe().check_safety().baseline().run())
 
 
@@ -79,8 +79,8 @@ def test_shard_safety_sweep_25_seeds(benchmark):
         outcomes = []
         for seed in range(SWEEP_SEEDS):
             result = (Experiment(tiny_scale(), replicas=3, num_ebs=30,
-                                 offered_wips=400.0, profile="ordering",
                                  seed=seed)
+                      .load("closed", wips=400.0, mix="ordering")
                       .shards(2).check_safety()
                       .faults("crash@240:0.*, crash@270:1.*").run())
             outcomes.append((seed, result))

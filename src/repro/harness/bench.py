@@ -1,0 +1,160 @@
+"""Kernel benchmark: events/sec and wall-clock cost of the simulator.
+
+Runs the same fault-free cluster under both load models -- the paper's
+closed-loop RBE fleet and the aggregated open-loop arrival source with a
+million-user emulated population -- and measures what the kernel
+actually costs: events executed per wall-clock second, wall-clock spent
+per simulated second, and the peak WIPS the run sustained.
+
+The output is a ``BENCH_*.json`` report (see :func:`run_kernel_bench`)
+that the CI ``bench`` job diffs against the committed baseline in
+``bench_reports/``: :func:`compare` flags any mode whose events/sec
+dropped more than ``tolerance`` (default 20%) below the baseline, which
+is the tripwire for accidental kernel slowdowns.
+
+Used by ``repro bench`` (:mod:`repro.harness.cli`) and importable
+directly::
+
+    from repro.harness.bench import run_kernel_bench, compare
+    report = run_kernel_bench(scale="tiny")
+    regressions = compare(report, baseline)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.harness.config import (
+    ExperimentScale,
+    bench_scale,
+    paper_scale,
+    tiny_scale,
+)
+from repro.harness.experiment import Experiment
+
+#: Emulated-user population for the open-loop mode: the headline
+#: "million users" configuration from the load-engine redesign.
+OPEN_POPULATION = 1_000_000
+
+#: events/sec may drift this fraction below baseline before compare()
+#: calls it a regression (benchmarks on shared runners are noisy).
+DEFAULT_TOLERANCE = 0.20
+
+
+def _scale_named(name: str) -> ExperimentScale:
+    if name == "paper":
+        return paper_scale()
+    if name == "tiny":
+        return tiny_scale()
+    if name == "bench":
+        return bench_scale()
+    raise ValueError(f"unknown scale {name!r} (tiny, bench, paper)")
+
+
+def _run_mode(mode: str, scale_name: str, seed: int, wips: float,
+              population: int) -> Dict[str, object]:
+    """One timed fault-free run; returns the per-mode report entry."""
+    scale = _scale_named(scale_name)
+    experiment = Experiment(scale=scale, seed=seed).observe()
+    if mode == "open":
+        experiment.load("open", wips=wips, population=population)
+    else:
+        experiment.load("closed", wips=wips)
+    experiment.baseline()
+
+    started = time.perf_counter()
+    result = experiment.run()
+    wall_s = time.perf_counter() - started
+
+    profile = result.kernel_profile or {}
+    events = int(profile.get("events", 0))
+    whole = result.whole_window()
+    wips_series = result.wips_series()
+    return {
+        "mode": mode,
+        "population": (population if mode == "open"
+                       else result.config.num_rbes),
+        "offered_wips": wips,
+        "sim_s": scale.total_s,
+        "wall_s": round(wall_s, 4),
+        "wall_s_per_sim_s": round(wall_s / scale.total_s, 6),
+        "events": events,
+        "events_per_wall_s": round(events / wall_s, 1) if wall_s else 0.0,
+        "peak_wips": round(max((w for _t, w in wips_series), default=0.0), 1),
+        "awips": round(whole.awips, 2),
+        "completed": whole.completed,
+        "errors": whole.errors,
+        "by_category": {
+            category: stats["events"]
+            for category, stats in profile.get("by_category", {}).items()
+        },
+    }
+
+
+def run_kernel_bench(scale: str = "tiny", seed: int = 2009,
+                     wips: float = 1900.0,
+                     population: int = OPEN_POPULATION,
+                     modes: tuple = ("closed", "open")) -> Dict[str, object]:
+    """Run the kernel benchmark and return the BENCH report dict.
+
+    Each mode is one fault-free baseline run with the kernel profiler
+    on, timed with ``perf_counter``.  Run this on an otherwise idle
+    machine: a concurrent test suite can halve the observed events/sec
+    and make mode-to-mode comparisons meaningless.
+    """
+    report: Dict[str, object] = {
+        "bench": "kernel",
+        "scale": scale,
+        "seed": seed,
+        "modes": {},
+    }
+    for mode in modes:
+        report["modes"][mode] = _run_mode(      # type: ignore[index]
+            mode, scale, seed, wips, population)
+    return report
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object],
+            tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Regression messages for every mode slower than baseline allows.
+
+    Compares ``events_per_wall_s`` per mode; a mode in only one of the
+    two reports is skipped (new modes are not regressions).  An empty
+    list means the benchmark is within tolerance.
+    """
+    problems: List[str] = []
+    current_modes = current.get("modes", {})
+    baseline_modes = baseline.get("modes", {})
+    for mode, base in baseline_modes.items():
+        now = current_modes.get(mode)
+        if now is None:
+            continue
+        base_rate = float(base.get("events_per_wall_s", 0.0))
+        now_rate = float(now.get("events_per_wall_s", 0.0))
+        if base_rate <= 0.0:
+            continue
+        floor = base_rate * (1.0 - tolerance)
+        if now_rate < floor:
+            problems.append(
+                f"{mode}: {now_rate:.0f} events/s is "
+                f"{100.0 * (1.0 - now_rate / base_rate):.1f}% below "
+                f"baseline {base_rate:.0f} (tolerance {tolerance:.0%})")
+    return problems
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable table of a BENCH report (for the CLI)."""
+    lines = [f"kernel bench | scale={report['scale']} "
+             f"seed={report['seed']}"]
+    header = (f"  {'mode':<8} {'population':>10} {'events':>9} "
+              f"{'ev/wall-s':>10} {'wall/sim-s':>11} {'peak WIPS':>9} "
+              f"{'AWIPS':>7} {'errors':>6}")
+    lines.append(header)
+    for mode, entry in report.get("modes", {}).items():  # type: ignore
+        lines.append(
+            f"  {mode:<8} {entry['population']:>10,} {entry['events']:>9,} "
+            f"{entry['events_per_wall_s']:>10,.0f} "
+            f"{entry['wall_s_per_sim_s']:>11.4f} {entry['peak_wips']:>9.1f} "
+            f"{entry['awips']:>7.1f} {entry['errors']:>6}")
+    return "\n".join(lines)

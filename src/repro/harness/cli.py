@@ -1,16 +1,26 @@
 """The ``repro`` command line: ``run``, ``sweep``, ``report``, ``trace``,
-``explore``.
+``explore``, ``bench``.
 
 ::
 
     python -m repro run one_crash --replicas 5 --obs --obs-out tl.json
     python -m repro run --faultload 'crash@240:*,reboot@390:2'
+    python -m repro run baseline --load open:wips=1900,population=1000000
     python -m repro sweep speedup --profile ordering
     python -m repro report result.json --timeline
     python -m repro trace sequential --recovery-phases
     python -m repro trace baseline --critical-path --export chrome --out t.json
     python -m repro explore --shards 2 --replicas 3 --scale tiny \\
         --max-faults 1 --budget 64 --out coverage.json
+    python -m repro bench --scale tiny --out bench_reports/BENCH_7_kernel.json
+    python -m repro bench --compare bench_reports/BENCH_7_kernel.json
+
+The ``--load`` grammar picks the load model: ``closed`` (the paper's
+RBE fleet; optional ``clients=N`` pins the fleet size) or
+``open:wips=X,population=M[,arrival=poisson|deterministic]`` (aggregated
+per-class arrival processes; ``population`` only sizes the emulated
+user-id space, so a million users cost no more kernel events than a
+hundred).
 
 The pre-subcommand flat form (``python -m repro.harness --experiment
 one_crash``) still works: it is normalized to ``run`` with a
@@ -26,6 +36,7 @@ import os
 import re
 import sys
 import warnings
+from dataclasses import replace
 
 from repro.harness import sweeps
 from repro.harness.config import (
@@ -86,6 +97,13 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                         help="partition the store over N independent "
                              "Paxos groups (repro.shard); 1 = the "
                              "paper's unsharded deployment")
+    parser.add_argument("--load", metavar="SPEC", default=None,
+                        help="load model: 'closed[:clients=N]' (default; "
+                             "the paper's RBE fleet) or "
+                             "'open:wips=X,population=M"
+                             "[,arrival=poisson|deterministic]' "
+                             "(aggregated open-loop arrivals; population "
+                             "sizes the emulated user-id space only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,6 +204,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the JSON coverage report "
                               "(points, runs, counters, violations)")
 
+    bench = sub.add_parser(
+        "bench", help="benchmark the simulation kernel (closed- and "
+                      "open-loop events/sec, wall-clock per simulated "
+                      "second, peak WIPS) and write a BENCH_*.json report")
+    bench.add_argument("--scale", choices=["tiny", "bench", "paper"],
+                       default="tiny",
+                       help="experiment scale to benchmark (default tiny, "
+                            "the CI setting)")
+    bench.add_argument("--seed", type=int, default=2009)
+    bench.add_argument("--offered-wips", type=float, default=1900.0)
+    bench.add_argument("--population", type=int, default=None,
+                       help="open-loop emulated population "
+                            "(default 1,000,000)")
+    bench.add_argument("--out", metavar="PATH",
+                       default="bench_reports/BENCH_7_kernel.json",
+                       help="where to write the JSON report "
+                            "(default bench_reports/BENCH_7_kernel.json)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="baseline BENCH_*.json to diff against; "
+                            "exits 2 if events/sec regressed more than "
+                            "--tolerance in any mode")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed fractional events/sec drop vs the "
+                            "baseline (default 0.20)")
+
     report = sub.add_parser(
         "report", help="re-render a saved `repro run --json` result")
     report.add_argument("paths", nargs="+", metavar="path",
@@ -205,7 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _normalize_legacy(argv):
     """Map the old flat CLI onto ``run`` (with a deprecation warning)."""
-    if argv and argv[0] in ("run", "sweep", "report", "trace", "explore"):
+    if argv and argv[0] in ("run", "sweep", "report", "trace", "explore",
+                            "bench"):
         return argv
     if argv and argv[0] in ("-h", "--help"):
         return argv
@@ -228,15 +272,69 @@ def _normalize_legacy(argv):
 
 
 # ======================================================================
+# load spec
+# ======================================================================
+#: --load key -> Experiment.load() keyword + coercion.
+_LOAD_KEYS = {
+    "wips": ("wips", float),
+    "population": ("population", int),
+    "clients": ("clients", int),
+    "arrival": ("arrival", str),
+}
+
+
+def _parse_load_spec(spec: str) -> dict:
+    """``--load`` SPEC -> kwargs for :meth:`Experiment.load`.
+
+    Grammar: ``closed[:clients=N]`` or
+    ``open:wips=X,population=M[,arrival=poisson|deterministic]``.
+    ``wips`` stays absent unless spelled out, so callers can fall back
+    to ``--offered-wips`` (run/trace) or the sweep's own load law.
+    """
+    mode, _, rest = spec.partition(":")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"load mode must be 'closed' or 'open', "
+                         f"got {mode!r}")
+    kwargs = {"mode": mode}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or key not in _LOAD_KEYS:
+            known = ", ".join(sorted(_LOAD_KEYS))
+            raise ValueError(f"bad --load option {part!r} "
+                             f"(expected key=value with key in {known})")
+        name, coerce = _LOAD_KEYS[key]
+        try:
+            kwargs[name] = coerce(value)
+        except ValueError:
+            raise ValueError(f"bad --load value {part!r}") from None
+    return kwargs
+
+
+def _build_experiment(args) -> Experiment:
+    """Cluster options -> Experiment, load routed through .load()."""
+    scale = _scale_for(args.scale)
+    experiment = Experiment(
+        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
+        seed=args.seed, enable_fast=not args.no_fast, shards=args.shards)
+    load_kwargs = _parse_load_spec(args.load or "closed")
+    mode = load_kwargs.pop("mode")
+    load_kwargs.setdefault("wips", args.offered_wips)
+    return experiment.load(mode, mix=args.profile, **load_kwargs)
+
+
+# ======================================================================
 # run
 # ======================================================================
 def _cmd_run(args) -> int:
     scale = _scale_for(args.scale)
-    experiment = Experiment(
-        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
-        profile=args.profile, offered_wips=args.offered_wips,
-        seed=args.seed, enable_fast=not args.no_fast,
-        shards=args.shards)
+    try:
+        experiment = _build_experiment(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.faultload is not None:
         experiment.faults(args.faultload)
         label = "custom"
@@ -250,8 +348,13 @@ def _cmd_run(args) -> int:
     if args.obs or args.obs_out:
         experiment.observe(tick_s=args.obs_tick)
     config = experiment.build_config()
+    if config.load_mode == "open":
+        load_desc = (f"open loop, {config.effective_population:,} users @ "
+                     f"{config.effective_offered_wips:.0f} WIPS")
+    else:
+        load_desc = f"{config.num_rbes} RBEs"
     print(f"running {label} | {config.replicas} replicas | "
-          f"{config.profile} | {config.num_rbes} RBEs | scale={scale.name}",
+          f"{config.profile} | {load_desc} | scale={scale.name}",
           flush=True)
     result = experiment.run()
 
@@ -341,6 +444,16 @@ def _int_list(text: str):
     return tuple(int(part) for part in text.split(",") if part.strip())
 
 
+def _load_config_overrides(spec: str) -> dict:
+    """``--load`` SPEC -> ClusterConfig field overrides (for sweeps)."""
+    kwargs = _parse_load_spec(spec)
+    overrides = {"load_mode": kwargs.pop("mode")}
+    if "wips" in kwargs:
+        overrides["offered_wips"] = kwargs.pop("wips")
+    overrides.update(kwargs)    # population / arrival / clients map 1:1
+    return overrides
+
+
 def _cmd_sweep(args) -> int:
     scale = _scale_for(args.scale)
     swept = args.ebs_list if args.kind == "recovery" else args.replicas_list
@@ -349,18 +462,24 @@ def _cmd_sweep(args) -> int:
         print(f"error: {option} {swept!r} names no points to sweep",
               file=sys.stderr)
         return 2
+    try:
+        load = _load_config_overrides(args.load) if args.load else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.kind == "speedup":
         points = sweeps.speedup_sweep(
             args.profile, _int_list(args.replicas_list),
-            scale=scale, seed=args.seed)
+            scale=scale, seed=args.seed, load=load)
     elif args.kind == "scaleup":
         points = sweeps.scaleup_sweep(
             args.profile, _int_list(args.replicas_list),
-            offered_wips=args.offered_wips, scale=scale, seed=args.seed)
+            offered_wips=args.offered_wips, scale=scale, seed=args.seed,
+            load=load)
     else:
         points = sweeps.recovery_sweep(
             args.profile, _int_list(args.ebs_list),
-            replicas=args.replicas, scale=scale, seed=args.seed)
+            replicas=args.replicas, scale=scale, seed=args.seed, load=load)
     if args.kind == "recovery":
         rows = [[str(point.num_ebs), f"{point.recovery_s:.1f}s",
                  f"{point.pv_pct:+.1f}%", f"{point.accuracy_pct:.3f}%"]
@@ -391,11 +510,11 @@ def _cmd_trace(args) -> int:
         print("error: --export needs --out PATH", file=sys.stderr)
         return 2
     scale = _scale_for(args.scale)
-    experiment = Experiment(
-        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
-        profile=args.profile, offered_wips=args.offered_wips,
-        seed=args.seed, enable_fast=not args.no_fast,
-        shards=args.shards).trace()
+    try:
+        experiment = _build_experiment(args).trace()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.faultload is not None:
         experiment.faults(args.faultload)
         label = "custom"
@@ -405,8 +524,13 @@ def _cmd_trace(args) -> int:
     if args.nemesis:
         experiment.nemesis(args.nemesis)
     config = experiment.build_config()
+    if config.load_mode == "open":
+        load_desc = (f"open loop, {config.effective_population:,} users @ "
+                     f"{config.effective_offered_wips:.0f} WIPS")
+    else:
+        load_desc = f"{config.num_rbes} RBEs"
     print(f"tracing {label} | {config.replicas} replicas | "
-          f"{config.profile} | {config.num_rbes} RBEs | scale={scale.name}",
+          f"{config.profile} | {load_desc} | scale={scale.name}",
           flush=True)
     result = experiment.run()
     tracer = result.spans
@@ -458,6 +582,44 @@ def _cmd_trace(args) -> int:
 
 
 # ======================================================================
+# bench
+# ======================================================================
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import (
+        OPEN_POPULATION,
+        compare,
+        format_report,
+        run_kernel_bench,
+    )
+
+    population = args.population or OPEN_POPULATION
+    print(f"benchmarking kernel | scale={args.scale} | closed + open "
+          f"({population:,} users)", flush=True)
+    report = run_kernel_bench(scale=args.scale, seed=args.seed,
+                              wips=args.offered_wips,
+                              population=population)
+    print(format_report(report))
+    if args.out:
+        _ensure_parent(args.out)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare(report, baseline, tolerance=args.tolerance)
+        if problems:
+            print(f"\nevents/sec regression vs {args.compare}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 2
+        print(f"within tolerance of {args.compare}")
+    return 0
+
+
+# ======================================================================
 # explore
 # ======================================================================
 def _cmd_explore(args) -> int:
@@ -468,6 +630,12 @@ def _cmd_explore(args) -> int:
         scale=scale, replicas=args.replicas, num_ebs=args.ebs,
         profile=args.profile, offered_wips=args.offered_wips,
         seed=args.seed, enable_fast=not args.no_fast, shards=args.shards)
+    if args.load:
+        try:
+            config = replace(config, **_load_config_overrides(args.load))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     interactions = tuple(args.interaction) if args.interaction \
         else ("buy_confirm",)
     try:
@@ -688,6 +856,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     build_parser().print_help()
     return 2
 

@@ -173,6 +173,37 @@ class ClusterConfig:
     # from serialization) so callers -- chiefly the fault-space explorer
     # (repro.faults.explore) -- can inspect end-of-run replica state.
     keep_cluster: bool = False
+    # Load generation model (repro.load).  "closed" is the paper's
+    # per-client RBE population (one simulated process per emulated
+    # browser, #RBEs = WIPS x think time); "open" replaces the RBE
+    # processes with one Poisson/deterministic arrival process per TPC-W
+    # interaction class, whose rates sum to effective_offered_wips and
+    # whose mix matches the profile's CBMG stationary distribution.  Open
+    # mode decouples the emulated *population* (customer-id/session
+    # space, set via ``population``) from the arrival *rate*, so millions
+    # of emulated users cost the same kernel work as thousands.
+    load_mode: str = "closed"
+    # Open mode: emulated-user population for customer-id/session-slot
+    # assignment.  0 derives it from the closed-loop law (num_rbes).
+    population: int = 0
+    # Open mode: arrival process per class, "poisson" or "deterministic".
+    arrival: str = "poisson"
+    # Closed mode: exact RBE count override (None keeps the WIPS x think
+    # time law).  Set via Experiment.load("closed", clients=N).
+    clients: Optional[int] = None
+
+    def __post_init__(self):
+        if self.load_mode not in ("closed", "open"):
+            raise ValueError(
+                f"load_mode must be 'closed' or 'open', got {self.load_mode!r}")
+        if self.arrival not in ("poisson", "deterministic"):
+            raise ValueError(
+                f"arrival must be 'poisson' or 'deterministic', "
+                f"got {self.arrival!r}")
+        if self.population < 0:
+            raise ValueError(f"population must be >= 0, got {self.population}")
+        if self.clients is not None and self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
 
     @property
     def effective_offered_wips(self) -> float:
@@ -182,7 +213,16 @@ class ClusterConfig:
     @property
     def num_rbes(self) -> int:
         """#RBEs = offered WIPS x think time (Section 3)."""
+        if self.clients is not None:
+            return self.clients
         return max(1, round(self.effective_offered_wips * self.think_time_s))
+
+    @property
+    def effective_population(self) -> int:
+        """Open mode: the emulated-user count backing id/session draws."""
+        if self.population > 0:
+            return self.population
+        return self.num_rbes
 
     def treplica_config(self) -> TreplicaConfig:
         scale = self.scale

@@ -5,7 +5,8 @@ single chainable API::
 
     from repro.harness import Experiment
 
-    result = (Experiment(replicas=8, profile="ordering")
+    result = (Experiment(replicas=8)
+              .load("closed", wips=1900, mix="ordering")
               .faults("crash@240:*,reboot@390:2")
               .nemesis("drop@60-300:p=0.1")
               .observe(tick_s=5.0)
@@ -24,6 +25,7 @@ shim equivalent at the same seed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Optional
 
@@ -36,6 +38,22 @@ from repro.faults.faultload import (
 )
 from repro.harness.config import ClusterConfig
 from repro.harness.experiments import ExperimentResult, _execute
+
+#: Load-model fields that should flow through :meth:`Experiment.load`.
+_LOAD_FIELDS = frozenset({"offered_wips", "think_time_s", "profile",
+                          "use_navigation", "load_mode", "population",
+                          "arrival", "clients"})
+
+
+def _warn_load_fields(config_fields, where: str) -> None:
+    hit = sorted(_LOAD_FIELDS & set(config_fields))
+    if hit:
+        warnings.warn(
+            f"passing {', '.join(hit)} to Experiment.{where} is deprecated; "
+            f"use Experiment.load(...) -- e.g. "
+            f".load('closed', wips=1900, mix='shopping') or "
+            f".load('open', wips=1900, population=1_000_000)",
+            DeprecationWarning, stacklevel=3)
 
 
 class Experiment:
@@ -50,6 +68,7 @@ class Experiment:
 
     def __init__(self, scale=None, *, config: Optional[ClusterConfig] = None,
                  **config_fields):
+        _warn_load_fields(config_fields, "__init__")
         self._base = config if config is not None else ClusterConfig()
         self._overrides = dict(config_fields)
         if scale is not None:
@@ -67,7 +86,77 @@ class Experiment:
     # ------------------------------------------------------------------
     def configure(self, **config_fields) -> "Experiment":
         """Override any :class:`ClusterConfig` fields."""
+        _warn_load_fields(config_fields, "configure")
         self._overrides.update(config_fields)
+        return self
+
+    def load(self, mode: str = "closed", *, wips: Optional[float] = None,
+             mix: Optional[str] = None, scale=None,
+             think_time_s: Optional[float] = None,
+             clients: Optional[int] = None,
+             population: Optional[int] = None,
+             arrival: Optional[str] = None,
+             use_navigation: Optional[bool] = None,
+             timeout_s: Optional[float] = None) -> "Experiment":
+        """The single load-configuration entry point.
+
+        Closed loop (the paper's RBE fleet; WIPS couples to WIRT)::
+
+            Experiment().load("closed", wips=1900, mix="shopping")
+            Experiment().load("closed", clients=500, think_time_s=1.0)
+
+        Open loop (aggregated arrival processes; population is only an
+        id space, so millions of emulated users are cheap)::
+
+            Experiment().load("open", wips=1900, population=1_000_000,
+                              mix="browsing")
+
+        ``clients``/``think_time_s``/``use_navigation`` are closed-loop
+        knobs; ``population``/``arrival`` are open-loop knobs.  ``wips``,
+        ``mix``, ``scale``, and ``timeout_s`` apply to both.
+        """
+        if mode not in ("closed", "open"):
+            raise ValueError(
+                f"load mode must be 'closed' or 'open', got {mode!r}")
+        if mode == "closed":
+            if population is not None or arrival is not None:
+                raise ValueError(
+                    "population/arrival are open-loop knobs; "
+                    "use .load('open', ...)")
+        else:
+            if clients is not None:
+                raise ValueError(
+                    "clients is a closed-loop knob; open-loop load is "
+                    "sized by wips (population only assigns ids)")
+            if think_time_s is not None:
+                raise ValueError(
+                    "think_time_s has no effect on open-loop arrivals; "
+                    "set wips instead")
+            if use_navigation is not None:
+                raise ValueError(
+                    "use_navigation is a closed-loop knob; open-loop "
+                    "rates always derive from the navigation chain's "
+                    "stationary mix")
+        overrides = self._overrides
+        overrides["load_mode"] = mode
+        if wips is not None:
+            overrides["offered_wips"] = float(wips)
+        if mix is not None:
+            overrides["profile"] = mix
+        if scale is not None:
+            overrides["scale"] = scale
+        if think_time_s is not None:
+            overrides["think_time_s"] = float(think_time_s)
+        if clients is not None:
+            overrides["clients"] = int(clients)
+        if population is not None:
+            overrides["population"] = int(population)
+        if arrival is not None:
+            overrides["arrival"] = arrival
+        if use_navigation is not None:
+            overrides["use_navigation"] = bool(use_navigation)
+        if timeout_s is not None:
+            overrides["rbe_timeout_s"] = float(timeout_s)
         return self
 
     def nemesis(self, spec: str) -> "Experiment":

@@ -5,7 +5,8 @@ The public way to drive a run is the fluent builder in
 
     from repro.harness import Experiment
 
-    result = (Experiment(replicas=5, profile="shopping")
+    result = (Experiment(replicas=5)
+              .load("closed", wips=1900, mix="shopping")
               .one_crash()
               .observe()
               .run())
@@ -189,6 +190,11 @@ class ExperimentResult:
                 "profile": self.config.profile,
                 "num_ebs": self.config.num_ebs,
                 "offered_wips": self.config.offered_wips,
+                "load_mode": self.config.load_mode,
+                "population": (self.config.effective_population
+                               if self.config.load_mode == "open" else None),
+                "arrival": (self.config.arrival
+                            if self.config.load_mode == "open" else None),
                 "seed": self.config.seed,
                 "scale": self.config.scale.name,
                 "time_div": self.config.scale.time_div,

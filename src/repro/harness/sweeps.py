@@ -48,6 +48,13 @@ class RecoveryPoint:
     accuracy_pct: float
 
 
+def _with_load(config: ClusterConfig,
+               load: Optional[dict]) -> ClusterConfig:
+    """Apply ``--load``-style field overrides (load_mode, population,
+    arrival, clients, offered_wips) on top of a sweep point's config."""
+    return replace(config, **load) if load else config
+
+
 def _measure(config: ClusterConfig) -> ThroughputPoint:
     stats = Experiment.from_config(config).baseline().run().whole_window()
     return ThroughputPoint(config.profile, config.replicas, stats.awips,
@@ -57,12 +64,13 @@ def _measure(config: ClusterConfig) -> ThroughputPoint:
 def speedup_sweep(profile: str,
                   replicas_list: Sequence[int] = (4, 8, 12),
                   scale: Optional[ExperimentScale] = None,
-                  seed: int = 2009) -> List[ThroughputPoint]:
+                  seed: int = 2009,
+                  load: Optional[dict] = None) -> List[ThroughputPoint]:
     """Figure 3's sweep: saturated throughput at each replica count."""
     scale = scale or bench_scale()
-    return [_measure(ClusterConfig(
+    return [_measure(_with_load(ClusterConfig(
                 replicas=replicas, profile=profile, seed=seed, scale=scale,
-                offered_wips=SPEEDUP_OFFERED_PER_REPLICA * replicas))
+                offered_wips=SPEEDUP_OFFERED_PER_REPLICA * replicas), load))
             for replicas in replicas_list]
 
 
@@ -70,12 +78,13 @@ def scaleup_sweep(profile: str,
                   replicas_list: Sequence[int] = (4, 8, 12),
                   offered_wips: float = 1000.0,
                   scale: Optional[ExperimentScale] = None,
-                  seed: int = 2009) -> List[ThroughputPoint]:
+                  seed: int = 2009,
+                  load: Optional[dict] = None) -> List[ThroughputPoint]:
     """Figure 4's sweep: fixed offered load, growing cluster."""
     scale = scale or bench_scale()
-    return [_measure(ClusterConfig(
+    return [_measure(_with_load(ClusterConfig(
                 replicas=replicas, profile=profile, seed=seed, scale=scale,
-                offered_wips=offered_wips))
+                offered_wips=offered_wips), load))
             for replicas in replicas_list]
 
 
@@ -83,14 +92,15 @@ def recovery_sweep(profile: str,
                    ebs_list: Sequence[int] = (30, 50, 70),
                    replicas: int = 5,
                    scale: Optional[ExperimentScale] = None,
-                   seed: int = 2009) -> List[RecoveryPoint]:
+                   seed: int = 2009,
+                   load: Optional[dict] = None) -> List[RecoveryPoint]:
     """Figure 6's sweep: one crash per state size; recovery durations."""
     scale = scale or bench_scale()
     points = []
     for num_ebs in ebs_list:
-        result = Experiment.from_config(ClusterConfig(
+        result = Experiment.from_config(_with_load(ClusterConfig(
             replicas=replicas, num_ebs=num_ebs, profile=profile,
-            seed=seed, scale=scale)).one_crash().run()
+            seed=seed, scale=scale), load)).one_crash().run()
         times = result.recovery_times()
         points.append(RecoveryPoint(
             profile, replicas, num_ebs,

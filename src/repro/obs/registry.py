@@ -81,7 +81,8 @@ class StreamingHistogram:
     """
 
     __slots__ = ("name", "lo", "growth", "count", "total", "min", "max",
-                 "_counts", "_inv_log_g", "_nbuckets")
+                 "_counts", "_inv_log_g", "_nbuckets",
+                 "_memo_lo", "_memo_hi", "_memo_index")
 
     def __init__(self, name: str, lo: float = 1e-6, hi: float = 1e7,
                  growth: float = 2.0 ** 0.25):
@@ -99,6 +100,13 @@ class StreamingHistogram:
         self._nbuckets = 2 + int(math.ceil(math.log(hi / lo)
                                            * self._inv_log_g))
         self._counts: List[int] = [0] * self._nbuckets
+        # Last-bucket memo: consecutive samples tend to land in the same
+        # bucket (latency distributions are peaky), so remember the last
+        # bucket's (lo, hi] bounds and skip the log() when the next sample
+        # falls inside them.  Initialised to an empty interval.
+        self._memo_lo = math.inf
+        self._memo_hi = -math.inf
+        self._memo_index = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -107,13 +115,27 @@ class StreamingHistogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self._memo_lo < value <= self._memo_hi:
+            self._counts[self._memo_index] += 1
+            return
         if value <= self.lo:
             index = 0
+            self._memo_lo = -math.inf
+            self._memo_hi = self.lo
         else:
             index = 1 + int(math.log(value / self.lo) * self._inv_log_g)
             if index >= self._nbuckets:
                 index = self._nbuckets - 1
+                self._memo_lo = self.lo * self.growth ** (index - 1)
+                self._memo_hi = math.inf
+            else:
+                self._memo_lo = self.lo * self.growth ** (index - 1)
+                self._memo_hi = self.lo * self.growth ** index
+        self._memo_index = index
         self._counts[index] += 1
+
+    # The WIRT hot path calls this alias; identical to :meth:`observe`.
+    record = observe
 
     @property
     def mean(self) -> float:
@@ -248,6 +270,8 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    record = observe
 
     def quantile(self, q: float) -> float:
         return 0.0

@@ -41,6 +41,7 @@ from repro.faults.faultload import (
 from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.harness.cluster import ReplicaGroup
 from repro.harness.config import ClusterConfig
+from repro.load import build_load
 from repro.obs import (KernelProfiler, MetricsRegistry, SpanTracer,
                        TimelineSampler)
 from repro.shard.database import ShardedTPCWDatabase
@@ -150,19 +151,12 @@ class ShardedCluster:
         for group in self.groups:
             group.start_watchdogs()
 
-        # --- RBEs ------------------------------------------------------
-        self.rbes: List[RemoteBrowserEmulator] = []
-        for k in range(config.num_rbes):
-            client_node = self.client_nodes[k % len(self.client_nodes)]
-            rbe = RemoteBrowserEmulator(
-                client_node, self.proxy_node.name, self.profile,
-                self.collector, self.seed.fork_random(f"rbe-{k}"),
-                rbe_id=k + 1,
-                think_time_s=config.think_time_s,
-                timeout_s=config.scaled_rbe_timeout_s,
-                use_navigation=config.use_navigation)
-            rbe.start()
-            self.rbes.append(rbe)
+        # --- load tier (closed-loop RBE fleet or open-loop arrivals) ----
+        self.rbes: List[RemoteBrowserEmulator]
+        self.load_sources: List
+        self.rbes, self.load_sources = build_load(
+            self.client_nodes, self.proxy_node.name, self.profile,
+            self.collector, self.seed, config)
 
         # --- deployment-wide nemesis schedule --------------------------
         if config.nemesis_spec:

@@ -53,6 +53,10 @@ class Message:
     # Open hop span piggybacked on the datagram when span tracing is on;
     # shared by duplicate copies (the first delivery closes it).
     span: Any = None
+    # Scheduled delivery copies still outstanding; when it reaches zero the
+    # object may be recycled through the network's freelist (untraced runs
+    # only -- traced messages carry a live span and are never pooled).
+    _copies: int = 1
 
 
 # ======================================================================
@@ -216,6 +220,10 @@ class Network:
         # observability gauges read these to chart switch congestion.
         self.inflight_messages = 0
         self.inflight_mb = 0.0
+        # Freelist of delivered Message shells.  Allocation of a datagram
+        # object per send is one of the kernel's hottest allocation sites;
+        # recycling keeps the steady-state rate near zero.
+        self._pool: List[Message] = []
 
     # ------------------------------------------------------------------
     def register(self, node: Any) -> None:
@@ -279,11 +287,21 @@ class Network:
             return  # eaten by the nemesis
         target = self._nodes[dst]
         incarnation = target.incarnation
-        message = Message(src, dst, port, payload, size_mb,
-                          sent_at=self._sim.now)
+        if tracer is None and self._pool:
+            message = self._pool.pop()
+            message.src = src
+            message.dst = dst
+            message.port = port
+            message.payload = payload
+            message.size_mb = size_mb
+            message.sent_at = self._sim.now
+        else:
+            message = Message(src, dst, port, payload, size_mb,
+                              sent_at=self._sim.now)
         if tracer is not None:
             message.span = tracer.begin("net", f"{src}->{dst}",
                                         trace=trace, port=port)
+        message._copies = len(fates)
         for extra_delay in fates:
             delay = (self.params.base_latency_s
                      + size_mb / self.params.bandwidth_mb_s
@@ -301,16 +319,31 @@ class Network:
         if target is None or not target.alive:
             if span is not None:
                 self._spans.finish(span, cause="dest_down")
+            self._release(message)
             return
         if target.incarnation != incarnation:
             if span is not None:
                 self._spans.finish(span, cause="stale_incarnation")
+            self._release(message)
             return  # node restarted while the message was in flight
         if (message.src, message.dst) in self._blocked:
             if span is not None:
                 self._spans.finish(span, cause="partition")
+            self._release(message)
             return
         self.messages_delivered += 1
         if span is not None:
             self._spans.finish(span)
-        target.dispatch(message.port, message.payload, message.src)
+        # Extract before releasing: dispatch may synchronously send new
+        # datagrams that reuse this very shell from the pool.
+        port, payload, src = message.port, message.payload, message.src
+        self._release(message)
+        target.dispatch(port, payload, src)
+
+    def _release(self, message: Message) -> None:
+        """Return a fully-delivered, untraced datagram shell to the pool."""
+        message._copies -= 1
+        if message._copies == 0 and message.span is None:
+            message.payload = None
+            if len(self._pool) < 512:
+                self._pool.append(message)

@@ -174,8 +174,10 @@ class ReverseProxy:
             self._obs_reroutes.inc()
             self._dispatch(request, attempt + 1)
             return
-        self._reply(request, Response(request.req_id, response.ok,
-                                      response.data, response.error))
+        # Reuse the backend's Response object for the client reply instead
+        # of allocating a copy; _reply restamps req_id and nothing else
+        # holds a reference to the delivered payload.
+        self._reply(request, response)
 
     def _reply(self, request: Request, response: Response) -> None:
         response.req_id = request.req_id

@@ -276,6 +276,85 @@ def test_sweep_empty_points_list_is_a_clear_error(capsys):
 
 
 # ----------------------------------------------------------------------
+# the `--load` grammar and the `bench` subcommand
+# ----------------------------------------------------------------------
+def test_run_load_open_reports_population(capsys):
+    code = main(run_args(["--load", "open:population=1000000"]))
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "open loop, 1,000,000 users" in out
+    assert "AWIPS" in out
+
+
+def test_run_load_open_json_records_the_mode(tmp_path):
+    path = tmp_path / "open.json"
+    code = main(run_args(["--load", "open:wips=300,population=5000",
+                          "--json", str(path)]))
+    assert code == 0
+    config = json.loads(path.read_text())["config"]
+    assert config["load_mode"] == "open"
+    assert config["population"] == 5000
+    assert config["offered_wips"] == 300.0
+
+
+def test_run_load_bad_spec_is_a_clear_error(capsys):
+    code = main(run_args(["--load", "open:burstiness=9"]))
+    assert code == 2
+    assert "bad --load option" in capsys.readouterr().err
+    code = main(run_args(["--load", "lukewarm"]))
+    assert code == 2
+    assert "'closed' or 'open'" in capsys.readouterr().err
+
+
+def test_sweep_accepts_open_load(capsys):
+    code = main(["sweep", "scaleup", "--scale", "tiny", "--replicas-list",
+                 "3", "--offered-wips", "400", "--load",
+                 "open:population=1000"])
+    assert code == 0
+    assert "scaleup sweep" in capsys.readouterr().out
+
+
+def test_bench_parser_defaults():
+    args = build_parser().parse_args(["bench"])
+    assert args.command == "bench"
+    assert args.scale == "tiny"
+    assert args.out == "bench_reports/BENCH_7_kernel.json"
+    assert args.tolerance == 0.20
+
+
+def test_bench_writes_report_and_compares_against_itself(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(["bench", "--scale", "tiny", "--out", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert set(report["modes"]) == {"closed", "open"}
+    for entry in report["modes"].values():
+        assert entry["events"] > 0
+        assert entry["events_per_wall_s"] > 0
+    capsys.readouterr()
+    # A report is within tolerance of itself.
+    code = main(["bench", "--scale", "tiny", "--out", str(out),
+                 "--compare", str(out)])
+    assert code == 0
+    assert "within tolerance" in capsys.readouterr().out
+
+
+def test_bench_compare_exits_2_on_regression(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--scale", "tiny", "--out", str(out)]) == 0
+    baseline = json.loads(out.read_text())
+    for entry in baseline["modes"].values():
+        entry["events_per_wall_s"] *= 10.0   # an impossible baseline
+    fast = tmp_path / "impossible.json"
+    fast.write_text(json.dumps(baseline))
+    capsys.readouterr()
+    code = main(["bench", "--scale", "tiny", "--out", str(out),
+                 "--compare", str(fast)])
+    assert code == 2
+    assert "regression" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # the historical flat form still works, with a deprecation warning
 # ----------------------------------------------------------------------
 def test_legacy_flat_form_is_normalized(capsys):

@@ -20,7 +20,8 @@ def light_config(**overrides):
 # builder basics
 # ----------------------------------------------------------------------
 def test_builder_chains_and_resolves_config():
-    experiment = (Experiment(replicas=7, profile="ordering")
+    experiment = (Experiment(replicas=7)
+                  .load("closed", mix="ordering")
                   .observe(tick_s=2.0)
                   .check_safety()
                   .one_crash(1))

@@ -1,0 +1,40 @@
+"""The headline configuration: a million emulated users on one laptop.
+
+The open-loop source makes the emulated population an id space instead
+of a process count, so this run must cost roughly the same kernel work
+as a hundred-user run -- the wall-clock budget below is the regression
+tripwire for anyone reintroducing per-user state on the hot path.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.config import tiny_scale
+from repro.harness.experiment import Experiment
+
+#: Generous on CI runners; an unloaded dev machine finishes in ~4 s.
+WALL_BUDGET_S = 90.0
+
+
+@pytest.mark.slow
+def test_million_user_open_loop_smoke():
+    experiment = (Experiment(tiny_scale(), seed=2009)
+                  .load("open", wips=1900.0, population=1_000_000)
+                  .baseline())
+    started = time.perf_counter()
+    result = experiment.run()
+    wall_s = time.perf_counter() - started
+    assert wall_s < WALL_BUDGET_S, f"million-user run took {wall_s:.1f}s"
+
+    whole = result.whole_window()
+    assert whole.errors == 0
+    assert whole.completed > 1000
+    # Delivered throughput tracks the offered rate (tiny scale divides
+    # offered load by 8: 1900 -> 237.5 effective WIPS; the cluster runs
+    # slightly saturated there, hence the one-sided 75% floor).
+    effective = experiment.build_config().effective_offered_wips
+    assert whole.awips > 0.75 * effective
+    summary = result.to_dict()
+    assert summary["config"]["load_mode"] == "open"
+    assert summary["config"]["population"] == 1_000_000

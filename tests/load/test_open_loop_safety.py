@@ -1,0 +1,33 @@
+"""25-seed crash sweep under open-loop load.
+
+The safety argument for the open-loop engine: swapping the load source
+must not perturb the consensus layer.  Every seed runs a mid-run replica
+crash with the SafetyChecker recording decide/deliver/ack traces, and
+the checker must stay silent -- same bar the closed-loop and sharded
+sweeps clear.
+"""
+
+import pytest
+
+from repro.harness.config import tiny_scale
+from repro.harness.experiment import Experiment
+
+SWEEP_SEEDS = 25
+
+
+@pytest.mark.nemesis
+def test_open_loop_crash_safety_sweep_25_seeds():
+    violations = {}
+    recovered = 0
+    for seed in range(SWEEP_SEEDS):
+        result = (Experiment(tiny_scale(), replicas=3, seed=seed)
+                  .load("open", wips=400.0, population=100_000,
+                        mix="ordering")
+                  .check_safety()
+                  .faults("crash@240:1,reboot@330:1").run())
+        if result.safety_violations:
+            violations[seed] = result.safety_violations
+        if result.recoveries:
+            recovered += 1
+    assert violations == {}, violations
+    assert recovered == SWEEP_SEEDS

@@ -31,8 +31,9 @@ SEED = 20090629
 
 
 def _experiment(**kwargs):
-    return Experiment(tiny_scale(), replicas=3, num_ebs=30,
-                      offered_wips=400.0, seed=SEED, **kwargs)
+    return (Experiment(tiny_scale(), replicas=3, num_ebs=30,
+                       seed=SEED, **kwargs)
+            .load("closed", wips=400.0))
 
 
 @pytest.fixture(scope="module")
@@ -205,8 +206,8 @@ def test_partition_annotates_net_spans():
 
 
 def test_sharded_run_links_2pc_spans():
-    result = (Experiment(tiny_scale(), replicas=3, num_ebs=30,
-                         offered_wips=400.0, seed=11)
+    result = (Experiment(tiny_scale(), replicas=3, num_ebs=30, seed=11)
+              .load("closed", wips=400.0)
               .shards(2).baseline().trace().run())
     tracer = result.spans
     prepares = tracer.select(kind="txn.prepare")

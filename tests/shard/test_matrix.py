@@ -16,8 +16,8 @@ from repro.harness.experiment import Experiment
 @pytest.mark.parametrize("shards", [1, 2, 4])
 @pytest.mark.parametrize("replicas", [3, 5])
 def test_shard_matrix_cell(shards, replicas):
-    result = (Experiment(tiny_scale(), replicas=replicas, num_ebs=30,
-                         offered_wips=200.0, seed=5)
+    result = (Experiment(tiny_scale(), replicas=replicas, num_ebs=30, seed=5)
+              .load("closed", wips=200.0)
               .shards(shards).check_safety().baseline().run())
     assert result.safety_violations == []
     whole = result.whole_window()

@@ -15,8 +15,8 @@ from repro.harness.experiments import _execute
 
 
 def _run(shards):
-    exp = (Experiment(tiny_scale(), replicas=3, num_ebs=30,
-                      offered_wips=400.0, seed=20090629)
+    exp = (Experiment(tiny_scale(), replicas=3, num_ebs=30, seed=20090629)
+           .load("closed", wips=400.0)
            .one_crash(replica=1).check_safety())
     if shards is not None:
         exp.shards(shards)

@@ -6,10 +6,11 @@ from repro.harness.config import tiny_scale
 from repro.harness.experiment import Experiment
 
 
-def _experiment(**overrides):
-    fields = dict(replicas=3, num_ebs=30, offered_wips=400.0, seed=11)
+def _experiment(wips=400.0, mix="shopping", **overrides):
+    fields = dict(replicas=3, num_ebs=30, seed=11)
     fields.update(overrides)
-    return Experiment(tiny_scale(), **fields)
+    return Experiment(tiny_scale(), **fields).load("closed", wips=wips,
+                                                   mix=mix)
 
 
 @pytest.fixture(scope="module")
@@ -64,7 +65,7 @@ def test_crash_during_cross_shard_load_stays_safe():
     # Crash a replica in each group mid-run under the ordering profile
     # (the write-heaviest mix, most 2PC traffic) and audit everything,
     # including transaction atomicity.
-    result = (_experiment(profile="ordering").shards(2).check_safety()
+    result = (_experiment(mix="ordering").shards(2).check_safety()
               .faults("crash@240:0.1, crash@270:1.*").run())
     assert result.safety_violations == []
     assert result.faults_injected == 2

@@ -1,0 +1,115 @@
+"""The zero-delay ready deque: order-preserving fast path for delay=0.
+
+``call_after(0, ...)`` bypasses the heap; these tests pin the invariant
+that the merged (ready deque + heap) dispatch is still globally ordered
+by (when, seq) -- i.e. the fast path is observationally identical to
+pushing the same timer through the heap.
+"""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_zero_delay_interleaves_with_heap_timers_by_seq():
+    sim = Simulator()
+    order = []
+    sim.call_at(0.0, order.append, "heap-1")   # seq 0, via heap
+    sim.call_after(0.0, order.append, "ready")  # seq 1, via deque
+    sim.call_at(0.0, order.append, "heap-2")   # seq 2, via heap
+    sim.run()
+    assert order == ["heap-1", "ready", "heap-2"]
+
+
+def test_zero_delay_chain_runs_before_later_timers():
+    sim = Simulator()
+    order = []
+
+    def cascade(depth):
+        order.append(depth)
+        if depth < 3:
+            sim.call_after(0.0, cascade, depth + 1)
+
+    sim.call_after(0.0, cascade, 0)
+    sim.call_after(0.5, order.append, "later")
+    sim.run()
+    assert order == [0, 1, 2, 3, "later"]
+
+
+def test_zero_delay_timers_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.call_after(0.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_ready_timer_is_skipped():
+    sim = Simulator()
+    order = []
+    keep = sim.call_after(0.0, order.append, "keep")
+    drop = sim.call_after(0.0, order.append, "drop")
+    drop.cancel()
+    assert keep is not drop
+    sim.run()
+    assert order == ["keep"]
+
+
+def test_step_pops_the_globally_next_timer():
+    sim = Simulator()
+    order = []
+    sim.call_after(1.0, order.append, "heap")
+    sim.call_after(0.0, order.append, "ready")
+    assert sim.step() is True
+    assert order == ["ready"]
+    assert sim.now == 0.0
+    assert sim.step() is True
+    assert order == ["ready", "heap"]
+    assert sim.now == 1.0
+    assert sim.step() is False
+
+
+def test_run_until_does_not_rewind_past_ready_timers():
+    # After run(until=5) the clock is 5; a delay-0 timer scheduled then
+    # fires at when=5 and a subsequent bounded run must not move the
+    # clock backwards or skip it.
+    sim = Simulator()
+    order = []
+    sim.run(until=5.0)
+    sim.call_after(0.0, order.append, "at-5")
+    sim.run(until=4.0)   # until < now: nothing fires, clock untouched
+    assert order == [] and sim.now == 5.0
+    sim.run(until=6.0)
+    assert order == ["at-5"]
+    assert sim.now == 6.0
+
+
+def test_negative_delay_still_rejected_on_fast_path_boundary():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-0.0001, lambda: None)
+
+
+def test_ready_and_heap_mix_preserves_causal_order_under_load():
+    # A stress mix: every heap callback schedules a zero-delay follow-up;
+    # the observed sequence must equal a (when, seq)-sorted reference.
+    sim = Simulator()
+    observed = []
+
+    def at_time(tag):
+        observed.append(("t", tag))
+        sim.call_after(0.0, observed.append, ("z", tag))
+
+    for tick in range(10):
+        sim.call_after(0.1 * (tick % 4) + 0.05, at_time, tick)
+    sim.run()
+    assert len(observed) == 20
+    # Each zero-delay follow-up fires after its parent but before any
+    # timer of a strictly later timestamp.
+    for tick in range(10):
+        parent = observed.index(("t", tick))
+        child = observed.index(("z", tick))
+        assert child > parent
+    assert observed == sorted(
+        observed, key=lambda e: 0.1 * (e[1] % 4))  # grouped by timestamp
