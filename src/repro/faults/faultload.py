@@ -42,6 +42,20 @@ The **storage extension** makes replica disks a fault domain (handled by
                            inside the window
     failslow@200-300:1:m=4 replica 1's disk runs 4x slower in [200,300)
 
+The **geo extension** scopes faults to whole datacenters of a
+geo-replicated deployment (:mod:`repro.geo`; the run must be configured
+with a topology)::
+
+    dcfail@240:dc1             full outage of dc1: every replica housed
+                               there crashes, watchdogs disabled
+    dcfail@240-400:dc1         the same, power restored at t=400 (the
+                               watchdogs revive the servers: autonomous)
+    wanpart@240:dc0|dc1,dc2    WAN partition isolating dc0 from dc1 and
+                               dc2 (every cross-cut node pair blocked)
+    wanpart@240-400:dc0|dc1    the same, healed at t=400
+    wandegrade@240-400:dc0>dc1,x5   the directed dc0 -> dc1 WAN link
+                               runs 5x slower in [240,400)
+
 On sharded deployments (:mod:`repro.shard`) targets may be
 shard-qualified with a dotted ``shard.replica`` form::
 
@@ -63,6 +77,7 @@ from __future__ import annotations
 
 import math
 import random
+import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -80,7 +95,14 @@ ONEWAY_KIND = "oneway"
 #: event, the others are (optionally open-ended) windows.
 STORAGE_KINDS = ("torn", "corrupt", "fsynclie", "failslow")
 
-ALL_KINDS = REPLICA_KINDS + NEMESIS_KINDS + (ONEWAY_KIND,) + STORAGE_KINDS
+#: datacenter-scoped faults for geo-replicated runs (repro.geo): a full
+#: DC outage, a WAN partition, and an asymmetric WAN slowdown.
+GEO_KINDS = ("dcfail", "wanpart", "wandegrade")
+
+ALL_KINDS = (REPLICA_KINDS + NEMESIS_KINDS + (ONEWAY_KIND,)
+             + STORAGE_KINDS + GEO_KINDS)
+
+_DC_NAME = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
 
 
 @dataclass(frozen=True)
@@ -94,6 +116,11 @@ class FaultEvent:
     ``replica``/``dst`` as the cut direction and an optional ``until``.
     ``shard``/``dst_shard`` carry the shard qualifiers of the dotted
     grammar (``1.2``); they stay ``None`` for unsharded targets.
+
+    The geo kinds target datacenters by name instead of replicas:
+    ``dc`` (all three), ``peer_dcs`` (the far side of a ``wanpart``
+    cut), ``to_dc`` (the destination of a ``wandegrade`` link) and
+    ``factor`` (its slowdown multiplier, also spelled ``xN``).
     """
 
     at: float
@@ -103,9 +130,12 @@ class FaultEvent:
     p: Optional[float] = None
     dst: Optional[int] = None
     delay_mean_s: Optional[float] = None
-    factor: Optional[float] = None   # fail-slow cost multiplier (m=)
+    factor: Optional[float] = None   # fail-slow / wandegrade multiplier
     shard: Optional[int] = None      # shard of ``replica`` (sharded runs)
     dst_shard: Optional[int] = None  # shard of ``dst``
+    dc: Optional[str] = None         # datacenter target (geo kinds)
+    peer_dcs: Optional[Tuple[str, ...]] = None  # far side of a wanpart
+    to_dc: Optional[str] = None      # wandegrade link destination
 
     @property
     def src_target(self):
@@ -139,7 +169,15 @@ class FaultEvent:
             raise ValueError(
                 "a directed pair must be shard-qualified at both ends "
                 "('0.1>1.2') or neither ('1>2')")
-        if self.kind in REPLICA_KINDS:
+        if self.kind not in GEO_KINDS:
+            if (self.dc is not None or self.peer_dcs is not None
+                    or self.to_dc is not None):
+                raise ValueError(
+                    f"{self.kind!r} takes replica targets, not "
+                    f"datacenter names")
+        if self.kind in GEO_KINDS:
+            self._check_geo()
+        elif self.kind in REPLICA_KINDS:
             if self.kind != "crash" and self.replica is None:
                 raise ValueError(
                     f"{self.kind!r} needs a fixed replica index "
@@ -236,6 +274,58 @@ class FaultEvent:
             if self.delay_mean_s is not None:
                 raise ValueError("'oneway' does not take an 'm=' option")
 
+    def _check_geo(self) -> None:
+        if (self.replica is not None or self.dst is not None
+                or self.shard is not None or self.dst_shard is not None
+                or self.p is not None or self.delay_mean_s is not None):
+            raise ValueError(
+                f"{self.kind!r} targets a datacenter by name, not "
+                f"replicas/probabilities")
+        if self.dc is None or not _DC_NAME.match(self.dc):
+            raise ValueError(
+                f"{self.kind!r} needs a datacenter name, e.g. "
+                f"'{self.kind}@240:dc1', got {self.dc!r}")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError(
+                f"{self.kind!r} window must end after it starts "
+                f"({self.at} >= {self.until})")
+        if self.kind == "wanpart":
+            if not self.peer_dcs:
+                raise ValueError(
+                    "'wanpart' needs the far side of the cut, e.g. "
+                    "'wanpart@240:dc0|dc1,dc2'")
+            for name in self.peer_dcs:
+                if not _DC_NAME.match(name):
+                    raise ValueError(f"bad datacenter name {name!r}")
+            if self.dc in self.peer_dcs:
+                raise ValueError(
+                    f"'wanpart' cannot isolate {self.dc!r} from itself")
+            if len(set(self.peer_dcs)) != len(self.peer_dcs):
+                raise ValueError(
+                    f"duplicate datacenter in {self.peer_dcs!r}")
+        elif self.peer_dcs is not None:
+            raise ValueError(f"{self.kind!r} does not take a '|' far side")
+        if self.kind == "wandegrade":
+            if self.to_dc is None or not _DC_NAME.match(self.to_dc):
+                raise ValueError(
+                    "'wandegrade' needs a directed DC link, e.g. "
+                    "'wandegrade@240-400:dc0>dc1,x5'")
+            if self.to_dc == self.dc:
+                raise ValueError(
+                    f"'wandegrade' link must join two distinct DCs, "
+                    f"got {self.dc}>{self.to_dc}")
+            if self.factor is not None and not (
+                    math.isfinite(self.factor) and self.factor >= 1.0):
+                raise ValueError(
+                    f"'wandegrade' multiplier must be >= 1.0, "
+                    f"got {self.factor!r}")
+        else:
+            if self.to_dc is not None:
+                raise ValueError(f"{self.kind!r} does not take a '>' link")
+            if self.factor is not None:
+                raise ValueError(
+                    f"{self.kind!r} does not take an 'xN' multiplier")
+
 
 @dataclass(frozen=True)
 class Faultload:
@@ -256,6 +346,9 @@ class Faultload:
     def storage_events(self) -> Tuple[FaultEvent, ...]:
         return tuple(e for e in self.events if e.kind in STORAGE_KINDS)
 
+    def geo_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind in GEO_KINDS)
+
     @classmethod
     def parse(cls, spec: str, name: str = "custom") -> "Faultload":
         """Parse a compact faultload spec (see the module docstring).
@@ -264,13 +357,19 @@ class Faultload:
 
             Faultload.parse("crash@240:*, drop@10-60:p=0.2, oneway@30:2>3")
         """
-        events = []
+        # Geo targets carry commas of their own ('wanpart@240:dc0|dc1,dc2',
+        # 'wandegrade@240:dc0>dc1,x5'): a chunk without an '@' is the tail
+        # of the previous event, not a new one.
+        chunks: List[str] = []
         for chunk in spec.split(","):
             chunk = chunk.strip()
             if not chunk:
                 continue
-            events.append(_parse_event(chunk))
-        return cls(name, tuple(events))
+            if "@" not in chunk and chunks:
+                chunks[-1] = f"{chunks[-1]},{chunk}"
+            else:
+                chunks.append(chunk)
+        return cls(name, tuple(_parse_event(chunk) for chunk in chunks))
 
 
 def _parse_event(chunk: str) -> FaultEvent:
@@ -282,6 +381,8 @@ def _parse_event(chunk: str) -> FaultEvent:
     if kind not in ALL_KINDS:
         raise ValueError(f"unknown fault kind {kind!r} in {chunk!r} "
                          f"(expected one of {', '.join(ALL_KINDS)})")
+    if kind in GEO_KINDS:
+        return _parse_geo_event(kind, rest, chunk)
     parts = [part.strip() for part in rest.split(":")]
     at, until = _parse_time(parts[0], kind, chunk)
     replica = dst = p = mean = shard = dst_shard = None
@@ -329,6 +430,53 @@ def _parse_event(chunk: str) -> FaultEvent:
         return FaultEvent(at, kind, replica, until=until, p=p, dst=dst,
                           delay_mean_s=mean, factor=factor, shard=shard,
                           dst_shard=dst_shard)
+    except ValueError as error:
+        raise ValueError(f"{error} (in {chunk!r})") from None
+
+
+def _parse_geo_event(kind: str, rest: str, chunk: str) -> FaultEvent:
+    time_text, colon, target = rest.partition(":")
+    target = target.strip()
+    if not colon or not target:
+        raise ValueError(
+            f"{kind!r} needs a datacenter target, e.g. "
+            f"'{kind}@240:dc1': {chunk!r}")
+    at, until = _parse_time(time_text.strip(), kind, chunk)
+    dc = target
+    peer_dcs = to_dc = factor = None
+    if kind == "wanpart":
+        near, bar, far = target.partition("|")
+        if not bar:
+            raise ValueError(
+                f"'wanpart' needs 'dc|dc[,dc...]' (the isolated DC and "
+                f"the far side): {chunk!r}")
+        dc = near.strip()
+        peer_dcs = tuple(name.strip() for name in far.split(",")
+                         if name.strip())
+    elif kind == "wandegrade":
+        src, arrow, tail = target.partition(">")
+        if not arrow:
+            raise ValueError(
+                f"'wandegrade' needs 'src>dst[,xN]': {chunk!r}")
+        dc = src.strip()
+        tail_parts = [part.strip() for part in tail.split(",") if part.strip()]
+        if not tail_parts:
+            raise ValueError(
+                f"'wandegrade' needs a destination DC: {chunk!r}")
+        to_dc = tail_parts[0]
+        for option in tail_parts[1:]:
+            if not option.startswith("x") or factor is not None:
+                raise ValueError(
+                    f"'wandegrade' options are a single 'xN' multiplier, "
+                    f"got {option!r}: {chunk!r}")
+            try:
+                factor = float(option[1:])
+            except ValueError:
+                raise ValueError(
+                    f"bad 'wandegrade' multiplier {option!r} in {chunk!r}")
+    try:
+        return FaultEvent(at, kind, until=until, factor=factor, dc=dc,
+                          peer_dcs=peer_dcs, to_dc=to_dc)
     except ValueError as error:
         raise ValueError(f"{error} (in {chunk!r})") from None
 
@@ -407,7 +555,9 @@ class FaultInjector:
     ``live_replicas``, and -- when the faultload uses the extension
     kinds -- ``partition_replica``/``heal_replica``, ``apply_nemesis``
     (windowed message faults), ``apply_storage_fault`` (disk faults),
-    and ``block_oneway``/``unblock_oneway``.
+    ``block_oneway``/``unblock_oneway``, and for the geo kinds
+    ``fail_dc``/``restore_dc``, ``wan_partition``/``heal_wan_partition``
+    and ``wan_degrade`` (a geo-configured cluster).
     """
 
     def __init__(self, sim, cluster, faultload: Faultload,
@@ -419,6 +569,8 @@ class FaultInjector:
         self.injected: List[tuple] = []  # (time, kind, target)
         self.nemesis_windows: List[FaultEvent] = []
         self.storage_faults: List[FaultEvent] = []
+        self.geo_faults: List[FaultEvent] = []
+        self._dc_crashes = 0
 
     def arm(self) -> None:
         for event in self.faultload.events:
@@ -432,6 +584,16 @@ class FaultInjector:
                 # gates windows (and schedules corruption instants).
                 self._cluster.apply_storage_fault(event)
                 self.storage_faults.append(event)
+            elif event.kind == "wandegrade":
+                # Windowed link slowdown: armed up front, gated by
+                # simulated time inside the geo delay model.
+                self._cluster.wan_degrade(event)
+                self.geo_faults.append(event)
+            elif event.kind in GEO_KINDS:
+                self.geo_faults.append(event)
+                self._sim.call_at(event.at, self._fire, event)
+                if event.until is not None and not math.isinf(event.until):
+                    self._sim.call_at(event.until, self._restore_geo, event)
             elif event.kind == ONEWAY_KIND:
                 self._sim.call_at(event.at, self._fire, event)
                 if event.until is not None and not math.isinf(event.until):
@@ -462,6 +624,15 @@ class FaultInjector:
                 (self._sim.now, event.kind,
                  (event.src_target, event.dst_target)))
             return
+        elif event.kind == "dcfail":
+            self._dc_crashes += self._cluster.fail_dc(event.dc)
+            self.injected.append((self._sim.now, "dcfail", event.dc))
+            return
+        elif event.kind == "wanpart":
+            self._cluster.wan_partition(event.dc, event.peer_dcs)
+            self.injected.append(
+                (self._sim.now, "wanpart", (event.dc, event.peer_dcs)))
+            return
         else:
             self._cluster.heal_replica(target)
         self.injected.append((self._sim.now, event.kind, target))
@@ -472,9 +643,22 @@ class FaultInjector:
             (self._sim.now, "heal-oneway",
              (event.src_target, event.dst_target)))
 
+    def _restore_geo(self, event: FaultEvent) -> None:
+        if event.kind == "dcfail":
+            # Power back: re-enable the DC's watchdogs, which revive the
+            # servers on their own -- autonomous, not an intervention.
+            self._cluster.restore_dc(event.dc)
+            self.injected.append((self._sim.now, "dcrestore", event.dc))
+        else:
+            self._cluster.heal_wan_partition(event.dc, event.peer_dcs)
+            self.injected.append(
+                (self._sim.now, "heal-wanpart", (event.dc, event.peer_dcs)))
+
     @property
     def faults_injected(self) -> int:
-        return sum(1 for _t, kind, _r in self.injected if kind == "crash")
+        # Every replica taken down by a DC outage is one injected fault.
+        return (sum(1 for _t, kind, _r in self.injected if kind == "crash")
+                + self._dc_crashes)
 
     @property
     def interventions(self) -> int:

@@ -1,0 +1,34 @@
+"""Geo-replication: multi-datacenter topology, placement, and quorums.
+
+The subsystem that stretches the paper's single-switch cluster across
+datacenters: :class:`Topology` (named DCs, per-directed-link
+latency/bandwidth matrix), :class:`GeoConfig` (placement + quorum-shape
+policy), :class:`GeoDelayModel` (the per-message delay model the
+simulated switch consults), and :class:`GeoState` (per-cluster node-to-
+DC bookkeeping behind the DC-scoped faultloads ``dcfail``, ``wanpart``,
+and ``wandegrade``).
+"""
+
+from repro.geo.model import DegradeWindow, GeoDelayModel
+from repro.geo.ops import GeoState
+from repro.geo.placement import (GeoConfig, PLACEMENTS, QUORUM_SHAPES,
+                                 paxos_geo_overrides, placement_dcs,
+                                 quorum_sizes)
+from repro.geo.topology import (DEFAULT_INTRA, DEFAULT_WAN, LinkParams,
+                                Topology)
+
+__all__ = [
+    "DEFAULT_INTRA",
+    "DEFAULT_WAN",
+    "DegradeWindow",
+    "GeoConfig",
+    "GeoDelayModel",
+    "GeoState",
+    "LinkParams",
+    "PLACEMENTS",
+    "QUORUM_SHAPES",
+    "Topology",
+    "paxos_geo_overrides",
+    "placement_dcs",
+    "quorum_sizes",
+]

@@ -115,12 +115,67 @@ def run_kernel_bench(scale: str = "tiny", seed: int = 2009,
     return report
 
 
+def run_geo_bench(scale: str = "tiny", seed: int = 2009,
+                  wips: float = 1900.0) -> Dict[str, object]:
+    """Benchmark the geo subsystem: one 3-DC point per quorum shape.
+
+    Runs the same fault-free 5-replica deployment stretched over three
+    datacenters twice -- leader-local placement with a leader-local
+    phase-2 quorum vs spread placement with classic majorities -- and
+    reports throughput, response time, and the WIRT network bucket's
+    intra-DC/WAN split for each.  The spread point pays the WAN round
+    trip on every commit; the leader-local point hides it, which is the
+    whole case for WAN-aware quorum shapes.
+    """
+    report: Dict[str, object] = {
+        "bench": "geo",
+        "scale": scale,
+        "seed": seed,
+        "dcs": ["dc0", "dc1", "dc2"],
+        "replicas": 5,
+        "points": {},
+    }
+    shapes = (("leader_local", "leader-local", "leader-local"),
+              ("spread", "spread", "majority"))
+    for name, placement, quorum in shapes:
+        experiment = (Experiment(scale=_scale_named(scale), seed=seed,
+                                 replicas=5)
+                      .load("closed", wips=wips)
+                      .geo(dcs=("dc0", "dc1", "dc2"),
+                           placement=placement, quorum=quorum)
+                      .trace()
+                      .baseline())
+        started = time.perf_counter()
+        result = experiment.run()
+        wall_s = time.perf_counter() - started
+        whole = result.whole_window()
+        path = result.critical_path()
+        split = path.network_split_totals()
+        network_s = split["intra"] + split["wan"]
+        report["points"][name] = {        # type: ignore[index]
+            "placement": placement,
+            "quorum": quorum,
+            "awips": round(whole.awips, 2),
+            "mean_wirt_ms": round(whole.mean_wirt_s * 1000.0, 2),
+            "completed": whole.completed,
+            "errors": whole.errors,
+            "wall_s": round(wall_s, 4),
+            "network_s": round(network_s, 3),
+            "network_intra_s": round(split["intra"], 3),
+            "network_wan_s": round(split["wan"], 3),
+            "wan_share_pct": round(100.0 * split["wan"] / network_s, 1)
+                             if network_s else 0.0,
+        }
+    return report
+
+
 def compare(current: Dict[str, object], baseline: Dict[str, object],
             tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
     """Regression messages for every mode slower than baseline allows.
 
-    Compares ``events_per_wall_s`` per mode; a mode in only one of the
-    two reports is skipped (new modes are not regressions).  An empty
+    Compares ``events_per_wall_s`` per mode for kernel reports and
+    ``awips`` per point for geo reports; an entry in only one of the
+    two reports is skipped (new entries are not regressions).  An empty
     list means the benchmark is within tolerance.
     """
     problems: List[str] = []
@@ -140,11 +195,43 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
                 f"{mode}: {now_rate:.0f} events/s is "
                 f"{100.0 * (1.0 - now_rate / base_rate):.1f}% below "
                 f"baseline {base_rate:.0f} (tolerance {tolerance:.0%})")
+    for name, base in baseline.get("points", {}).items():
+        now = current.get("points", {}).get(name)
+        if now is None:
+            continue
+        base_awips = float(base.get("awips", 0.0))
+        now_awips = float(now.get("awips", 0.0))
+        if base_awips <= 0.0:
+            continue
+        floor = base_awips * (1.0 - tolerance)
+        if now_awips < floor:
+            problems.append(
+                f"{name}: {now_awips:.1f} AWIPS is "
+                f"{100.0 * (1.0 - now_awips / base_awips):.1f}% below "
+                f"baseline {base_awips:.1f} (tolerance {tolerance:.0%})")
     return problems
 
 
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable table of a BENCH report (for the CLI)."""
+    if report.get("bench") == "geo":
+        lines = [f"geo bench | scale={report['scale']} "
+                 f"seed={report['seed']} | "
+                 f"{len(report.get('dcs', []))} DCs x "
+                 f"{report.get('replicas', '?')} replicas"]
+        header = (f"  {'point':<14} {'AWIPS':>7} {'WIRT':>9} "
+                  f"{'net intra':>10} {'net WAN':>9} {'WAN %':>6} "
+                  f"{'wall':>7}")
+        lines.append(header)
+        for name, entry in report.get("points", {}).items():  # type: ignore
+            lines.append(
+                f"  {name:<14} {entry['awips']:>7.1f} "
+                f"{entry['mean_wirt_ms']:>6.1f} ms "
+                f"{entry['network_intra_s']:>9.2f}s "
+                f"{entry['network_wan_s']:>8.2f}s "
+                f"{entry['wan_share_pct']:>5.1f}% "
+                f"{entry['wall_s']:>6.1f}s")
+        return "\n".join(lines)
     lines = [f"kernel bench | scale={report['scale']} "
              f"seed={report['seed']}"]
     header = (f"  {'mode':<8} {'population':>10} {'events':>9} "

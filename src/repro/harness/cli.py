@@ -104,6 +104,14 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                              "[,arrival=poisson|deterministic]' "
                              "(aggregated open-loop arrivals; population "
                              "sizes the emulated user-id space only)")
+    parser.add_argument("--geo", metavar="SPEC", default=None,
+                        help="stretch the cluster across datacenters "
+                             "(repro.geo): 'dc0,dc1,dc2"
+                             "[:placement=spread|leader-local|pinned]"
+                             "[:quorum=majority|leader-local|flex:K]"
+                             "[:wan=MS][:client=DC][:pin=DC|DC|..]'; "
+                             "enables DC-scoped faultload kinds "
+                             "(dcfail/wanpart/wandegrade)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -208,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the simulation kernel (closed- and "
                       "open-loop events/sec, wall-clock per simulated "
                       "second, peak WIPS) and write a BENCH_*.json report")
+    bench.add_argument("--geo", action="store_true",
+                       help="benchmark the geo subsystem instead: one "
+                            "3-DC point per quorum shape (leader-local "
+                            "vs spread/majority), with the WIRT network "
+                            "bucket's intra-DC/WAN split; default --out "
+                            "becomes bench_reports/BENCH_8_geo.json")
     bench.add_argument("--scale", choices=["tiny", "bench", "paper"],
                        default="tiny",
                        help="experiment scale to benchmark (default tiny, "
@@ -313,6 +327,67 @@ def _parse_load_spec(spec: str) -> dict:
     return kwargs
 
 
+def _parse_geo_spec(spec: str) -> dict:
+    """``--geo`` SPEC -> kwargs for :meth:`Experiment.geo`.
+
+    Grammar: a comma-separated list of datacenter names, then
+    colon-separated ``key=value`` options: ``placement=``, ``quorum=``,
+    ``wan=<one-way ms>``, ``client=<dc>``, ``pin=<dc>|<dc>|...``.
+    A colon chunk without ``=`` continues the previous option's value,
+    so ``quorum=flex:3`` parses as one option.
+    """
+    head, *rest = spec.split(":")
+    dcs = tuple(part.strip() for part in head.split(",") if part.strip())
+    if not dcs:
+        raise ValueError(f"--geo needs at least one datacenter name "
+                         f"before the options, got {spec!r}")
+    options: list = []
+    for chunk in rest:
+        if "=" not in chunk and options:
+            options[-1] = f"{options[-1]}:{chunk}"
+        else:
+            options.append(chunk)
+    kwargs: dict = {"dcs": dcs}
+    for option in options:
+        key, sep, value = option.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not value:
+            raise ValueError(f"bad --geo option {option!r} "
+                             f"(expected key=value)")
+        if key == "placement":
+            kwargs["placement"] = value
+        elif key == "quorum":
+            kwargs["quorum"] = value
+        elif key == "wan":
+            try:
+                kwargs["wan_ms"] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad --geo wan latency {value!r} "
+                    f"(one-way milliseconds)") from None
+        elif key == "client":
+            kwargs["client_dc"] = value
+        elif key == "pin":
+            kwargs["pinned"] = tuple(
+                part.strip() for part in value.split("|") if part.strip())
+        else:
+            raise ValueError(f"unknown --geo option {key!r} (expected "
+                             f"placement, quorum, wan, client, or pin)")
+    return kwargs
+
+
+def _geo_config_from_spec(spec: str):
+    """``--geo`` SPEC -> a ready :class:`repro.geo.GeoConfig` (for the
+    sweep/explore paths, which build :class:`ClusterConfig` directly)."""
+    from repro.geo import DEFAULT_WAN, GeoConfig, Topology
+    kwargs = _parse_geo_spec(spec)
+    dcs = kwargs.pop("dcs")
+    wan_ms = kwargs.pop("wan_ms", None)
+    wan = DEFAULT_WAN if wan_ms is None else replace(
+        DEFAULT_WAN, latency_s=wan_ms / 1000.0)
+    return GeoConfig(topology=Topology(dcs, wan=wan), **kwargs)
+
+
 def _build_experiment(args) -> Experiment:
     """Cluster options -> Experiment, load routed through .load()."""
     scale = _scale_for(args.scale)
@@ -322,7 +397,10 @@ def _build_experiment(args) -> Experiment:
     load_kwargs = _parse_load_spec(args.load or "closed")
     mode = load_kwargs.pop("mode")
     load_kwargs.setdefault("wips", args.offered_wips)
-    return experiment.load(mode, mix=args.profile, **load_kwargs)
+    experiment.load(mode, mix=args.profile, **load_kwargs)
+    if getattr(args, "geo", None):
+        experiment.geo(**_parse_geo_spec(args.geo))
+    return experiment
 
 
 # ======================================================================
@@ -464,6 +542,12 @@ def _cmd_sweep(args) -> int:
         return 2
     try:
         load = _load_config_overrides(args.load) if args.load else None
+        if args.geo:
+            # The sweep drivers apply `load` as plain ClusterConfig
+            # field overrides, so the geo deployment rides in the same
+            # way on every point.
+            load = dict(load or {})
+            load["geo"] = _geo_config_from_spec(args.geo)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -552,6 +636,12 @@ def _cmd_trace(args) -> int:
             f"WIRT critical path "
             f"({len(report.interactions)} interactions)",
             ["bucket", "p50", "p90", "p99", "mean", "share"], rows))
+        split = report.network_split_totals()
+        if split["wan"] > 0.0:
+            network_s = split["intra"] + split["wan"]
+            print(f"network split: intra-DC {split['intra']:.2f}s + "
+                  f"WAN {split['wan']:.2f}s = {network_s:.2f}s "
+                  f"({100.0 * split['wan'] / network_s:.1f}% WAN)")
     if args.recovery_phases or both:
         phases = result.recovery_phases()
         if not phases:
@@ -589,15 +679,24 @@ def _cmd_bench(args) -> int:
         OPEN_POPULATION,
         compare,
         format_report,
+        run_geo_bench,
         run_kernel_bench,
     )
 
-    population = args.population or OPEN_POPULATION
-    print(f"benchmarking kernel | scale={args.scale} | closed + open "
-          f"({population:,} users)", flush=True)
-    report = run_kernel_bench(scale=args.scale, seed=args.seed,
-                              wips=args.offered_wips,
-                              population=population)
+    if args.geo:
+        if args.out == "bench_reports/BENCH_7_kernel.json":
+            args.out = "bench_reports/BENCH_8_geo.json"
+        print(f"benchmarking geo | scale={args.scale} | 3 DCs, "
+              f"leader-local vs spread quorums", flush=True)
+        report = run_geo_bench(scale=args.scale, seed=args.seed,
+                               wips=args.offered_wips)
+    else:
+        population = args.population or OPEN_POPULATION
+        print(f"benchmarking kernel | scale={args.scale} | closed + open "
+              f"({population:,} users)", flush=True)
+        report = run_kernel_bench(scale=args.scale, seed=args.seed,
+                                  wips=args.offered_wips,
+                                  population=population)
     print(format_report(report))
     if args.out:
         _ensure_parent(args.out)
@@ -626,10 +725,16 @@ def _cmd_explore(args) -> int:
     from repro.faults.explore import ExplorationRunner, explore
 
     scale = _scale_for(args.scale)
+    try:
+        geo = _geo_config_from_spec(args.geo) if args.geo else None
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     config = ClusterConfig(
         scale=scale, replicas=args.replicas, num_ebs=args.ebs,
         profile=args.profile, offered_wips=args.offered_wips,
-        seed=args.seed, enable_fast=not args.no_fast, shards=args.shards)
+        seed=args.seed, enable_fast=not args.no_fast, shards=args.shards,
+        geo=geo)
     if args.load:
         try:
             config = replace(config, **_load_config_overrides(args.load))
@@ -708,8 +813,29 @@ def _shard_series(timeline: dict, stem: str) -> dict:
     return out
 
 
+def _geo_series(timeline: dict, stem: str) -> dict:
+    """dc name -> points of ``geo.<dc>.<stem>`` in a saved timeline."""
+    series = (timeline or {}).get("series", {})
+    out = {}
+    for name, payload in series.items():
+        match = re.match(rf"geo\.([A-Za-z][A-Za-z0-9_-]*)\.{re.escape(stem)}$",
+                         name)
+        if match:
+            out[match.group(1)] = payload["points"]
+    return out
+
+
+def _grouped_series(timeline: dict, stem: str):
+    """(group label, group -> points): per-shard series when the run was
+    sharded, else the per-datacenter series of a geo run."""
+    shard = _shard_series(timeline, stem)
+    if shard:
+        return "shard", shard
+    return "dc", _geo_series(timeline, stem)
+
+
 def _cmd_report_aggregate(args) -> int:
-    """Fold per-shard timelines into cluster-level WIPS/WIRT series."""
+    """Fold per-shard (or per-DC) timelines into cluster-level series."""
     results = [(path, _load_result(path)) for path in args.paths]
     by_shards = {path: data.get("config", {}).get("shards", 1)
                  for path, data in results}
@@ -722,13 +848,15 @@ def _cmd_report_aggregate(args) -> int:
 
     cluster_wips = []   # one aggregated (t, wips) series per input
     cluster_wirt = []
+    label = "shard"
     shard_awips: dict = {}
     for path, data in results:
-        ok = _shard_series(data.get("timeline"), "interactions_ok")
-        wirt = _shard_series(data.get("timeline"), "wirt_sum_s")
+        label, ok = _grouped_series(data.get("timeline"), "interactions_ok")
+        _, wirt = _grouped_series(data.get("timeline"), "wirt_sum_s")
         if not ok:
-            print(f"error: {path} has no per-shard timeline; rerun with "
-                  f"--shards k --obs --json", file=sys.stderr)
+            print(f"error: {path} has no per-shard or per-DC timeline; "
+                  f"rerun with --shards k --obs --json "
+                  f"(or --geo dc0,dc1,.. --obs --json)", file=sys.stderr)
             return 1
         rates = {g: _counter_rate(points) for g, points in ok.items()}
         ticks = min((len(r) for r in rates.values()), default=0)
@@ -767,16 +895,18 @@ def _cmd_report_aggregate(args) -> int:
     wips_series = _average(cluster_wips)
     wirt_series = _average([s for s in cluster_wirt if s] or [[]])
     shards = next(iter(by_shards.values()))
-    rows = [[f"shard {g} AWIPS",
+    rows = [[f"{label} {g} AWIPS",
              f"{sum(values) / len(values):.1f}"]
             for g, values in sorted(shard_awips.items())]
     total = sum(sum(values) / len(values) for values in shard_awips.values())
-    rows.append(["cluster AWIPS (sum of shards)", f"{total:.1f}"])
+    rows.append([f"cluster AWIPS (sum of {label}s)", f"{total:.1f}"])
+    groups = (f"{shards} shard(s)" if label == "shard"
+              else f"{len(shard_awips)} datacenter(s)")
     print(format_table(
-        f"aggregate of {len(results)} run(s) ({shards} shard(s))",
+        f"aggregate of {len(results)} run(s) ({groups})",
         ["measure", "value"], rows))
     print()
-    print(format_series("cluster WIPS (all shards)", wips_series,
+    print(format_series(f"cluster WIPS (all {label}s)", wips_series,
                         x_label="t(s)", y_label="WIPS"))
     if wirt_series:
         print()

@@ -29,6 +29,7 @@ from repro.faults.faultload import (NEMESIS_KINDS, ONEWAY_KIND,
                                     STORAGE_KINDS, FaultEvent, Faultload)
 from repro.faults.metrics import MetricsCollector, NemesisStats
 from repro.faults.watchdog import Watchdog
+from repro.geo import DegradeWindow, GeoState
 from repro.harness.config import ClusterConfig
 from repro.load import build_load
 from repro.obs import (KernelProfiler, MetricsRegistry, SpanTracer,
@@ -280,6 +281,20 @@ class RobustStoreCluster:
                                   config.proxy_params())
         self.proxy.start()
 
+        # --- geo-replication (repro.geo) --------------------------------
+        # Node-to-DC assignment + the per-link delay model, attached
+        # before the simulation's first event; the proxy starts
+        # attributing completed interactions to the serving replica's DC.
+        self.geo_state: Optional[GeoState] = None
+        if config.geo is not None:
+            self.geo_state = GeoState(
+                config.geo,
+                [list(zip(range(config.replicas), self.replica_names))],
+                [self.proxy_node.name]
+                + [node.name for node in self.client_nodes])
+            self.network.set_geo(self.geo_state.model)
+            self.proxy.set_backend_dcs(self.geo_state.replica_dc_of)
+
         # --- watchdogs ---------------------------------------------------
         self.group.start_watchdogs()
         self.watchdogs = self.group.watchdogs
@@ -318,6 +333,17 @@ class RobustStoreCluster:
         obs.gauge("paxos.live_replicas",
                   lambda: float(len(self.live_replicas())))
         obs.gauge("treplica.queue_depth", self._max_apply_backlog)
+        if self.geo_state is not None:
+            model = self.geo_state.model
+            obs.gauge("sim.net_wan_messages",
+                      lambda: float(model.wan_messages))
+            obs.gauge("sim.net_wan_mb", lambda: model.wan_mb)
+            for dc in self.geo_state.geo.topology.dcs:
+                indexes = tuple(self.geo_state.replica_targets(dc))
+                obs.gauge(f"geo.{dc}.live_replicas",
+                          lambda idx=indexes: float(sum(
+                              1 for i in idx
+                              if self.replica_nodes[i].alive)))
 
     def _max_apply_backlog(self) -> float:
         return self.group.max_apply_backlog()
@@ -433,6 +459,56 @@ class RobustStoreCluster:
 
     def disable_watchdog(self, index: int) -> None:
         self.group.disable_watchdog(index)
+
+    # ------------------------------------------------------------------
+    # DC-scoped faults (geo runs only)
+    # ------------------------------------------------------------------
+    def _geo(self) -> GeoState:
+        if self.geo_state is None:
+            raise RuntimeError(
+                "DC-scoped faults need a geo topology; configure one via "
+                "Experiment.geo(...) or the CLI --geo option")
+        return self.geo_state
+
+    def fail_dc(self, dc: str) -> int:
+        """Full DC outage: crash every replica housed in ``dc``, with
+        watchdogs disabled so nothing restarts while the power is out.
+        Returns the number of replicas actually taken down."""
+        crashed = 0
+        for index in self._geo().replica_targets(dc):
+            self.disable_watchdog(index)
+            if self.replica_nodes[index].alive:
+                self.crash_replica(index)
+                crashed += 1
+        return crashed
+
+    def restore_dc(self, dc: str) -> None:
+        """Power restored: re-enable the DC's watchdogs, which revive
+        the crashed servers on their own (autonomous recovery)."""
+        for index in self._geo().replica_targets(dc):
+            self.watchdogs[index].enabled = self.config.watchdog_enabled
+
+    def wan_partition(self, dc: str, peer_dcs) -> None:
+        """Sever every node pair between ``dc`` and ``peer_dcs`` (both
+        directions -- the WAN path is down, not one router queue)."""
+        for a, b in self._geo().cut_pairs(dc, peer_dcs):
+            self.network.block(a, b)
+
+    def heal_wan_partition(self, dc: str, peer_dcs) -> None:
+        for a, b in self._geo().cut_pairs(dc, peer_dcs):
+            self.network.unblock(a, b)
+
+    def wan_degrade(self, event: FaultEvent) -> None:
+        """Arm one windowed asymmetric WAN slowdown (times already on
+        the compressed timeline)."""
+        state = self._geo()
+        state.require_dc(event.dc)
+        state.require_dc(event.to_dc)
+        state.model.add_degrade(DegradeWindow(
+            start=event.at,
+            end=event.until if event.until is not None else math.inf,
+            src_dc=event.dc, dst_dc=event.to_dc,
+            factor=event.factor if event.factor is not None else 4.0))
 
     # ------------------------------------------------------------------
     # run auditing

@@ -21,6 +21,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.geo.placement import GeoConfig, paxos_geo_overrides
 from repro.paxos.config import PaxosConfig
 from repro.treplica.config import TreplicaConfig
 from repro.web.proxy import ProxyParams
@@ -191,6 +192,11 @@ class ClusterConfig:
     # Closed mode: exact RBE count override (None keeps the WIPS x think
     # time law).  Set via Experiment.load("closed", clients=N).
     clients: Optional[int] = None
+    # Geo-replication (repro.geo): a GeoConfig stretching the deployment
+    # across datacenters -- topology (per-link latency matrix), replica
+    # placement, and quorum shape.  None keeps the paper's single-switch
+    # cluster bit-for-bit (no delay model attached, no Paxos overrides).
+    geo: Optional[GeoConfig] = None
 
     def __post_init__(self):
         if self.load_mode not in ("closed", "open"):
@@ -231,8 +237,15 @@ class ClusterConfig:
         # wall second), so they are pre-divided by load_div to cancel the
         # slowed replica CPUs; recovery time then compresses exactly with
         # time_div, like the paper's timeline.
-        paxos = replace(PaxosConfig(enable_fast=self.enable_fast),
-                        **dict(self.paxos_overrides))
+        base_paxos = PaxosConfig(enable_fast=self.enable_fast)
+        if self.geo is not None:
+            # WAN-aware failure detection and quorum shape, derived from
+            # the topology; explicit paxos_overrides still win below.
+            base_paxos = replace(base_paxos, **paxos_geo_overrides(
+                self.geo, self.replicas,
+                base_paxos.heartbeat_interval_s,
+                base_paxos.failure_timeout_s))
+        paxos = replace(base_paxos, **dict(self.paxos_overrides))
         return replace(
             TreplicaConfig(
                 paxos=paxos,
@@ -250,9 +263,17 @@ class ClusterConfig:
         # proportion of the measurement interval as in the paper.
         scale = self.scale
         base = ProxyParams()
+        probe_timeout_s = scale.t(base.probe_timeout_s)
+        if self.geo is not None:
+            # WAN link latencies live in the load domain (they do not
+            # compress with the timeline), so the probe timeout needs a
+            # floor above the slowest healthy round trip or every
+            # cross-DC backend looks permanently down.
+            probe_timeout_s = max(probe_timeout_s,
+                                  2.0 * self.geo.topology.max_rtt_s())
         return ProxyParams(
             probe_interval_s=scale.t(base.probe_interval_s),
-            probe_timeout_s=scale.t(base.probe_timeout_s),
+            probe_timeout_s=probe_timeout_s,
             fall=base.fall, rise=base.rise,
             max_dispatch_attempts=base.max_dispatch_attempts)
 

@@ -182,6 +182,48 @@ class Experiment:
         self._overrides["shards"] = int(k)
         return self
 
+    def geo(self, topology=None, *, dcs=None, placement: Optional[str] = None,
+            quorum: Optional[str] = None, wan_ms: Optional[float] = None,
+            client_dc: Optional[str] = None,
+            pinned=None) -> "Experiment":
+        """Stretch the deployment across datacenters (:mod:`repro.geo`).
+
+        Either pass a ready :class:`~repro.geo.Topology`, or name the
+        datacenters and let the defaults build one (``wan_ms`` overrides
+        the default one-way WAN latency)::
+
+            Experiment().geo(dcs=("us-east", "us-west", "eu"),
+                             placement="leader-local",
+                             quorum="leader-local", wan_ms=40)
+
+        ``placement`` seats the replicas (``spread``, ``leader-local``,
+        ``pinned`` + ``pinned=(dc, ...)``); ``quorum`` shapes the Paxos
+        quorums (``majority``, ``leader-local``, ``flex:<k>``);
+        ``client_dc`` is where the proxy and the emulated browsers live
+        (default: the first DC).  Failure-detector timeouts stretch with
+        the topology's worst RTT automatically.
+        """
+        from repro.geo import DEFAULT_WAN, GeoConfig, Topology
+        if topology is None:
+            if not dcs:
+                raise ValueError("geo() needs a Topology or dcs=(...)")
+            wan = DEFAULT_WAN if wan_ms is None else replace(
+                DEFAULT_WAN, latency_s=float(wan_ms) / 1000.0)
+            topology = Topology(tuple(dcs), wan=wan)
+        elif dcs is not None or wan_ms is not None:
+            raise ValueError("pass a ready Topology or dcs/wan_ms, not both")
+        kwargs = {}
+        if placement is not None:
+            kwargs["placement"] = placement
+        if quorum is not None:
+            kwargs["quorum"] = quorum
+        if client_dc is not None:
+            kwargs["client_dc"] = client_dc
+        if pinned is not None:
+            kwargs["pinned"] = tuple(pinned)
+        self._overrides["geo"] = GeoConfig(topology=topology, **kwargs)
+        return self
+
     def observe(self, tick_s: float = 5.0) -> "Experiment":
         """Enable the observability stack (metrics registry, timeline
         sampling every ``tick_s`` paper-seconds, kernel profiling)."""
@@ -279,6 +321,12 @@ class Experiment:
         """Build the deployment, inject the faults, return the result."""
         config = self.build_config()
         faultload, setup = self._resolve_faultload(config)
+        if faultload.geo_events() and config.geo is None:
+            kinds = sorted({e.kind for e in faultload.geo_events()})
+            raise ValueError(
+                f"faultload uses DC-scoped kinds ({', '.join(kinds)}) but "
+                f"no geo topology is configured; chain .geo(dcs=(...)) "
+                f"or pass --geo")
         return _execute(config, faultload, setup=setup)
 
     def _resolve_faultload(self, config: ClusterConfig):

@@ -285,7 +285,7 @@ def _execute(config: ClusterConfig, faultload: Faultload,
     cluster.run_until(scale.total_s)
     first_crash = None
     crash_times = [t for t, kind, _r in injector.injected
-                   if kind in ("crash", "partition")]
+                   if kind in ("crash", "partition", "dcfail", "wanpart")]
     if crash_times:
         first_crash = min(crash_times)
     violations = None

@@ -333,6 +333,18 @@ class CriticalPathReport:
                 totals[bucket] += seconds
         return totals
 
+    def network_split_totals(self) -> Dict[str, float]:
+        """Summed intra-DC vs WAN seconds inside the network bucket.
+
+        On non-geo runs every hop is intra-DC, so ``wan`` is 0.0 and
+        ``intra`` equals the network total.
+        """
+        totals = {"intra": 0.0, "wan": 0.0}
+        for entry in self.interactions:
+            totals["intra"] += entry["network_split"]["intra"]
+            totals["wan"] += entry["network_split"]["wan"]
+        return totals
+
     def bucket_quantiles(
             self, qs: Iterable[float] = (0.5, 0.9, 0.99),
     ) -> Dict[str, Dict[str, float]]:
@@ -352,6 +364,7 @@ class CriticalPathReport:
     def to_dict(self) -> Dict[str, Any]:
         return {"interactions": self.interactions,
                 "totals": self.totals(),
+                "network_split": self.network_split_totals(),
                 "quantiles": self.bucket_quantiles()}
 
 
@@ -411,6 +424,12 @@ def critical_path(tracer: SpanTracer,
             if b <= a:
                 continue
             bucket, priority = mapped
+            if span.kind == "net":
+                # Geo runs tag cross-datacenter hops (repro.geo); the
+                # sweep folds both sub-buckets back into "network" so
+                # the split is a refinement, not a new bucket.
+                bucket = ("network#wan" if span.fields.get("wan")
+                          else "network#intra")
             segments.append((a, b, bucket, priority))
             if span.kind != "execute":
                 continue
@@ -429,6 +448,7 @@ def critical_path(tracer: SpanTracer,
                     c, d = max(other.start, a), min(other.end, b)
                     if d > c:
                         segments.append((c, d, "apply", _APPLY_PRIORITY))
+        buckets, network_split = _sweep(t0, t1, segments)
         interactions.append({
             "trace": root.trace,
             "interaction": root.fields.get("interaction"),
@@ -436,16 +456,26 @@ def critical_path(tracer: SpanTracer,
             "start": t0,
             "wirt_s": t1 - t0,
             "ok": bool(root.fields.get("ok", True)),
-            "buckets": _sweep(t0, t1, segments),
+            "buckets": buckets,
+            "network_split": network_split,
         })
     return CriticalPathReport(interactions)
 
 
 def _sweep(t0: float, t1: float,
-           segments: List[Tuple[float, float, str, int]]) -> Dict[str, float]:
+           segments: List[Tuple[float, float, str, int]],
+           ) -> Tuple[Dict[str, float], Dict[str, float]]:
     """Charge each elementary interval of ``[t0, t1]`` to the
-    highest-priority covering segment; leftovers go to "other"."""
+    highest-priority covering segment; leftovers go to "other".
+
+    Network time is accumulated per sub-bucket (``network#intra`` /
+    ``network#wan``, see :func:`critical_path`) and the "network"
+    bucket is *defined* as their sum, so the returned split components
+    always add up to the network bucket exactly -- bit-for-bit, not
+    just within float tolerance.
+    """
     buckets = {bucket: 0.0 for bucket in BUCKETS}
+    split = {"intra": 0.0, "wan": 0.0}
     cuts = {t0, t1}
     for a, b, _bucket, _priority in segments:
         cuts.add(a)
@@ -459,8 +489,14 @@ def _sweep(t0: float, t1: float,
         for a, b, bucket, priority in segments:
             if priority > best_priority and a <= midpoint < b:
                 best, best_priority = bucket, priority
-        buckets[best] += right - left
-    return buckets
+        if best == "network#intra":
+            split["intra"] += right - left
+        elif best == "network#wan":
+            split["wan"] += right - left
+        else:
+            buckets[best] += right - left
+    buckets["network"] = split["intra"] + split["wan"]
+    return buckets, split
 
 
 # ----------------------------------------------------------------------

@@ -59,6 +59,17 @@ class PaxosConfig:
     # Durability sizes.
     promise_entry_mb: float = 0.0002
 
+    # Flexible quorums (FPaxos): override the phase-1 (leader election /
+    # recovery promise) and phase-2 (classic accept) quorum sizes.  The
+    # engine enforces q1 + q2 > n so any election quorum intersects any
+    # commit quorum, and requires enable_fast=False (the fast-round
+    # quorum and recovery rule assume plain majorities).  Geo deployments
+    # (repro.geo) derive these from the quorum-shape policy -- e.g. a
+    # leader-local phase-2 quorum that never crosses the WAN.  None keeps
+    # the classic n//2 + 1 majority.
+    phase1_quorum: Optional[int] = None
+    phase2_quorum: Optional[int] = None
+
     # DANGER -- mutation knob for checker-validity tests only.  Forcing a
     # classic quorum below the majority breaks the quorum-intersection
     # property, so independent coordinators can decide different values

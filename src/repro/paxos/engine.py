@@ -82,9 +82,33 @@ class PaxosEngine:
         self.names = list(replica_names)
         self.me = my_id
         self.n = len(replica_names)
-        self.cq = (config.classic_quorum_override
-                   if config.classic_quorum_override is not None
-                   else classic_quorum(self.n))
+        if config.classic_quorum_override is not None:
+            # Checker-validity mutation knob: force BOTH phase quorums so
+            # the broken-intersection runs it powers stay reachable.
+            self.q1 = self.q2 = config.classic_quorum_override
+        else:
+            self.q1 = (config.phase1_quorum
+                       if config.phase1_quorum is not None
+                       else classic_quorum(self.n))
+            self.q2 = (config.phase2_quorum
+                       if config.phase2_quorum is not None
+                       else classic_quorum(self.n))
+            if (config.phase1_quorum is not None
+                    or config.phase2_quorum is not None):
+                if not (1 <= self.q1 <= self.n and 1 <= self.q2 <= self.n):
+                    raise ValueError(
+                        f"phase quorums out of range for n={self.n}: "
+                        f"q1={self.q1}, q2={self.q2}")
+                if self.q1 + self.q2 <= self.n:
+                    raise ValueError(
+                        f"flexible quorums must intersect: q1 + q2 > n "
+                        f"(got q1={self.q1}, q2={self.q2}, n={self.n})")
+                if config.enable_fast:
+                    raise ValueError("flexible phase quorums require "
+                                     "enable_fast=False")
+        # Classic (phase-2) quorum under its historical name: the mode
+        # rule and a pile of tests read it.
+        self.cq = self.q2
         self.fq = fast_quorum(self.n)
         self.config = config
         self._rng = seed.fork_random(f"paxos-{my_id}")
@@ -595,7 +619,7 @@ class PaxosEngine:
         if message.ballot != self.my_ballot or self.leading:
             return
         self._phase1_promises[src] = message
-        if len(self._phase1_promises) < self.cq:
+        if len(self._phase1_promises) < self.q1:
             return
         # Quorum of promises: adopt mandated values, fill gaps, go live.
         per_instance: Dict[int, List[Tuple[Ballot, Batch]]] = {}
@@ -688,7 +712,7 @@ class PaxosEngine:
             return
         ballot, promises = state
         promises[src] = message
-        if len(promises) < self.cq:
+        if len(promises) < self.q1:
             return
         votes = [(p.vrnd, p.vval) for p in promises.values()
                  if p.vval is not None]
@@ -871,7 +895,7 @@ class PaxosEngine:
         per_instance = self._vote_sets.setdefault(instance, {})
         voters = per_instance.setdefault(key, set())
         voters.add(src)
-        quorum = self.fq if message.ballot.fast else self.cq
+        quorum = self.fq if message.ballot.fast else self.q2
         if len(voters) >= quorum:
             self._decide(instance, message.value)
             return

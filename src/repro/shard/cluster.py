@@ -39,6 +39,7 @@ from repro.faults.faultload import (
     Faultload,
 )
 from repro.faults.metrics import MetricsCollector, NemesisStats
+from repro.geo import DegradeWindow, GeoState
 from repro.harness.cluster import ReplicaGroup
 from repro.harness.config import ClusterConfig
 from repro.load import build_load
@@ -147,6 +148,21 @@ class ShardedCluster:
                                  self.partitioner, config.proxy_params())
         self.proxy.start()
 
+        # --- geo-replication (repro.geo) --------------------------------
+        # Same placement for every group: shard g's replica i sits in the
+        # same DC as shard h's replica i, so one DC outage hits the same
+        # quorum slot everywhere.
+        self.geo_state: Optional[GeoState] = None
+        if config.geo is not None:
+            self.geo_state = GeoState(
+                config.geo,
+                [[((g, i), name) for i, name in enumerate(names)]
+                 for g, names in enumerate(self._group_names)],
+                [self.proxy_node.name]
+                + [node.name for node in self.client_nodes])
+            self.network.set_geo(self.geo_state.model)
+            self.proxy.set_backend_dcs(self.geo_state.replica_dc_of)
+
         # --- watchdogs (per group) -------------------------------------
         for group in self.groups:
             group.start_watchdogs()
@@ -216,6 +232,17 @@ class ShardedCluster:
                       lambda grp=group: float(len(grp.live_replicas())))
             obs.gauge(f"shard.s{g}.queue_depth",
                       lambda grp=group: grp.max_apply_backlog())
+        if self.geo_state is not None:
+            model = self.geo_state.model
+            obs.gauge("sim.net_wan_messages",
+                      lambda: float(model.wan_messages))
+            obs.gauge("sim.net_wan_mb", lambda: model.wan_mb)
+            for dc in self.geo_state.geo.topology.dcs:
+                targets = tuple(self.geo_state.replica_targets(dc))
+                obs.gauge(f"geo.{dc}.live_replicas",
+                          lambda tgts=targets: float(sum(
+                              1 for (g, i) in tgts
+                              if self.groups[g].replica_nodes[i].alive)))
 
     def _max_apply_backlog(self) -> float:
         return max(group.max_apply_backlog() for group in self.groups)
@@ -342,6 +369,57 @@ class ShardedCluster:
             end=event.until if event.until is not None else math.inf,
             p=event.p if event.p is not None else 1.0,
             slow_factor=event.factor if event.factor is not None else 4.0))
+
+    # ------------------------------------------------------------------
+    # DC-scoped faults (geo runs only)
+    # ------------------------------------------------------------------
+    def _geo(self) -> GeoState:
+        if self.geo_state is None:
+            raise RuntimeError(
+                "DC-scoped faults need a geo topology; configure one via "
+                "Experiment.geo(...) or the CLI --geo option")
+        return self.geo_state
+
+    def fail_dc(self, dc: str) -> int:
+        """Full DC outage across every shard: crash each replica housed
+        in ``dc`` with its watchdog disabled.  Returns the count taken
+        down."""
+        crashed = 0
+        for target in self._geo().replica_targets(dc):
+            self.disable_watchdog(target)
+            shard, index = self._resolve(target)
+            if self.groups[shard].replica_nodes[index].alive:
+                self.crash_replica(target)
+                crashed += 1
+        return crashed
+
+    def restore_dc(self, dc: str) -> None:
+        """Power restored: re-enable the DC's watchdogs (autonomous
+        revival, no intervention counted)."""
+        for target in self._geo().replica_targets(dc):
+            shard, index = self._resolve(target)
+            self.groups[shard].watchdogs[index].enabled = \
+                self.config.watchdog_enabled
+
+    def wan_partition(self, dc: str, peer_dcs) -> None:
+        for a, b in self._geo().cut_pairs(dc, peer_dcs):
+            self.network.block(a, b)
+
+    def heal_wan_partition(self, dc: str, peer_dcs) -> None:
+        for a, b in self._geo().cut_pairs(dc, peer_dcs):
+            self.network.unblock(a, b)
+
+    def wan_degrade(self, event: FaultEvent) -> None:
+        """Arm one windowed asymmetric WAN slowdown (times already on
+        the compressed timeline)."""
+        state = self._geo()
+        state.require_dc(event.dc)
+        state.require_dc(event.to_dc)
+        state.model.add_degrade(DegradeWindow(
+            start=event.at,
+            end=event.until if event.until is not None else math.inf,
+            src_dc=event.dc, dst_dc=event.to_dc,
+            factor=event.factor if event.factor is not None else 4.0))
 
     # ------------------------------------------------------------------
     # run auditing

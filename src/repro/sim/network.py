@@ -213,9 +213,15 @@ class Network:
         self._nodes: Dict[str, Any] = {}
         self._blocked: Set[Tuple[str, str]] = set()
         self.nemesis = nemesis
+        # Optional geo-replication delay model (repro.geo.GeoDelayModel):
+        # when attached, per-message latency/bandwidth/jitter come from
+        # the DC-to-DC link matrix instead of the flat switch params.
+        self.geo = None
         self.messages_sent = 0
         self.messages_delivered = 0
         self.mb_sent = 0.0
+        self.wan_messages_sent = 0
+        self.wan_mb_sent = 0.0
         # Scheduled-but-not-yet-delivered traffic (per delivery copy);
         # observability gauges read these to chart switch congestion.
         self.inflight_messages = 0
@@ -236,6 +242,11 @@ class Network:
 
     def node_names(self):
         return list(self._nodes)
+
+    def set_geo(self, model: Any) -> None:
+        """Attach a geo delay model; pass ``None`` to restore the flat
+        single-switch calibration."""
+        self.geo = model
 
     # ------------------------------------------------------------------
     # fault injection
@@ -298,14 +309,32 @@ class Network:
         else:
             message = Message(src, dst, port, payload, size_mb,
                               sent_at=self._sim.now)
+        if self.geo is None:
+            wan = False
+            latency = self.params.base_latency_s
+            transmit_s = size_mb / self.params.bandwidth_mb_s
+            jitter_mean_s = self.params.jitter_mean_s
+        else:
+            link, wan, factor = self.geo.link_for(self._sim.now, src, dst)
+            latency = link.latency_s * factor
+            transmit_s = size_mb / link.bandwidth_mb_s
+            jitter_mean_s = link.jitter_mean_s
+            if wan:
+                self.wan_messages_sent += 1
+                self.wan_mb_sent += size_mb
+                self.geo.wan_messages += 1
+                self.geo.wan_mb += size_mb
         if tracer is not None:
-            message.span = tracer.begin("net", f"{src}->{dst}",
-                                        trace=trace, port=port)
+            if wan:
+                message.span = tracer.begin("net", f"{src}->{dst}",
+                                            trace=trace, port=port, wan=True)
+            else:
+                message.span = tracer.begin("net", f"{src}->{dst}",
+                                            trace=trace, port=port)
         message._copies = len(fates)
         for extra_delay in fates:
-            delay = (self.params.base_latency_s
-                     + size_mb / self.params.bandwidth_mb_s
-                     + self._rng.expovariate(1.0 / self.params.jitter_mean_s)
+            delay = (latency + transmit_s
+                     + self._rng.expovariate(1.0 / jitter_mean_s)
                      + extra_delay)
             self.inflight_messages += 1
             self.inflight_mb += size_mb

@@ -76,6 +76,22 @@ class ReverseProxy:
         self._obs_broken = obs.counter("web.proxy_broken_connections")
         self._obs_no_backend = obs.counter("web.proxy_no_backend")
         self._obs_removals = obs.counter("web.proxy_backend_removals")
+        # Geo runs (repro.geo): backend -> DC, with per-DC ok/WIRT
+        # counters attributing each completed interaction to the DC that
+        # served it.  None on non-geo deployments (zero-cost check).
+        self._backend_dcs: Optional[Dict[str, str]] = None
+        self._geo_ok: Dict[str, object] = {}
+        self._geo_wirt: Dict[str, object] = {}
+
+    def set_backend_dcs(self, dc_of: Dict[str, str]) -> None:
+        """Attach the backend-to-datacenter map (geo deployments); the
+        per-DC ``geo.<dc>.interactions_ok`` / ``geo.<dc>.wirt_sum_s``
+        counters feed the aggregate report's per-DC breakdown."""
+        obs = registry_of(self.node.sim)
+        self._backend_dcs = dict(dc_of)
+        for dc in sorted(set(dc_of.values())):
+            self._geo_ok[dc] = obs.counter(f"geo.{dc}.interactions_ok")
+            self._geo_wirt[dc] = obs.counter(f"geo.{dc}.wirt_sum_s")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -167,13 +183,18 @@ class ReverseProxy:
         entry = self._inflight.pop(response.req_id, None)
         if entry is None:
             return
-        request, _backend, attempt = entry
+        request, backend, attempt = entry
         if response.refused:
             # Server up but not accepting (recovering): redispatch silently.
             self.stats["redispatched"] += 1
             self._obs_reroutes.inc()
             self._dispatch(request, attempt + 1)
             return
+        if self._backend_dcs is not None and response.ok:
+            dc = self._backend_dcs.get(backend)
+            if dc is not None:
+                self._geo_ok[dc].inc()
+                self._geo_wirt[dc].inc(self.node.sim.now - request.sent_at)
         # Reuse the backend's Response object for the client reply instead
         # of allocating a copy; _reply restamps req_id and nothing else
         # holds a reference to the delivered payload.

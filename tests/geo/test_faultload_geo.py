@@ -1,0 +1,74 @@
+"""Grammar tests for the DC-scoped faultload kinds (repro.geo)."""
+
+import pytest
+
+from repro.faults.faultload import Faultload
+from repro.harness import Experiment, tiny_scale
+
+
+def test_dcfail_parses():
+    load = Faultload.parse("dcfail@240:dc1")
+    (event,) = load.events
+    assert event.kind == "dcfail"
+    assert event.at == 240.0 and event.until is None
+    assert event.dc == "dc1"
+
+
+def test_dcfail_window_parses():
+    (event,) = Faultload.parse("dcfail@240-400:dc1").events
+    assert event.at == 240.0 and event.until == 400.0
+
+
+def test_wanpart_parses_comma_separated_far_side():
+    (event,) = Faultload.parse("wanpart@240-420:dc0|dc1,dc2").events
+    assert event.kind == "wanpart"
+    assert event.dc == "dc0"
+    assert event.peer_dcs == ("dc1", "dc2")
+    assert event.until == 420.0
+
+
+def test_wandegrade_parses_with_factor():
+    (event,) = Faultload.parse("wandegrade@100-200:dc0>dc1,x5").events
+    assert event.kind == "wandegrade"
+    assert event.dc == "dc0" and event.to_dc == "dc1"
+    assert event.factor == 5.0
+
+
+def test_geo_events_mix_with_classic_kinds():
+    # The comma inside the wanpart target must not split the spec.
+    load = Faultload.parse(
+        "crash@100:2, wanpart@240:dc0|dc1,dc2, drop@10-60:p=0.1, "
+        "dcfail@300:dc1")
+    kinds = [event.kind for event in load.events]
+    assert kinds == ["crash", "wanpart", "drop", "dcfail"]
+    assert len(load.geo_events()) == 2
+
+
+@pytest.mark.parametrize("spec", [
+    "dcfail@240",                    # no target
+    "dcfail@240:dc 1",               # bad DC name
+    "dcfail@240-100:dc1",            # window ends before it starts
+    "wanpart@240:dc0",               # no far side
+    "wanpart@240:dc0|dc0,dc1",       # isolated from itself
+    "wanpart@240:dc0|dc1,dc1",       # duplicate far DC
+    "wandegrade@240:dc0",            # no link
+    "wandegrade@240:dc0>dc0",        # degenerate link
+    "wandegrade@240:dc0>dc1,x0.5",   # factor < 1
+])
+def test_bad_geo_specs_rejected(spec):
+    with pytest.raises(ValueError):
+        Faultload.parse(spec)
+
+
+def test_geo_faultload_requires_geo_topology():
+    experiment = (Experiment(scale=tiny_scale(), replicas=3)
+                  .load("closed", wips=100)
+                  .faults("dcfail@240:dc0"))
+    with pytest.raises(ValueError, match="geo topology"):
+        experiment.run()
+
+
+def test_roundtrip_spec():
+    spec = "dcfail@240:dc0, wanpart@300-400:dc0|dc1,dc2"
+    load = Faultload.parse(spec)
+    assert len(load.events) == 2
