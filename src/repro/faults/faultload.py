@@ -81,6 +81,8 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.recorder import recorder_of
+
 #: kinds taken verbatim from the paper's faultload (plus the symmetric
 #: partition extension): point events against one replica.
 REPLICA_KINDS = ("crash", "reboot", "partition", "heal")
@@ -571,6 +573,18 @@ class FaultInjector:
         self.storage_faults: List[FaultEvent] = []
         self.geo_faults: List[FaultEvent] = []
         self._dc_crashes = 0
+        self._recorder = recorder_of(sim)
+
+    @staticmethod
+    def _target_str(target) -> str:
+        """Grammar-shaped target label: (shard, replica) -> "1.2"."""
+        if isinstance(target, tuple):
+            return ".".join(str(part) for part in target)
+        return str(target)
+
+    def _record(self, kind: str, **fields) -> None:
+        if self._recorder is not None:
+            self._recorder.record(kind, None, **fields)
 
     def arm(self) -> None:
         for event in self.faultload.events:
@@ -579,16 +593,23 @@ class FaultInjector:
                 # itself gates them by simulated time.
                 self._cluster.apply_nemesis(event)
                 self.nemesis_windows.append(event)
+                self._record("nemesis.window", fault=event.kind,
+                             at=event.at, until=event.until)
             elif event.kind in STORAGE_KINDS:
                 # Same discipline for disk faults: the storage nemesis
                 # gates windows (and schedules corruption instants).
                 self._cluster.apply_storage_fault(event)
                 self.storage_faults.append(event)
+                self._record("nemesis.window", fault=event.kind,
+                             at=event.at, until=event.until)
             elif event.kind == "wandegrade":
                 # Windowed link slowdown: armed up front, gated by
                 # simulated time inside the geo delay model.
                 self._cluster.wan_degrade(event)
                 self.geo_faults.append(event)
+                self._record("nemesis.window", fault=event.kind,
+                             at=event.at, until=event.until,
+                             dc=event.dc, to_dc=event.to_dc)
             elif event.kind in GEO_KINDS:
                 self.geo_faults.append(event)
                 self._sim.call_at(event.at, self._fire, event)
@@ -623,25 +644,37 @@ class FaultInjector:
             self.injected.append(
                 (self._sim.now, event.kind,
                  (event.src_target, event.dst_target)))
+            self._record("fault.inject", fault=event.kind,
+                         target=f"{self._target_str(event.src_target)}>"
+                                f"{self._target_str(event.dst_target)}")
             return
         elif event.kind == "dcfail":
             self._dc_crashes += self._cluster.fail_dc(event.dc)
             self.injected.append((self._sim.now, "dcfail", event.dc))
+            self._record("fault.inject", fault="dcfail", target=event.dc,
+                         dc=event.dc)
             return
         elif event.kind == "wanpart":
             self._cluster.wan_partition(event.dc, event.peer_dcs)
             self.injected.append(
                 (self._sim.now, "wanpart", (event.dc, event.peer_dcs)))
+            self._record("fault.inject", fault="wanpart", target=event.dc,
+                         dc=event.dc, peer_dcs=list(event.peer_dcs))
             return
         else:
             self._cluster.heal_replica(target)
         self.injected.append((self._sim.now, event.kind, target))
+        self._record("fault.heal" if event.kind == "heal" else "fault.inject",
+                     fault=event.kind, target=self._target_str(target))
 
     def _heal_oneway(self, event: FaultEvent) -> None:
         self._cluster.unblock_oneway(event.src_target, event.dst_target)
         self.injected.append(
             (self._sim.now, "heal-oneway",
              (event.src_target, event.dst_target)))
+        self._record("fault.heal", fault="oneway",
+                     target=f"{self._target_str(event.src_target)}>"
+                            f"{self._target_str(event.dst_target)}")
 
     def _restore_geo(self, event: FaultEvent) -> None:
         if event.kind == "dcfail":
@@ -649,10 +682,14 @@ class FaultInjector:
             # servers on their own -- autonomous, not an intervention.
             self._cluster.restore_dc(event.dc)
             self.injected.append((self._sim.now, "dcrestore", event.dc))
+            self._record("fault.heal", fault="dcfail", target=event.dc,
+                         dc=event.dc)
         else:
             self._cluster.heal_wan_partition(event.dc, event.peer_dcs)
             self.injected.append(
                 (self._sim.now, "heal-wanpart", (event.dc, event.peer_dcs)))
+            self._record("fault.heal", fault="wanpart", target=event.dc,
+                         dc=event.dc, peer_dcs=list(event.peer_dcs))
 
     @property
     def faults_injected(self) -> int:

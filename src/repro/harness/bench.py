@@ -115,6 +115,67 @@ def run_kernel_bench(scale: str = "tiny", seed: int = 2009,
     return report
 
 
+#: CI gate for the observability bench: the "always-on" flight recorder
+#: plus SLO engine may cost at most this much events/sec vs a bare run.
+OBS_OVERHEAD_LIMIT_PCT = 5.0
+
+
+def run_obs_bench(scale: str = "tiny", seed: int = 2009,
+                  wips: float = 1900.0) -> Dict[str, object]:
+    """Observability overhead: recorder-off vs recorder-on crash runs.
+
+    Both runs are the same ``one_crash`` experiment with the kernel
+    profiler on; the "on" run additionally enables the flight recorder
+    and the SLO engine (the always-on configuration ``repro postmortem``
+    uses).  The report keeps the kernel bench's ``modes`` shape so
+    :func:`compare` works on it unchanged, plus an ``overhead_pct``
+    headline -- the events/sec cost of recording -- that the CI gate
+    holds under :data:`OBS_OVERHEAD_LIMIT_PCT`.
+    """
+    report: Dict[str, object] = {
+        "bench": "obs",
+        "scale": scale,
+        "seed": seed,
+        "overhead_limit_pct": OBS_OVERHEAD_LIMIT_PCT,
+        "modes": {},
+    }
+    for name, instrumented in (("recorder_off", False),
+                               ("recorder_on", True)):
+        experiment = (Experiment(scale=_scale_named(scale), seed=seed)
+                      .observe()
+                      .load("closed", wips=wips)
+                      .one_crash())
+        if instrumented:
+            experiment.record().slo("wirt_p99<2s,error_rate<1%")
+        started = time.perf_counter()
+        result = experiment.run()
+        wall_s = time.perf_counter() - started
+        profile = result.kernel_profile or {}
+        events = int(profile.get("events", 0))
+        whole = result.whole_window()
+        entry: Dict[str, object] = {
+            "mode": name,
+            "recorder": instrumented,
+            "sim_s": _scale_named(scale).total_s,
+            "wall_s": round(wall_s, 4),
+            "events": events,
+            "events_per_wall_s": round(events / wall_s, 1) if wall_s else 0.0,
+            "awips": round(whole.awips, 2),
+            "completed": whole.completed,
+            "errors": whole.errors,
+        }
+        if instrumented and result.flight is not None:
+            entry["recorded_events"] = result.flight.recorded
+            entry["slo_alerts"] = len(result.slo.alerts)
+        report["modes"][name] = entry       # type: ignore[index]
+    modes = report["modes"]
+    off = float(modes["recorder_off"]["events_per_wall_s"])  # type: ignore
+    on = float(modes["recorder_on"]["events_per_wall_s"])    # type: ignore
+    report["overhead_pct"] = (round(100.0 * (1.0 - on / off), 2)
+                              if off > 0.0 else 0.0)
+    return report
+
+
 def run_geo_bench(scale: str = "tiny", seed: int = 2009,
                   wips: float = 1900.0) -> Dict[str, object]:
     """Benchmark the geo subsystem: one 3-DC point per quorum shape.
@@ -214,6 +275,22 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
 
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable table of a BENCH report (for the CLI)."""
+    if report.get("bench") == "obs":
+        lines = [f"obs bench | scale={report['scale']} "
+                 f"seed={report['seed']} | recorder overhead "
+                 f"{report['overhead_pct']:+.2f}% events/sec "
+                 f"(limit {report['overhead_limit_pct']:.0f}%)"]
+        header = (f"  {'mode':<14} {'events':>9} {'ev/wall-s':>10} "
+                  f"{'wall':>7} {'AWIPS':>7} {'errors':>6} {'recorded':>9}")
+        lines.append(header)
+        for mode, entry in report.get("modes", {}).items():  # type: ignore
+            recorded = entry.get("recorded_events", "-")
+            lines.append(
+                f"  {mode:<14} {entry['events']:>9,} "
+                f"{entry['events_per_wall_s']:>10,.0f} "
+                f"{entry['wall_s']:>6.1f}s {entry['awips']:>7.1f} "
+                f"{entry['errors']:>6} {recorded!s:>9}")
+        return "\n".join(lines)
     if report.get("bench") == "geo":
         lines = [f"geo bench | scale={report['scale']} "
                  f"seed={report['seed']} | "

@@ -1,19 +1,23 @@
 """The ``repro`` command line: ``run``, ``sweep``, ``report``, ``trace``,
-``explore``, ``bench``.
+``explore``, ``bench``, ``postmortem``.
 
 ::
 
     python -m repro run one_crash --replicas 5 --obs --obs-out tl.json
     python -m repro run --faultload 'crash@240:*,reboot@390:2'
     python -m repro run baseline --load open:wips=1900,population=1000000
+    python -m repro run one_crash --slo 'wirt_p99<2s,error_rate<1%'
     python -m repro sweep speedup --profile ordering
     python -m repro report result.json --timeline
+    python -m repro report result.json --metrics-out metrics.prom
     python -m repro trace sequential --recovery-phases
     python -m repro trace baseline --critical-path --export chrome --out t.json
+    python -m repro postmortem one_crash --md incident.md --json incident.json
     python -m repro explore --shards 2 --replicas 3 --scale tiny \\
         --max-faults 1 --budget 64 --out coverage.json
     python -m repro bench --scale tiny --out bench_reports/BENCH_7_kernel.json
     python -m repro bench --compare bench_reports/BENCH_7_kernel.json
+    python -m repro bench --obs --out bench_reports/BENCH_9_obs.json
 
 The ``--load`` grammar picks the load model: ``closed`` (the paper's
 RBE fleet; optional ``clients=N`` pins the fleet size) or
@@ -112,6 +116,13 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                              "[:wan=MS][:client=DC][:pin=DC|DC|..]'; "
                              "enables DC-scoped faultload kinds "
                              "(dcfail/wanpart/wandegrade)")
+    parser.add_argument("--slo", metavar="SPEC", default=None,
+                        help="judge the run against declarative SLOs "
+                             "(repro.obs.slo): comma-separated objectives "
+                             "'wirt_p99<2s,error_rate<1%%' or "
+                             "'availability>99.9%%'; burn-rate alerts land "
+                             "in the flight recorder (implied on) and the "
+                             "result gains an SLO verdict")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,6 +202,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path for --export (parent "
                             "directories are created)")
 
+    postmortem = sub.add_parser(
+        "postmortem", help="run one fault scenario with the flight "
+                           "recorder, span tracing, and the SLO engine "
+                           "on, and print the automated incident "
+                           "post-mortem (trigger, detection lag, "
+                           "failover timeline, WIPS dip, recovery "
+                           "phases, budget burned)")
+    postmortem.add_argument("scenario", nargs="?", choices=sorted(SCENARIOS),
+                            default="one_crash")
+    _add_cluster_options(postmortem)
+    postmortem.add_argument("--faultload", metavar="SPEC", default=None,
+                            help="custom faultload (overrides the "
+                                 "scenario); same grammar as `repro run "
+                                 "--faultload`")
+    postmortem.add_argument("--nemesis", metavar="SPEC", default=None,
+                            help="standing message/storage-fault schedule, "
+                                 "same grammar as `repro run --nemesis`")
+    postmortem.add_argument("--json", metavar="PATH", default=None,
+                            help="also write the deterministic JSON "
+                                 "incident report")
+    postmortem.add_argument("--md", metavar="PATH", default=None,
+                            help="also write the rendered markdown "
+                                 "post-mortem")
+    postmortem.add_argument("--events-out", metavar="PATH", default=None,
+                            help="also dump the flight-recorder ring "
+                                 "as JSONL")
+
     explore = sub.add_parser(
         "explore", help="systematically explore the 2PC fault space "
                         "(trace-derived crash/drop points, prefix-pruned "
@@ -216,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="benchmark the simulation kernel (closed- and "
                       "open-loop events/sec, wall-clock per simulated "
                       "second, peak WIPS) and write a BENCH_*.json report")
+    bench.add_argument("--obs", action="store_true",
+                       help="benchmark observability overhead instead: "
+                            "the same one_crash run with the flight "
+                            "recorder + SLO engine off vs on; exits 2 if "
+                            "recording costs more than 5%% events/sec; "
+                            "default --out becomes "
+                            "bench_reports/BENCH_9_obs.json")
     bench.add_argument("--geo", action="store_true",
                        help="benchmark the geo subsystem instead: one "
                             "3-DC point per quorum shape (leader-local "
@@ -257,13 +302,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fold the per-shard timelines of sharded "
                              "run(s) into one cluster-level WIPS/WIRT "
                              "series (inputs must share a shard count)")
+    report.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="export the saved metrics snapshot as a "
+                             "Prometheus textfile (node_exporter "
+                             "textfile-collector format; the input must "
+                             "be a `repro run --obs --json` result)")
     return parser
 
 
 def _normalize_legacy(argv):
     """Map the old flat CLI onto ``run`` (with a deprecation warning)."""
     if argv and argv[0] in ("run", "sweep", "report", "trace", "explore",
-                            "bench"):
+                            "bench", "postmortem"):
         return argv
     if argv and argv[0] in ("-h", "--help"):
         return argv
@@ -400,6 +450,8 @@ def _build_experiment(args) -> Experiment:
     experiment.load(mode, mix=args.profile, **load_kwargs)
     if getattr(args, "geo", None):
         experiment.geo(**_parse_geo_spec(args.geo))
+    if getattr(args, "slo", None):
+        experiment.slo(args.slo)
     return experiment
 
 
@@ -473,6 +525,11 @@ def _cmd_run(args) -> int:
         verdict = ("OK" if not result.safety_violations
                    else f"{len(result.safety_violations)} VIOLATION(S)")
         rows += [["safety checker", verdict]]
+    if result.slo is not None:
+        slo = result.slo_report()
+        rows += [["SLO " + ("PASS" if slo["pass"] else "FAIL"),
+                  f"{slo['total_budget_burn']:.2f}x budget burned, "
+                  f"{len(slo['alerts'])} alert(s)"]]
     print(format_table(f"{label} ({args.profile}, "
                        f"{args.replicas}R, {args.ebs} EB)",
                        ["measure", "value"], rows))
@@ -548,6 +605,11 @@ def _cmd_sweep(args) -> int:
             # way on every point.
             load = dict(load or {})
             load["geo"] = _geo_config_from_spec(args.geo)
+        if args.slo:
+            from repro.obs.slo import parse_slo
+            parse_slo(args.slo)    # fail before the first point runs
+            load = dict(load or {})
+            load["slo_spec"] = args.slo
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -620,6 +682,11 @@ def _cmd_trace(args) -> int:
     tracer = result.spans
     print(f"{len(tracer.spans)} spans, {len(tracer.marks)} marks"
           + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
+    if result.slo is not None:
+        slo = result.slo_report()
+        print(f"SLO {'PASS' if slo['pass'] else 'FAIL'}: "
+              f"{slo['total_budget_burn']:.2f}x budget burned, "
+              f"{len(slo['alerts'])} alert(s)")
 
     both = not (args.critical_path or args.recovery_phases)
     if args.critical_path or both:
@@ -676,14 +743,24 @@ def _cmd_trace(args) -> int:
 # ======================================================================
 def _cmd_bench(args) -> int:
     from repro.harness.bench import (
+        OBS_OVERHEAD_LIMIT_PCT,
         OPEN_POPULATION,
         compare,
         format_report,
         run_geo_bench,
         run_kernel_bench,
+        run_obs_bench,
     )
 
-    if args.geo:
+    if args.obs:
+        if args.out == "bench_reports/BENCH_7_kernel.json":
+            args.out = "bench_reports/BENCH_9_obs.json"
+        print(f"benchmarking observability | scale={args.scale} | "
+              f"one_crash, flight recorder + SLO engine off vs on",
+              flush=True)
+        report = run_obs_bench(scale=args.scale, seed=args.seed,
+                               wips=args.offered_wips)
+    elif args.geo:
         if args.out == "bench_reports/BENCH_7_kernel.json":
             args.out = "bench_reports/BENCH_8_geo.json"
         print(f"benchmarking geo | scale={args.scale} | 3 DCs, "
@@ -715,6 +792,65 @@ def _cmd_bench(args) -> int:
                 print(f"  {problem}", file=sys.stderr)
             return 2
         print(f"within tolerance of {args.compare}")
+    if args.obs and report["overhead_pct"] > OBS_OVERHEAD_LIMIT_PCT:
+        print(f"\nflight-recorder overhead {report['overhead_pct']:.2f}% "
+              f"exceeds the {OBS_OVERHEAD_LIMIT_PCT:.0f}% events/sec gate",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+# ======================================================================
+# postmortem
+# ======================================================================
+#: The SLO the post-mortem run is judged against when --slo is absent:
+#: the paper's 2 s WIRT ceiling at three nines plus a 1% error budget.
+DEFAULT_POSTMORTEM_SLO = "wirt_p99<2s,error_rate<1%"
+
+
+def _cmd_postmortem(args) -> int:
+    from repro.obs.incident import render_markdown
+
+    scale = _scale_for(args.scale)
+    try:
+        experiment = _build_experiment(args).trace().record()
+        if not args.slo:
+            experiment.slo(DEFAULT_POSTMORTEM_SLO)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.faultload is not None:
+        experiment.faults(args.faultload)
+        label = "custom"
+    else:
+        getattr(experiment, SCENARIOS[args.scenario])()
+        label = args.scenario
+    if args.nemesis:
+        experiment.nemesis(args.nemesis)
+    config = experiment.build_config()
+    print(f"post-mortem of {label} | {config.replicas} replicas | "
+          f"{config.profile} | slo '{config.slo_spec}' | "
+          f"scale={scale.name}", flush=True)
+    result = experiment.run()
+    report = result.incident_report()
+    markdown = render_markdown(report)
+    print()
+    print(markdown, end="")
+    if args.json:
+        _ensure_parent(args.json)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.md:
+        _ensure_parent(args.md)
+        with open(args.md, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.md}")
+    if args.events_out:
+        _ensure_parent(args.events_out)
+        written = result.flight.dump(args.events_out)
+        print(f"wrote {written} recorder events to {args.events_out}")
     return 0
 
 
@@ -727,14 +863,14 @@ def _cmd_explore(args) -> int:
     scale = _scale_for(args.scale)
     try:
         geo = _geo_config_from_spec(args.geo) if args.geo else None
+        config = ClusterConfig(
+            scale=scale, replicas=args.replicas, num_ebs=args.ebs,
+            profile=args.profile, offered_wips=args.offered_wips,
+            seed=args.seed, enable_fast=not args.no_fast,
+            shards=args.shards, geo=geo, slo_spec=args.slo)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    config = ClusterConfig(
-        scale=scale, replicas=args.replicas, num_ebs=args.ebs,
-        profile=args.profile, offered_wips=args.offered_wips,
-        seed=args.seed, enable_fast=not args.no_fast, shards=args.shards,
-        geo=geo)
     if args.load:
         try:
             config = replace(config, **_load_config_overrides(args.load))
@@ -933,6 +1069,17 @@ def _cmd_report(args) -> int:
               file=sys.stderr)
         return 2
     data = _load_result(args.paths[0])
+    if args.metrics_out:
+        snapshot = data.get("metrics")
+        if not snapshot:
+            print("error: no metrics snapshot in this result; rerun with "
+                  "`repro run --obs --json PATH`", file=sys.stderr)
+            return 1
+        from repro.obs.registry import to_prometheus
+        _ensure_parent(args.metrics_out)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(snapshot))
+        print(f"wrote {args.metrics_out}")
     config = data.get("config", {})
     rows = [["AWIPS (measurement interval)", f"{data['awips']:.1f}"],
             ["CV", f"{data['cv']:.3f}"],
@@ -988,6 +1135,8 @@ def main(argv=None) -> int:
         return _cmd_explore(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args)
     build_parser().print_help()
     return 2
 

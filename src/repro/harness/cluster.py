@@ -32,8 +32,8 @@ from repro.faults.watchdog import Watchdog
 from repro.geo import DegradeWindow, GeoState
 from repro.harness.config import ClusterConfig
 from repro.load import build_load
-from repro.obs import (KernelProfiler, MetricsRegistry, SpanTracer,
-                       TimelineSampler)
+from repro.obs import (FlightRecorder, KernelProfiler, MetricsRegistry,
+                       SloEngine, SpanTracer, TimelineSampler)
 from repro.sim import (
     Nemesis,
     NemesisParams,
@@ -237,6 +237,16 @@ class RobustStoreCluster:
         if config.span_tracing:
             self.span_tracer = SpanTracer(self.sim)
             self.sim.spans = self.span_tracer
+        # Flight recorder (repro.obs.recorder): attached before any
+        # component for the same reason as sim.spans -- sites capture
+        # recorder_of(sim) at construction time.  Recording is passive
+        # (no events, no randomness), so runs are bit-for-bit identical
+        # with it on or off.
+        self.recorder: Optional[FlightRecorder] = None
+        if config.recording_enabled:
+            self.recorder = FlightRecorder(
+                self.sim, capacity=config.recorder_capacity)
+            self.sim.recorder = self.recorder
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
         # Created lazily by the first storage fault (apply_storage_fault):
@@ -294,6 +304,11 @@ class RobustStoreCluster:
                 + [node.name for node in self.client_nodes])
             self.network.set_geo(self.geo_state.model)
             self.proxy.set_backend_dcs(self.geo_state.replica_dc_of)
+            if self.recorder is not None:
+                # One boot-time event carrying the replica->DC map, so
+                # post-mortems can attribute incidents to datacenters.
+                self.recorder.record("geo.placement", None,
+                                     **self.geo_state.replica_dc_of)
 
         # --- watchdogs ---------------------------------------------------
         self.group.start_watchdogs()
@@ -314,6 +329,18 @@ class RobustStoreCluster:
         if self.metrics is not None:
             self._register_gauges()
             self.sampler.start()
+
+        # --- SLO engine (repro.obs.slo) ---------------------------------
+        # Judged in sim time off the collector's interaction stream;
+        # like the sampler, the engine only schedules its own timer, so
+        # the rest of the run is unperturbed.
+        self.slo_engine: Optional[SloEngine] = None
+        if config.slo_spec is not None:
+            self.slo_engine = SloEngine(
+                self.sim, self.collector, config.slo_spec,
+                scale=config.scale, recorder=self.recorder,
+                warmup_until=config.scale.measure_start)
+            self.slo_engine.start()
 
     def _register_gauges(self) -> None:
         """Point-in-time readings the sampler charts every tick."""
@@ -540,6 +567,23 @@ class RobustStoreCluster:
     # ------------------------------------------------------------------
     def run(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
+        self._finish_observation()
 
     def run_until(self, when: float) -> None:
         self.sim.run(until=when)
+        self._finish_observation()
+
+    def _finish_observation(self) -> None:
+        """Close out sim-time observers at the stop instant.
+
+        The sampler only fires on tick boundaries, so without this the
+        trailing partial tick (the last WIPS bucket, final counter
+        values) was silently lost whenever the run length was not a
+        tick multiple; the SLO engine likewise judges any samples that
+        completed after its last tick.  Both are no-ops when a tick
+        landed exactly here.
+        """
+        if self.sampler is not None:
+            self.sampler.flush()
+        if self.slo_engine is not None:
+            self.slo_engine.finalize(self.sim.now)

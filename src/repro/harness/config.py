@@ -197,6 +197,22 @@ class ClusterConfig:
     # placement, and quorum shape.  None keeps the paper's single-switch
     # cluster bit-for-bit (no delay model attached, no Paxos overrides).
     geo: Optional[GeoConfig] = None
+    # SLO engine (repro.obs.slo): a declarative objective spec such as
+    # "wirt_p99<2s,error_rate<1%" judged in sim time with multi-window
+    # burn-rate alerting.  Latency thresholds and alert windows are
+    # paper-timeline seconds (compressed by the scale).  Setting a spec
+    # implies the flight recorder, so alerts land in the event ring.
+    slo_spec: Optional[str] = None
+    # Flight recorder (repro.obs.recorder): bounded ring buffer of
+    # structured events (fault injections, failovers, elections,
+    # recovery milestones, SLO alerts).  Passive: recording never
+    # perturbs the run, and when off every site holds None (bit-for-bit
+    # identical to an unrecorded run, like span tracing).
+    flight_recorder: bool = False
+    recorder_capacity: int = 65536
+    # Auto-dump path: when set and an SLO alert or safety violation
+    # fired, the harness writes the ring as JSONL here after the run.
+    recorder_dump: Optional[str] = None
 
     def __post_init__(self):
         if self.load_mode not in ("closed", "open"):
@@ -210,6 +226,19 @@ class ClusterConfig:
             raise ValueError(f"population must be >= 0, got {self.population}")
         if self.clients is not None and self.clients < 1:
             raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.recorder_capacity < 1:
+            raise ValueError(f"recorder_capacity must be >= 1, "
+                             f"got {self.recorder_capacity}")
+        if self.slo_spec is not None:
+            # Fail fast on an unparseable spec, before a run is paid for.
+            from repro.obs.slo import parse_slo
+            parse_slo(self.slo_spec)
+
+    @property
+    def recording_enabled(self) -> bool:
+        """The flight recorder runs when asked for, or whenever an SLO
+        spec needs somewhere to put its alerts."""
+        return self.flight_recorder or self.slo_spec is not None
 
     @property
     def effective_offered_wips(self) -> float:

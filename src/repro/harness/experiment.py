@@ -236,6 +236,37 @@ class Experiment:
         self._overrides["safety_tracing"] = True
         return self
 
+    def slo(self, spec: str) -> "Experiment":
+        """Judge the run against declarative SLOs (:mod:`repro.obs.slo`).
+
+        ``spec`` is a comma-separated objective list, e.g.
+        ``"wirt_p99<2s,error_rate<1%"`` (latency thresholds and the
+        60s/5s + 600s/60s burn-rate windows are paper-seconds,
+        compressed by the scale).  The result gains
+        :meth:`~repro.harness.experiments.ExperimentResult.slo_report`
+        and burn-rate alerts land in the flight recorder, which this
+        implies on.
+        """
+        from repro.obs.slo import parse_slo
+        parse_slo(spec)  # validate eagerly, at build time
+        self._overrides["slo_spec"] = spec
+        return self
+
+    def record(self, capacity: int = 65536,
+               dump: Optional[str] = None) -> "Experiment":
+        """Enable the flight recorder (:mod:`repro.obs.recorder`): a
+        bounded ring of ``capacity`` structured events (fault
+        injections, failovers, elections, recovery milestones, SLO
+        alerts) exposed as ``result.flight``.  ``dump`` names a JSONL
+        path written automatically when an SLO alert or safety
+        violation fires.  The run itself stays bit-for-bit identical
+        to an unrecorded run at the same seed."""
+        self._overrides["flight_recorder"] = True
+        self._overrides["recorder_capacity"] = int(capacity)
+        if dump is not None:
+            self._overrides["recorder_dump"] = dump
+        return self
+
     def trace(self) -> "Experiment":
         """Enable causal span tracing (:mod:`repro.obs.trace`).
 

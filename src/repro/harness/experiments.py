@@ -49,6 +49,10 @@ class MissingTraceError(ValueError):
     """A trace analysis was requested on a run without span tracing."""
 
 
+class MissingSloError(ValueError):
+    """An SLO report was requested on a run that judged no SLOs."""
+
+
 @dataclass
 class ExperimentResult:
     """Everything the tables and figures are derived from."""
@@ -81,6 +85,12 @@ class ExperimentResult:
     # never serialized -- it exists so post-run oracles (the fault-space
     # explorer's liveness check) can read end-of-run replica state.
     cluster: Optional[object] = None
+    # Flight recorder ring (only when config.recording_enabled):
+    # the run's black box of structured events (repro.obs.recorder).
+    flight: Optional[object] = None
+    # SLO engine (only when config.slo_spec was set): alerts fired in
+    # sim time plus the objective arithmetic behind slo_report().
+    slo: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property
@@ -153,6 +163,22 @@ class ExperimentResult:
         """Per-recovery phase breakdown (requires ``.trace()``)."""
         return obs_trace.recovery_phases(self._require_spans(),
                                          self.recoveries)
+
+    # SLO / post-mortem analytics ----------------------------------------
+    def slo_report(self) -> dict:
+        """Pass/fail per objective plus total error-budget burn
+        (requires ``.slo(spec)`` / ``--slo``)."""
+        if self.slo is None:
+            raise MissingSloError(
+                "this run judged no SLOs; set objectives with "
+                "Experiment(...).slo('wirt_p99<2s,error_rate<1%') or "
+                "--slo on the CLI")
+        return self.slo.report(self.measure_start, self.measure_end)
+
+    def incident_report(self) -> dict:
+        """The automated post-mortem (requires the flight recorder)."""
+        from repro.obs.incident import build_incident_report
+        return build_incident_report(self)
 
     # measures -----------------------------------------------------------
     def pv_pct(self) -> Optional[float]:
@@ -231,6 +257,13 @@ class ExperimentResult:
             "kernel_profile": self.kernel_profile,
             "metrics": self.metrics,
             "storage": self.storage,
+            "slo": (self.slo.report(self.measure_start, self.measure_end)
+                    if self.slo is not None else None),
+            "flight_recorder": (
+                None if self.flight is None
+                else {"recorded": self.flight.recorded,
+                      "evicted": self.flight.evicted,
+                      "capacity": self.flight.capacity}),
         }
 
 
@@ -301,6 +334,12 @@ def _execute(config: ClusterConfig, faultload: Faultload,
     # autonomy measure must count: the operator has to step in, exactly
     # like a manual reboot.
     interventions = injector.interventions + cluster.breaker_trips()
+    recorder = cluster.recorder
+    if (recorder is not None and config.recorder_dump is not None
+            and (violations or (cluster.slo_engine is not None
+                                and cluster.slo_engine.alerts))):
+        # The black-box dump: something fired, persist the evidence.
+        recorder.dump(config.recorder_dump)
     return ExperimentResult(
         config=config, collector=cluster.collector,
         measure_start=scale.measure_start, measure_end=scale.measure_end,
@@ -316,7 +355,9 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         spans=cluster.span_tracer,
         storage=cluster.storage_stats(),
         faultload_name=faultload.name,
-        cluster=cluster if config.keep_cluster else None)
+        cluster=cluster if config.keep_cluster else None,
+        flight=recorder,
+        slo=cluster.slo_engine)
 
 
 # ======================================================================

@@ -17,16 +17,33 @@ a first-class observability layer:
 * :mod:`repro.obs.trace` -- :class:`SpanTracer` records causal spans per
   TPC-W interaction across every layer (hops, queueing, disk, quorum
   wait, apply), with a WIRT critical-path decomposer, recovery-phase
-  forensics, and JSONL / Chrome trace-event exports.
+  forensics, and JSONL / Chrome trace-event exports;
+* :mod:`repro.obs.recorder` -- :class:`FlightRecorder`, a bounded ring
+  of structured events (fault injections, failovers, elections,
+  recovery milestones, SLO alerts) with JSONL dump -- the run's black
+  box;
+* :mod:`repro.obs.slo` -- declarative SLOs (``wirt_p99<2s``,
+  ``error_rate<1%``) judged in sim time with Google-SRE multi-window
+  burn-rate alerts;
+* :mod:`repro.obs.incident` -- the post-mortem builder correlating
+  recorder events, recovery forensics, and SLO burn into per-incident
+  reports (``repro postmortem``).
 
 Enable the whole stack on a run with ``ClusterConfig(observability=True)``
 or ``Experiment(...).observe()``; from the CLI, ``repro run --obs``.
 Span tracing is separate (``span_tracing=True`` / ``.trace()`` /
 ``repro trace``) because it records per-event data rather than
-aggregates.
+aggregates; the flight recorder and SLO engine follow the same opt-in
+(``.record()`` / ``.slo()`` / ``--slo``).
 """
 
+from repro.obs.incident import (
+    MissingRecorderError,
+    build_incident_report,
+    render_markdown,
+)
 from repro.obs.profiler import KernelProfiler, category_of_module
+from repro.obs.recorder import FlightRecorder, RecorderEvent, recorder_of
 from repro.obs.registry import (
     NULL_REGISTRY,
     Counter,
@@ -35,7 +52,9 @@ from repro.obs.registry import (
     NullRegistry,
     StreamingHistogram,
     registry_of,
+    to_prometheus,
 )
+from repro.obs.slo import Objective, SloEngine, SloError, parse_slo
 from repro.obs.timeline import Timeline, TimelineSampler
 from repro.obs.trace import (
     CriticalPathReport,
@@ -54,22 +73,33 @@ __all__ = [
     "NULL_REGISTRY",
     "Counter",
     "CriticalPathReport",
+    "FlightRecorder",
     "Gauge",
     "InjectionPoint",
     "KernelProfiler",
     "Mark",
     "MetricsRegistry",
+    "MissingRecorderError",
     "NullRegistry",
+    "Objective",
+    "RecorderEvent",
+    "SloEngine",
+    "SloError",
     "Span",
     "SpanTracer",
     "StreamingHistogram",
     "Timeline",
     "TimelineSampler",
+    "build_incident_report",
     "category_of_module",
     "critical_path",
     "current_trace",
     "injection_points",
+    "parse_slo",
+    "recorder_of",
     "recovery_phases",
     "registry_of",
+    "render_markdown",
     "spans_of",
+    "to_prometheus",
 ]

@@ -322,3 +322,63 @@ def registry_of(sim) -> MetricsRegistry:
     """The simulator's registry, or the no-op one if none is attached."""
     registry = getattr(sim, "metrics", None)
     return registry if registry is not None else NULL_REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Prometheus textfile exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A legal Prometheus metric name: dots and other punctuation in our
+    hierarchical names become underscores (``paxos.mode_changes`` ->
+    ``repro_paxos_mode_changes``)."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}{sanitized}"
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number == math.inf:
+        return "+Inf"
+    if number == -math.inf:
+        return "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def to_prometheus(snapshot: Dict[str, Any], prefix: str = "repro_") -> str:
+    """Render a registry :meth:`~MetricsRegistry.snapshot` (live or
+    loaded back from a result JSON) in the Prometheus text exposition
+    format, suitable for the node-exporter textfile collector.
+
+    Counters and gauges map directly; each histogram summary becomes a
+    Prometheus *summary* -- ``{quantile="0.5|0.95|0.99"}`` series plus
+    ``_sum``/``_count`` -- which is the honest rendering of a quantile
+    sketch (no cumulative buckets to reconstruct).
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            lines.append(f'{metric}{{quantile="{quantile}"}} '
+                         f"{_prom_value(summary.get(key, 0.0))}")
+        lines.append(f"{metric}_sum {_prom_value(summary.get('sum', 0.0))}")
+        lines.append(f"{metric}_count "
+                     f"{_prom_value(summary.get('count', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -112,6 +112,7 @@ class TimelineSampler:
         self._registry = registry
         self.tick_s = tick_s
         self.timeline = timeline if timeline is not None else Timeline(tick_s)
+        self._last_sample_t: Optional[float] = None
 
     def start(self) -> None:
         self._sim.spawn(self._loop(), name="obs-sampler")
@@ -121,9 +122,22 @@ class TimelineSampler:
             self.sample()
             yield self._sim.timeout(self.tick_s)
 
+    def flush(self) -> None:
+        """Record the trailing partial tick at run end.
+
+        The loop only samples on tick boundaries, so a run whose length
+        is not a tick multiple used to lose everything after the final
+        boundary (the last partial WIPS bucket, final counter values).
+        The harness calls this once after ``run_until``; it is a no-op
+        when a boundary sample already landed at exactly this instant.
+        """
+        if self._last_sample_t != self._sim.now:
+            self.sample()
+
     def sample(self) -> None:
         """Record one sample of every instrument at the current time."""
         t = self._sim.now
+        self._last_sample_t = t
         timeline = self.timeline
         for name, counter in self._registry.counters().items():
             timeline.record(name, t, counter.value, kind=KIND_COUNTER)

@@ -188,6 +188,7 @@ class PaxosEngine:
         # Cluster-wide observability instruments (no-ops unless the
         # harness attached a registry to the simulator).
         self._spans = getattr(self.sim, "spans", None)
+        self._recorder = getattr(self.sim, "recorder", None)
         obs = registry_of(self.sim)
         self._obs_proposals = obs.counter("paxos.proposals")
         self._obs_fast_proposals = obs.counter("paxos.fast_proposals")
@@ -574,6 +575,10 @@ class PaxosEngine:
     def _on_view_change(self, view: FrozenSet[int]) -> None:
         self.stats["mode_changes"] += 1
         self._obs_mode_changes.inc()
+        if self._recorder is not None:
+            self._recorder.record("paxos.view_change", self.node.name,
+                                  view=len(view),
+                                  leading=self.fd.leader() == self.me)
         if self.fd.leader() != self.me:
             self.leading = False
             return
@@ -638,6 +643,9 @@ class PaxosEngine:
             # Recovery forensics milestone: the group has a leader again.
             self._spans.mark("paxos.elected", self.node.name,
                              round=self.my_ballot.round)
+        if self._recorder is not None:
+            self._recorder.record("paxos.elected", self.node.name,
+                                  round=self.my_ballot.round)
         self.next_instance = covered + 1
         for instance in range(self._phase1_from, covered + 1):
             if instance in self.decided:

@@ -43,8 +43,8 @@ from repro.geo import DegradeWindow, GeoState
 from repro.harness.cluster import ReplicaGroup
 from repro.harness.config import ClusterConfig
 from repro.load import build_load
-from repro.obs import (KernelProfiler, MetricsRegistry, SpanTracer,
-                       TimelineSampler)
+from repro.obs import (FlightRecorder, KernelProfiler, MetricsRegistry,
+                       SloEngine, SpanTracer, TimelineSampler)
 from repro.shard.database import ShardedTPCWDatabase
 from repro.shard.partition import Partitioner
 from repro.shard.router import ShardRouter
@@ -99,6 +99,13 @@ class ShardedCluster:
         if config.span_tracing:
             self.span_tracer = SpanTracer(self.sim)
             self.sim.spans = self.span_tracer
+        # Flight recorder: attached before components, like sim.spans
+        # (sites capture recorder_of(sim) at construction time).
+        self.recorder: Optional[FlightRecorder] = None
+        if config.recording_enabled:
+            self.recorder = FlightRecorder(
+                self.sim, capacity=config.recorder_capacity)
+            self.sim.recorder = self.recorder
         self.network = Network(self.sim, NetworkParams(), seed=self.seed,
                                nemesis=Nemesis(self.sim, seed=self.seed))
         # Created lazily by the first storage fault (apply_storage_fault);
@@ -162,6 +169,9 @@ class ShardedCluster:
                 + [node.name for node in self.client_nodes])
             self.network.set_geo(self.geo_state.model)
             self.proxy.set_backend_dcs(self.geo_state.replica_dc_of)
+            if self.recorder is not None:
+                self.recorder.record("geo.placement", None,
+                                     **self.geo_state.replica_dc_of)
 
         # --- watchdogs (per group) -------------------------------------
         for group in self.groups:
@@ -182,6 +192,15 @@ class ShardedCluster:
         if self.metrics is not None:
             self._register_gauges()
             self.sampler.start()
+
+        # --- SLO engine (repro.obs.slo), judging the merged collector --
+        self.slo_engine: Optional[SloEngine] = None
+        if config.slo_spec is not None:
+            self.slo_engine = SloEngine(
+                self.sim, self.collector, config.slo_spec,
+                scale=config.scale, recorder=self.recorder,
+                warmup_until=config.scale.measure_start)
+            self.slo_engine.start()
 
     # ------------------------------------------------------------------
     # per-replica software (ReplicaGroup database_factory hook)
@@ -449,6 +468,17 @@ class ShardedCluster:
     # ------------------------------------------------------------------
     def run(self, seconds: float) -> None:
         self.sim.run(until=self.sim.now + seconds)
+        self._finish_observation()
 
     def run_until(self, when: float) -> None:
         self.sim.run(until=when)
+        self._finish_observation()
+
+    def _finish_observation(self) -> None:
+        """Flush the trailing partial sampler tick and give the SLO
+        engine a final look at the stop instant (both no-ops when a
+        tick landed exactly here)."""
+        if self.sampler is not None:
+            self.sampler.flush()
+        if self.slo_engine is not None:
+            self.slo_engine.finalize(self.sim.now)

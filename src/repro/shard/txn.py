@@ -219,6 +219,7 @@ class TxnParticipant:
         self._resolve_waiters: Dict[str, object] = {}
         self._resolving: set = set()
         self._spans = spans_of(node.sim)
+        self._recorder = getattr(node.sim, "recorder", None)
         obs = registry_of(node.sim)
         self._obs_resolved = obs.counter("shard.txn_resolved")
 
@@ -328,6 +329,9 @@ class TxnParticipant:
         if self._spans is not None:
             self._spans.instant("txn.resolve", self.node.name, tx=tx_id,
                                 shard=self.shard, outcome=outcome)
+        if self._recorder is not None:
+            self._recorder.record("txn.resolve", self.node.name, tx=tx_id,
+                                  shard=self.shard, outcome=outcome)
         self._obs_resolved.inc()
         if outcome == "commit":
             yield from self.runtime.execute(TxCommit(tx_id))
@@ -350,6 +354,7 @@ class TxnCoordinator:
         self._waiters: Dict[Tuple[str, int], object] = {}
         self._tx_seq = itertools.count(1)
         self._spans = spans_of(node.sim)
+        self._recorder = getattr(node.sim, "recorder", None)
         obs = registry_of(node.sim)
         self._obs_started = obs.counter("shard.txn_started")
         self._obs_committed = obs.counter("shard.txn_committed")
@@ -425,6 +430,10 @@ class TxnCoordinator:
             self._spans.instant("txn.decide", self.node.name,
                                 trace=current_trace(self.node.sim),
                                 tx=tx_id, outcome=outcome)
+        if self._recorder is not None:
+            self._recorder.record("txn.decide", self.node.name, tx=tx_id,
+                                  outcome=outcome,
+                                  shards=tuple(sorted(parts)))
         for shard in sorted(parts):
             for name in self._groups[shard]:
                 self.node.send(name, TXN_PORT, (outcome, tx_id, None),

@@ -108,6 +108,10 @@ class CheckpointManager:
         if spans is not None:
             spans.complete("checkpoint", node.name, start=started_at,
                            instance=instance, size_mb=round(size_mb, 3))
+        recorder = getattr(node.sim, "recorder", None)
+        if recorder is not None:
+            recorder.record("checkpoint.taken", node.name,
+                            instance=instance, size_mb=round(size_mb, 3))
         floor = instance + 1 - config.log_retain_instances
         if floor > 0:
             runtime.engine.truncate_below(floor)

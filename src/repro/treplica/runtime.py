@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.recorder import recorder_of
 from repro.obs.registry import registry_of
 from repro.obs.trace import current_trace, spans_of
 from repro.paxos.messages import Command
@@ -55,6 +56,7 @@ class TreplicaRuntime:
         self._seed = seed or SeedTree(0)
 
         self._spans = spans_of(self.sim)
+        self._recorder = recorder_of(self.sim)
         wal = WriteAheadLog(self.sim, node.disk,
                             name=f"{node.name}-queue-wal", node=node)
         # Scrub before anything reads durable state back: verify the log's
@@ -119,6 +121,10 @@ class TreplicaRuntime:
                 self._spans.mark("recovery.checkpoint_loaded",
                                  self.node.name,
                                  instance=self.applied_up_to)
+            if self._recorder is not None:
+                self._recorder.record("recovery.checkpoint_loaded",
+                                      self.node.name,
+                                      instance=self.applied_up_to)
             if self.config.sequential_recovery:
                 self.queue.start()  # ablation: resync only after the load
         self.node.spawn(self._applier(), name="treplica-applier")
@@ -128,6 +134,11 @@ class TreplicaRuntime:
         trace_emit(self.sim, "treplica", self.node.name, event="ready",
                    recovered=self._had_checkpoint,
                    took_s=self.sim.now - self.boot_started_at)
+        if self._recorder is not None:
+            self._recorder.record("recovery.ready", self.node.name,
+                                  recovered=self._had_checkpoint,
+                                  took_s=round(
+                                      self.sim.now - self.boot_started_at, 9))
         self.ready_event.succeed(self.sim.now)
         if self.checkpoints.last_instance < 0 or self._had_checkpoint:
             # Fresh replicas persist their initial state; recovered ones
@@ -177,6 +188,9 @@ class TreplicaRuntime:
             if self._spans is not None:
                 self._spans.mark("recovery.scrub_started", self.node.name,
                                  dropped=dropped, discarded=discarded)
+            if self._recorder is not None:
+                self._recorder.record("recovery.scrub", self.node.name,
+                                      dropped=dropped, discarded=discarded)
         return report
 
     def _fence_loop(self):
@@ -230,6 +244,15 @@ class TreplicaRuntime:
         self.app.restore(record.snapshot)
         self.applied_up_to = max(self.applied_up_to, record.instance)
 
+    def _mark_caught_up(self) -> None:
+        """Emit the catch-up milestone on every attached observer."""
+        if self._spans is not None:
+            self._spans.mark("recovery.caught_up", self.node.name,
+                             instance=self.applied_up_to)
+        if self._recorder is not None:
+            self._recorder.record("recovery.caught_up", self.node.name,
+                                  instance=self.applied_up_to)
+
     def _wait_until_caught_up(self):
         """Ready once the backlog that existed at boot has been applied."""
         poll = max(2 * self.config.paxos.heartbeat_interval_s, 0.2)
@@ -237,13 +260,12 @@ class TreplicaRuntime:
         marks = self.engine.peer_watermarks
         target = max([self.engine.watermark, self.applied_up_to]
                      + list(marks.values()))
-        if self._spans is not None:
+        if self._spans is not None or self._recorder is not None:
             # The catch-up milestone fires the moment the applied
             # watermark crosses the target (see _applier), not at the
             # next poll -- the forensics want the true crossing time.
             if self.applied_up_to >= target:
-                self._spans.mark("recovery.caught_up", self.node.name,
-                                 instance=self.applied_up_to)
+                self._mark_caught_up()
             else:
                 self._catchup_target = target
         while self.applied_up_to < target:
@@ -337,8 +359,7 @@ class TreplicaRuntime:
             if (self._catchup_target is not None
                     and self.applied_up_to >= self._catchup_target):
                 self._catchup_target = None
-                self._spans.mark("recovery.caught_up", self.node.name,
-                                 instance=self.applied_up_to)
+                self._mark_caught_up()
 
     # ==================================================================
     # remote checkpoint transfer (peers truncated our backlog)
@@ -408,14 +429,21 @@ class TreplicaRuntime:
                 self._spans.mark("recovery.repaired_from_peer",
                                  self.node.name, instance=record.instance,
                                  size_mb=round(record.size_mb, 3))
+            if self._recorder is not None:
+                self._recorder.record("recovery.repaired_from_peer",
+                                      self.node.name,
+                                      instance=record.instance,
+                                      size_mb=round(record.size_mb, 3))
         if self._spans is not None:
             self._spans.mark("recovery.checkpoint_transferred",
                              self.node.name, instance=record.instance)
-            if (self._catchup_target is not None
-                    and self.applied_up_to >= self._catchup_target):
-                self._catchup_target = None
-                self._spans.mark("recovery.caught_up", self.node.name,
-                                 instance=self.applied_up_to)
+        if self._recorder is not None:
+            self._recorder.record("recovery.checkpoint_transferred",
+                                  self.node.name, instance=record.instance)
+        if (self._catchup_target is not None
+                and self.applied_up_to >= self._catchup_target):
+            self._catchup_target = None
+            self._mark_caught_up()
 
 
 class StateMachine:

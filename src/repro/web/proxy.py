@@ -70,6 +70,7 @@ class ReverseProxy:
                       "broken_connections": 0, "no_backend": 0,
                       "removals": 0, "readds": 0}
         self._spans = getattr(node.sim, "spans", None)
+        self._recorder = getattr(node.sim, "recorder", None)
         obs = registry_of(node.sim)
         self._obs_forwarded = obs.counter("web.proxy_forwarded")
         self._obs_reroutes = obs.counter("web.proxy_reroutes")
@@ -260,6 +261,10 @@ class ReverseProxy:
             self._obs_removals.inc()
             trace_emit(self.node.sim, "proxy", self.node.name,
                        event="backend_down", backend=backend)
+            if self._recorder is not None:
+                self._recorder.record("proxy.backend_down", self.node.name,
+                                      backend=backend,
+                                      active=len(self.active))
 
     def _probe_success(self, backend: str) -> None:
         self._fail_counts[backend] = 0
@@ -271,3 +276,7 @@ class ReverseProxy:
             self.stats["readds"] += 1
             trace_emit(self.node.sim, "proxy", self.node.name,
                        event="backend_up", backend=backend)
+            if self._recorder is not None:
+                self._recorder.record("proxy.backend_up", self.node.name,
+                                      backend=backend,
+                                      active=len(self.active))

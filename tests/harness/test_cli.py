@@ -370,3 +370,130 @@ def test_legacy_entry_point_still_importable():
 
     assert legacy.main is main
     assert legacy.build_parser is build_parser
+
+
+# ----------------------------------------------------------------------
+# SLOs on the command line
+# ----------------------------------------------------------------------
+def test_run_with_slo_prints_verdict_row(capsys):
+    code = main(["run", "one_crash", "--scale", "tiny",
+                 "--slo", "wirt_p99<2s,error_rate<1%"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SLO PASS" in out or "SLO FAIL" in out
+    assert "budget burned" in out
+
+
+def test_run_rejects_bad_slo_spec(capsys):
+    code = main(["run", "one_crash", "--scale", "tiny",
+                 "--slo", "latency<fast"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_slo_spec_before_running(capsys):
+    code = main(["sweep", "speedup", "--scale", "tiny",
+                 "--slo", "nonsense"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro postmortem
+# ----------------------------------------------------------------------
+def test_postmortem_parser_defaults():
+    args = build_parser().parse_args(["postmortem"])
+    assert args.command == "postmortem"
+    assert args.scenario == "one_crash"
+    assert args.slo is None
+    assert args.json is None and args.md is None and args.events_out is None
+
+
+def test_postmortem_prints_report_and_writes_artifacts(tmp_path, capsys):
+    json_out = tmp_path / "incident.json"
+    md_out = tmp_path / "incident.md"
+    events_out = tmp_path / "events.jsonl"
+    code = main(["postmortem", "one_crash", "--scale", "tiny",
+                 "--json", str(json_out), "--md", str(md_out),
+                 "--events-out", str(events_out)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# Post-mortem: faultload `one-crash`" in out
+    assert "## Incident 1: crash" in out
+    assert "slo 'wirt_p99<2s,error_rate<1%'" in out   # the default SLO
+    report = json.loads(json_out.read_text())
+    assert len(report["incidents"]) == 1
+    assert report["slo"]["spec"] == "wirt_p99<2s,error_rate<1%"
+    assert md_out.read_text().startswith("# Post-mortem:")
+    # every dumped recorder line is one JSON event
+    lines = events_out.read_text().strip().split("\n")
+    assert len(lines) == report["recorder"]["recorded"]
+    assert json.loads(lines[0])["kind"]
+
+
+def test_postmortem_json_is_deterministic(tmp_path):
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["postmortem", "one_crash", "--scale", "tiny",
+                 "--json", str(first)]) == 0
+    assert main(["postmortem", "one_crash", "--scale", "tiny",
+                 "--json", str(second)]) == 0
+    assert first.read_text() == second.read_text()
+
+
+def test_postmortem_rejects_bad_slo(capsys):
+    code = main(["postmortem", "one_crash", "--scale", "tiny",
+                 "--slo", "wat"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro report --metrics-out (Prometheus textfile)
+# ----------------------------------------------------------------------
+def test_report_metrics_out_writes_prometheus_textfile(tmp_path, capsys):
+    result_json = tmp_path / "result.json"
+    assert main(["run", "one_crash", "--scale", "tiny", "--obs",
+                 "--json", str(result_json)]) == 0
+    capsys.readouterr()
+    prom = tmp_path / "metrics.prom"
+    code = main(["report", str(result_json), "--metrics-out", str(prom)])
+    assert code == 0
+    assert f"wrote {prom}" in capsys.readouterr().out
+    text = prom.read_text()
+    assert "# TYPE repro_web_interactions_ok counter" in text
+    assert "# TYPE repro_web_wirt_s summary" in text
+
+
+def test_report_metrics_out_needs_an_obs_result(tmp_path, capsys):
+    result_json = tmp_path / "result.json"
+    assert main(["run", "one_crash", "--scale", "tiny",
+                 "--json", str(result_json)]) == 0
+    capsys.readouterr()
+    code = main(["report", str(result_json),
+                 "--metrics-out", str(tmp_path / "m.prom")])
+    assert code == 1
+    assert "no metrics snapshot" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro bench --obs (recorder overhead gate)
+# ----------------------------------------------------------------------
+def test_bench_obs_parser_flag():
+    args = build_parser().parse_args(["bench", "--obs"])
+    assert args.obs is True
+    assert build_parser().parse_args(["bench"]).obs is False
+
+
+def test_run_obs_bench_report_shape():
+    from repro.harness.bench import run_obs_bench
+
+    report = run_obs_bench(scale="tiny", wips=400.0)
+    assert report["bench"] == "obs"
+    assert set(report["modes"]) == {"recorder_off", "recorder_on"}
+    off, on = report["modes"]["recorder_off"], report["modes"]["recorder_on"]
+    assert off["recorder"] is False and on["recorder"] is True
+    # the instrumented run is the same run: identical simulated outcome
+    assert on["awips"] == off["awips"]
+    assert on["completed"] == off["completed"]
+    assert on["recorded_events"] > 0
+    assert "overhead_pct" in report

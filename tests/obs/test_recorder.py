@@ -1,0 +1,140 @@
+"""The flight recorder: ring semantics, determinism, and zero cost."""
+
+import json
+
+import pytest
+
+from repro.harness.config import ClusterConfig, tiny_scale
+from repro.harness.experiment import Experiment
+from repro.obs.recorder import FlightRecorder, recorder_of
+from repro.sim.core import Simulator
+
+
+def test_record_stamps_sim_time_and_sorts_fields():
+    sim = Simulator()
+    recorder = FlightRecorder(sim)
+    sim.run(until=2.5)
+    event = recorder.record("fault.inject", "replica1",
+                            target=1, fault="crash")
+    assert event.time == 2.5
+    assert event.fields == (("fault", "crash"), ("target", 1))
+    assert event.get("fault") == "crash"
+    assert event.get("missing", "x") == "x"
+    assert event.to_dict() == {"t": 2.5, "kind": "fault.inject", "seq": 0,
+                               "node": "replica1", "fault": "crash",
+                               "target": 1}
+
+
+def test_ring_evicts_oldest_first_at_capacity():
+    recorder = FlightRecorder(Simulator(), capacity=3)
+    for index in range(5):
+        recorder.record("tick", None, n=index)
+    assert recorder.recorded == 5
+    assert recorder.evicted == 2
+    assert len(recorder.events) == 3
+    # FIFO eviction: the three youngest remain, in order, and the first
+    # retained seq equals the evicted count.
+    assert [event.get("n") for event in recorder.events] == [2, 3, 4]
+    assert recorder.events[0].seq == recorder.evicted
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        FlightRecorder(Simulator(), capacity=0)
+
+
+def test_select_filters_kind_prefix_and_window():
+    sim = Simulator()
+    recorder = FlightRecorder(sim)
+    recorder.record("fault.inject", None, fault="crash")
+    sim.run(until=1.0)
+    recorder.record("fault.heal", None, fault="crash")
+    sim.run(until=2.0)
+    recorder.record("proxy.backend_down", "proxy", backend="replica1")
+    assert [e.kind for e in recorder.select(kind="fault.heal")] == [
+        "fault.heal"]
+    assert len(recorder.select(prefix="fault.")) == 2
+    assert [e.kind for e in recorder.select(start=0.5, end=1.5)] == [
+        "fault.heal"]
+    assert recorder.counts() == {"fault.inject": 1, "fault.heal": 1,
+                                 "proxy.backend_down": 1}
+
+
+def test_to_jsonl_is_deterministic_and_sorted(tmp_path):
+    def build():
+        recorder = FlightRecorder(Simulator())
+        recorder.record("b.kind", "node", zeta=1, alpha="x")
+        recorder.record("a.kind", None)
+        return recorder
+
+    first, second = build(), build()
+    assert first.to_jsonl() == second.to_jsonl()
+    lines = first.to_jsonl().split("\n")
+    assert json.loads(lines[0]) == {"t": 0.0, "kind": "b.kind", "seq": 0,
+                                    "node": "node", "zeta": 1, "alpha": "x"}
+    # keys are serialized sorted, so the text itself is byte-stable
+    assert lines[0].index('"alpha"') < lines[0].index('"zeta"')
+    path = tmp_path / "ring.jsonl"
+    assert first.dump(str(path)) == 2
+    assert path.read_text().count("\n") == 2
+
+
+def test_recorder_of_null_object():
+    sim = Simulator()
+    assert recorder_of(sim) is None
+    recorder = FlightRecorder(sim)
+    sim.recorder = recorder
+    assert recorder_of(sim) is recorder
+
+
+def test_config_gates_recording():
+    scale = tiny_scale()
+    assert ClusterConfig(scale=scale).recording_enabled is False
+    assert ClusterConfig(scale=scale,
+                         flight_recorder=True).recording_enabled is True
+    assert ClusterConfig(scale=scale,
+                         slo_spec="error_rate<1%").recording_enabled is True
+    with pytest.raises(ValueError):
+        ClusterConfig(scale=scale, recorder_capacity=0)
+
+
+def test_recorded_run_is_bit_for_bit_identical():
+    """The acceptance bar: enabling the recorder (and the SLO engine)
+    must not perturb the run -- same samples, same recoveries, same
+    metric totals at the same seed."""
+    def run(instrumented):
+        experiment = (Experiment(scale=tiny_scale(), seed=2009)
+                      .load("closed", wips=1900.0)
+                      .one_crash(replica=1))
+        if instrumented:
+            experiment.record().slo("wirt_p99<2s,error_rate<1%")
+        return experiment.run()
+
+    bare, recorded = run(False), run(True)
+    assert bare.collector.samples == recorded.collector.samples
+    assert bare.recoveries == recorded.recoveries
+    bare_whole, rec_whole = bare.whole_window(), recorded.whole_window()
+    assert bare_whole.completed == rec_whole.completed
+    assert bare_whole.errors == rec_whole.errors
+    assert bare_whole.awips == rec_whole.awips
+    assert bare.flight is None and recorded.flight is not None
+    assert recorded.flight.recorded > 0
+
+
+def test_one_crash_run_records_the_failover_story():
+    result = (Experiment(scale=tiny_scale(), seed=2009)
+              .load("closed", wips=1900.0)
+              .record()
+              .one_crash(replica=1)
+              .run())
+    counts = result.flight.counts()
+    assert counts["fault.inject"] == 1
+    assert counts["watchdog.restart"] >= 1
+    assert counts["proxy.backend_down"] >= 1
+    assert counts["proxy.backend_up"] >= 1
+    assert counts["recovery.ready"] >= 1
+    assert counts["checkpoint.taken"] >= 1
+    crash = result.flight.select(kind="fault.inject")[0]
+    assert crash.get("fault") == "crash"
+    assert crash.get("target") == "1"
+    assert crash.time == pytest.approx(result.first_crash_at)

@@ -149,3 +149,60 @@ def test_single_sample_quantile_is_the_sample(value, q):
     summary = hist.summary()
     assert summary["min"] == summary["max"] == value
     assert summary["mean"] == pytest.approx(value)
+
+
+# ----------------------------------------------------------------------
+# Prometheus textfile exposition
+# ----------------------------------------------------------------------
+def test_to_prometheus_renders_counters_gauges_and_summaries():
+    from repro.obs.registry import to_prometheus
+
+    registry = MetricsRegistry()
+    registry.counter("web.interactions_ok").inc(42)
+    registry.gauge("proxy.active_backends", fn=lambda: 5.0)
+    latency = registry.histogram("web.wirt_s")
+    for value in (0.1, 0.2, 0.3):
+        latency.observe(value)
+    text = to_prometheus(registry.snapshot())
+    lines = text.strip().split("\n")
+    assert "# TYPE repro_web_interactions_ok counter" in lines
+    assert "repro_web_interactions_ok 42" in lines
+    assert "# TYPE repro_proxy_active_backends gauge" in lines
+    assert "repro_proxy_active_backends 5" in lines
+    assert "# TYPE repro_web_wirt_s summary" in lines
+    assert any(l.startswith('repro_web_wirt_s{quantile="0.99"} ')
+               for l in lines)
+    assert "repro_web_wirt_s_count 3" in lines
+    assert any(l.startswith("repro_web_wirt_s_sum 0.6") for l in lines)
+    assert text.endswith("\n")
+
+
+def test_to_prometheus_sanitizes_names_and_sorts():
+    from repro.obs.registry import to_prometheus
+
+    snapshot = {"counters": {"2fast.ops-total": 1, "a.b": 2}, "gauges": {},
+                "histograms": {}}
+    text = to_prometheus(snapshot)
+    # leading digit is escaped, punctuation becomes underscores, and the
+    # output is sorted by metric name (deterministic textfiles)
+    assert text.index("repro__2fast_ops_total 1") < text.index("repro_a_b 2")
+
+
+def test_to_prometheus_empty_snapshot_is_empty():
+    from repro.obs.registry import to_prometheus
+
+    assert to_prometheus({}) == ""
+
+
+def test_to_prometheus_round_trips_a_loaded_snapshot():
+    """The report --metrics-out path feeds a snapshot loaded back from
+    JSON; rendering must not care about the round trip."""
+    import json
+
+    from repro.obs.registry import to_prometheus
+
+    registry = MetricsRegistry()
+    registry.counter("paxos.proposals").inc(7)
+    live = registry.snapshot()
+    loaded = json.loads(json.dumps(live))
+    assert to_prometheus(loaded) == to_prometheus(live)

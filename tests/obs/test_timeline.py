@@ -87,3 +87,43 @@ def test_sampler_samples_registry_on_ticks():
     assert timeline.points("latency.count")[-1] == (6.0, 6.0)
     assert timeline.kind("latency.p95") == KIND_GAUGE
     assert timeline.points("latency.p95")[-1][1] == pytest.approx(0.01, rel=0.1)
+
+
+def test_flush_records_trailing_partial_tick():
+    """Regression: a run length that is not a tick multiple used to drop
+    the final partial tick's counter growth from the timeline."""
+    sim = Simulator()
+    registry = MetricsRegistry()
+    ops = registry.counter("ops")
+
+    def workload():
+        while True:
+            ops.inc()
+            yield sim.timeout(1.0)
+
+    sim.spawn(workload(), name="workload")
+    sampler = TimelineSampler(sim, registry, tick_s=2.0)
+    sampler.start()
+    sim.run(until=5.0)   # ticks land at 0, 2, 4 -- 5.0 is mid-tick
+    sampler.flush()
+    points = sampler.timeline.points("ops")
+    assert points[-1] == (5.0, 6.0)   # the t=5 increment is captured
+    assert [t for t, _v in points] == [0.0, 2.0, 4.0, 5.0]
+
+
+def test_flush_is_noop_on_tick_boundary():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.counter("ops").inc()
+    sampler = TimelineSampler(sim, registry, tick_s=2.0)
+    sampler.start()
+    sim.run(until=4.0)   # tick lands exactly at 4.0
+    before = list(sampler.timeline.points("ops"))
+    sampler.flush()
+    assert sampler.timeline.points("ops") == before
+    # and flushing twice mid-tick adds exactly one sample
+    sim.run(until=5.0)
+    sampler.flush()
+    sampler.flush()
+    assert [t for t, _v in sampler.timeline.points("ops")] == [
+        0.0, 2.0, 4.0, 5.0]
