@@ -101,8 +101,14 @@ STORAGE_KINDS = ("torn", "corrupt", "fsynclie", "failslow")
 #: DC outage, a WAN partition, and an asymmetric WAN slowdown.
 GEO_KINDS = ("dcfail", "wanpart", "wandegrade")
 
+#: the metastability trigger (repro.resilience): a transient slowdown of
+#: every replica CPU over a window -- ``retrystorm@240-270:factor=8``.
+#: The fault heals at the window end; whether goodput recovers with it
+#: is what the MetastabilityOracle judges.
+RETRYSTORM_KIND = "retrystorm"
+
 ALL_KINDS = (REPLICA_KINDS + NEMESIS_KINDS + (ONEWAY_KIND,)
-             + STORAGE_KINDS + GEO_KINDS)
+             + STORAGE_KINDS + GEO_KINDS + (RETRYSTORM_KIND,))
 
 _DC_NAME = re.compile(r"^[A-Za-z][A-Za-z0-9_-]*$")
 
@@ -259,6 +265,27 @@ class FaultEvent:
                 # already moved into ``factor`` by the parser).
                 raise ValueError(
                     f"{self.kind!r} does not take an 'm=' option")
+        elif self.kind == RETRYSTORM_KIND:
+            if self.replica is not None or self.dst is not None:
+                raise ValueError(
+                    "'retrystorm' slows every replica and takes no "
+                    "replica target")
+            if self.until is None:
+                raise ValueError(
+                    "'retrystorm' needs a time window, e.g. "
+                    "'retrystorm@240-270:factor=8'")
+            if self.until <= self.at:
+                raise ValueError(
+                    f"'retrystorm' window must end after it starts "
+                    f"({self.at} >= {self.until})")
+            if self.p is not None or self.delay_mean_s is not None:
+                raise ValueError(
+                    "'retrystorm' takes only a 'factor=' option")
+            if self.factor is not None and not (
+                    math.isfinite(self.factor) and self.factor >= 1.0):
+                raise ValueError(
+                    f"'retrystorm' factor must be >= 1.0, "
+                    f"got {self.factor!r}")
         else:  # oneway
             if self.replica is None or self.dst is None:
                 raise ValueError(
@@ -351,6 +378,9 @@ class Faultload:
     def geo_events(self) -> Tuple[FaultEvent, ...]:
         return tuple(e for e in self.events if e.kind in GEO_KINDS)
 
+    def retrystorm_events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind == RETRYSTORM_KIND)
+
     @classmethod
     def parse(cls, spec: str, name: str = "custom") -> "Faultload":
         """Parse a compact faultload spec (see the module docstring).
@@ -387,14 +417,15 @@ def _parse_event(chunk: str) -> FaultEvent:
         return _parse_geo_event(kind, rest, chunk)
     parts = [part.strip() for part in rest.split(":")]
     at, until = _parse_time(parts[0], kind, chunk)
-    replica = dst = p = mean = shard = dst_shard = None
+    replica = dst = p = mean = shard = dst_shard = factor_opt = None
     for part in parts[1:]:
         if "=" in part:
-            if kind not in NEMESIS_KINDS and kind not in ("torn",
-                                                          "failslow"):
+            if kind not in NEMESIS_KINDS and kind not in (
+                    "torn", "failslow", RETRYSTORM_KIND):
                 raise ValueError(
                     f"{kind!r} takes no key=value options: {chunk!r}")
-            p, mean = _parse_options(part, p, mean, chunk)
+            p, mean, factor_opt = _parse_options(part, p, mean, factor_opt,
+                                                 chunk)
         elif ">" in part:
             if kind in REPLICA_KINDS:
                 raise ValueError(
@@ -415,6 +446,10 @@ def _parse_event(chunk: str) -> FaultEvent:
                     f"not {kind!r}: {chunk!r}")
             replica = None
         else:
+            if kind == RETRYSTORM_KIND:
+                raise ValueError(
+                    f"'retrystorm' slows every replica and takes no "
+                    f"target, got {part!r}: {chunk!r}")
             if kind not in REPLICA_KINDS and kind not in STORAGE_KINDS:
                 raise ValueError(
                     f"{kind!r} needs a directed pair 'src>dst', "
@@ -424,7 +459,11 @@ def _parse_event(chunk: str) -> FaultEvent:
                 raise ValueError(
                     f"random target '*' is only valid for crash, "
                     f"not {kind!r}: {chunk!r}")
-    factor = None
+    factor = factor_opt
+    if factor_opt is not None and kind != RETRYSTORM_KIND:
+        raise ValueError(
+            f"'factor=' is a 'retrystorm' option, not valid for "
+            f"{kind!r}: {chunk!r}")
     if kind == "failslow":
         # The generic 'm=' option carries the fail-slow multiplier.
         factor, mean = mean, None
@@ -510,7 +549,9 @@ def _parse_time(text: str, kind: str,
 
 
 def _parse_options(part: str, p: Optional[float], mean: Optional[float],
-                   chunk: str) -> Tuple[Optional[float], Optional[float]]:
+                   factor: Optional[float], chunk: str
+                   ) -> Tuple[Optional[float], Optional[float],
+                              Optional[float]]:
     for option in part.split(","):
         key, _eq, value_text = option.strip().partition("=")
         key = key.strip()
@@ -522,10 +563,13 @@ def _parse_options(part: str, p: Optional[float], mean: Optional[float],
             p = value
         elif key == "m":
             mean = value
+        elif key == "factor":
+            factor = value
         else:
             raise ValueError(
-                f"unknown option {key!r} in {chunk!r} (expected p= or m=)")
-    return p, mean
+                f"unknown option {key!r} in {chunk!r} "
+                f"(expected p=, m=, or factor=)")
+    return p, mean, factor
 
 
 def _parse_index(text: str, chunk: str) -> int:
@@ -615,6 +659,11 @@ class FaultInjector:
                 self._sim.call_at(event.at, self._fire, event)
                 if event.until is not None and not math.isinf(event.until):
                     self._sim.call_at(event.until, self._restore_geo, event)
+            elif event.kind == RETRYSTORM_KIND:
+                self._sim.call_at(event.at, self._fire, event)
+                if not math.isinf(event.until):
+                    self._sim.call_at(event.until, self._heal_retrystorm,
+                                      event)
             elif event.kind == ONEWAY_KIND:
                 self._sim.call_at(event.at, self._fire, event)
                 if event.until is not None and not math.isinf(event.until):
@@ -634,38 +683,59 @@ class FaultInjector:
                 if not live:
                     return
                 target = self._rng.choice(sorted(live))
+        # Record before mutating: crash listeners (proxy broken
+        # connections, DC-wide crashes) fire synchronously inside the
+        # cluster call, and the recorded cause must precede its
+        # consequences in the ring.
+        if event.kind == "crash":
+            self.injected.append((self._sim.now, event.kind, target))
+            self._record("fault.inject", fault=event.kind,
+                         target=self._target_str(target))
             self._cluster.crash_replica(target)
         elif event.kind == "reboot":
+            self.injected.append((self._sim.now, event.kind, target))
+            self._record("fault.inject", fault=event.kind,
+                         target=self._target_str(target))
             self._cluster.reboot_replica(target)
         elif event.kind == "partition":
+            self.injected.append((self._sim.now, event.kind, target))
+            self._record("fault.inject", fault=event.kind,
+                         target=self._target_str(target))
             self._cluster.partition_replica(target)
         elif event.kind == ONEWAY_KIND:
-            self._cluster.block_oneway(event.src_target, event.dst_target)
             self.injected.append(
                 (self._sim.now, event.kind,
                  (event.src_target, event.dst_target)))
             self._record("fault.inject", fault=event.kind,
                          target=f"{self._target_str(event.src_target)}>"
                                 f"{self._target_str(event.dst_target)}")
-            return
+            self._cluster.block_oneway(event.src_target, event.dst_target)
         elif event.kind == "dcfail":
-            self._dc_crashes += self._cluster.fail_dc(event.dc)
             self.injected.append((self._sim.now, "dcfail", event.dc))
             self._record("fault.inject", fault="dcfail", target=event.dc,
                          dc=event.dc)
-            return
+            self._dc_crashes += self._cluster.fail_dc(event.dc)
         elif event.kind == "wanpart":
-            self._cluster.wan_partition(event.dc, event.peer_dcs)
             self.injected.append(
                 (self._sim.now, "wanpart", (event.dc, event.peer_dcs)))
             self._record("fault.inject", fault="wanpart", target=event.dc,
                          dc=event.dc, peer_dcs=list(event.peer_dcs))
-            return
+            self._cluster.wan_partition(event.dc, event.peer_dcs)
+        elif event.kind == RETRYSTORM_KIND:
+            factor = event.factor if event.factor is not None else 8.0
+            self.injected.append((self._sim.now, "retrystorm", factor))
+            self._record("fault.inject", fault="retrystorm", factor=factor)
+            self._cluster.begin_slowdown(factor)
         else:
+            self.injected.append((self._sim.now, event.kind, target))
+            self._record("fault.heal", fault=event.kind,
+                         target=self._target_str(target))
             self._cluster.heal_replica(target)
-        self.injected.append((self._sim.now, event.kind, target))
-        self._record("fault.heal" if event.kind == "heal" else "fault.inject",
-                     fault=event.kind, target=self._target_str(target))
+
+    def _heal_retrystorm(self, event: FaultEvent) -> None:
+        self._cluster.end_slowdown()
+        self.injected.append((self._sim.now, "heal-retrystorm", None))
+        self._record("fault.heal", fault="retrystorm")
 
     def _heal_oneway(self, event: FaultEvent) -> None:
         self._cluster.unblock_oneway(event.src_target, event.dst_target)
@@ -693,8 +763,10 @@ class FaultInjector:
 
     @property
     def faults_injected(self) -> int:
-        # Every replica taken down by a DC outage is one injected fault.
-        return (sum(1 for _t, kind, _r in self.injected if kind == "crash")
+        # Every replica taken down by a DC outage is one injected fault;
+        # a retry-storm trigger is one fault for the whole cluster.
+        return (sum(1 for _t, kind, _r in self.injected
+                    if kind in ("crash", "retrystorm"))
                 + self._dc_crashes)
 
     @property

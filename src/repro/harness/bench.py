@@ -230,6 +230,96 @@ def run_geo_bench(scale: str = "tiny", seed: int = 2009,
     return report
 
 
+#: The retry-storm demonstration pair (see :func:`run_retry_bench`).
+#: Offered load sits at ~85% of cluster capacity so the slowdown window
+#: pushes response times past the client timeout and the naive retry
+#: feedback loop can ignite.
+RETRY_WIPS = 1400.0
+RETRY_TIMEOUT_S = 1.5
+RETRY_STORM_AT_S = 240.0
+RETRY_STORM_DURATION_S = 60.0
+RETRY_STORM_FACTOR = 8.0
+RETRY_NAIVE_SPEC = "immediate"
+RETRY_DEFENDED_SPEC = "expo:base=0.5,cap=8,budget=10%"
+
+
+def run_retry_bench(scale: str = "tiny", seed: int = 2009,
+                    wips: float = RETRY_WIPS) -> Dict[str, object]:
+    """The metastable-failure demonstration pair, as a CI gate.
+
+    Two runs of the *same* retry-storm scenario at the same seed:
+
+    * ``naive``: clients retry immediately on any failure, unbudgeted,
+      and the cluster fields no defenses.  The transient slowdown ends
+      but the retry load keeps the cluster saturated: the oracle must
+      call it ``metastable``.
+    * ``defended``: exponential-backoff budgeted retries plus the full
+      defense stack (admission control, breakers, adaptive concurrency,
+      redispatch budget, deadline propagation).  Same seed, same storm:
+      the oracle must call it ``recovered``.
+
+    Both runs carry the safety checker; a defense that trades
+    correctness for goodput fails the bench.  The report pins the
+    verdict pair and the goodput delta so CI catches a regression in
+    either direction -- defenses that stop recovering, or a "storm"
+    that no longer collapses the naive run.
+    """
+    report: Dict[str, object] = {
+        "bench": "retry",
+        "scale": scale,
+        "seed": seed,
+        "offered_wips": wips,
+        "timeout_s": RETRY_TIMEOUT_S,
+        "storm": {
+            "at_s": RETRY_STORM_AT_S,
+            "duration_s": RETRY_STORM_DURATION_S,
+            "factor": RETRY_STORM_FACTOR,
+        },
+        "runs": {},
+    }
+    for name, spec, defended in (("naive", RETRY_NAIVE_SPEC, False),
+                                 ("defended", RETRY_DEFENDED_SPEC, True)):
+        experiment = (Experiment(scale=_scale_named(scale), seed=seed)
+                      .load("open", wips=wips, mix="browsing",
+                            timeout_s=RETRY_TIMEOUT_S, retry=spec)
+                      .retry_storm(at_s=RETRY_STORM_AT_S,
+                                   duration_s=RETRY_STORM_DURATION_S,
+                                   factor=RETRY_STORM_FACTOR)
+                      .observe()
+                      .check_safety())
+        if defended:
+            experiment.defend()
+        started = time.perf_counter()
+        result = experiment.run()
+        wall_s = time.perf_counter() - started
+        verdict = result.metastability()
+        whole = result.whole_window()
+        report["runs"][name] = {          # type: ignore[index]
+            "retry": spec,
+            "defended": defended,
+            "verdict": verdict.verdict,
+            "baseline_wips": round(verdict.baseline_wips, 2),
+            "post_heal_wips": round(verdict.post_heal_wips, 2),
+            "post_heal_ratio": round(verdict.post_heal_ratio, 4),
+            "recovered_at": (None if verdict.recovered_at is None
+                             else round(verdict.recovered_at, 3)),
+            "awips": round(whole.awips, 2),
+            "completed": whole.completed,
+            "errors": whole.errors,
+            "safety_violations": len(result.safety_violations or []),
+            "wall_s": round(wall_s, 4),
+        }
+    runs = report["runs"]
+    report["verdicts"] = {name: entry["verdict"]          # type: ignore
+                          for name, entry in runs.items()}  # type: ignore
+    naive = runs["naive"]                                   # type: ignore
+    defended_run = runs["defended"]                         # type: ignore
+    report["post_heal_ratio_delta"] = round(
+        float(defended_run["post_heal_ratio"])
+        - float(naive["post_heal_ratio"]), 4)
+    return report
+
+
 def compare(current: Dict[str, object], baseline: Dict[str, object],
             tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
     """Regression messages for every mode slower than baseline allows.
@@ -240,6 +330,17 @@ def compare(current: Dict[str, object], baseline: Dict[str, object],
     list means the benchmark is within tolerance.
     """
     problems: List[str] = []
+    for name, base in baseline.get("runs", {}).items():
+        now = current.get("runs", {}).get(name)
+        if now is None:
+            continue
+        want, got = base.get("verdict"), now.get("verdict")
+        if want != got:
+            problems.append(
+                f"{name}: oracle verdict {got!r} != pinned {want!r}")
+        if int(now.get("safety_violations", 0)) > 0:
+            problems.append(
+                f"{name}: {now['safety_violations']} safety violations")
     current_modes = current.get("modes", {})
     baseline_modes = baseline.get("modes", {})
     for mode, base in baseline_modes.items():
@@ -290,6 +391,26 @@ def format_report(report: Dict[str, object]) -> str:
                 f"{entry['events_per_wall_s']:>10,.0f} "
                 f"{entry['wall_s']:>6.1f}s {entry['awips']:>7.1f} "
                 f"{entry['errors']:>6} {recorded!s:>9}")
+        return "\n".join(lines)
+    if report.get("bench") == "retry":
+        storm = report.get("storm", {})
+        lines = [f"retry bench | scale={report['scale']} "
+                 f"seed={report['seed']} | storm x{storm.get('factor')} "
+                 f"@{storm.get('at_s')}s for {storm.get('duration_s')}s | "
+                 f"timeout {report.get('timeout_s')}s"]
+        header = (f"  {'run':<10} {'verdict':<11} {'baseline':>9} "
+                  f"{'post-heal':>10} {'ratio':>7} {'rec at':>8} "
+                  f"{'errors':>7} {'unsafe':>6}")
+        lines.append(header)
+        for name, entry in report.get("runs", {}).items():  # type: ignore
+            rec = entry.get("recovered_at")
+            lines.append(
+                f"  {name:<10} {entry['verdict']:<11} "
+                f"{entry['baseline_wips']:>9.1f} "
+                f"{entry['post_heal_wips']:>10.1f} "
+                f"{entry['post_heal_ratio']:>7.3f} "
+                f"{('-' if rec is None else f'{rec:.1f}s'):>8} "
+                f"{entry['errors']:>7} {entry['safety_violations']:>6}")
         return "\n".join(lines)
     if report.get("bench") == "geo":
         lines = [f"geo bench | scale={report['scale']} "

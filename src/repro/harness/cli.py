@@ -18,6 +18,9 @@
     python -m repro bench --scale tiny --out bench_reports/BENCH_7_kernel.json
     python -m repro bench --compare bench_reports/BENCH_7_kernel.json
     python -m repro bench --obs --out bench_reports/BENCH_9_obs.json
+    python -m repro bench --retry --out bench_reports/BENCH_10_retrystorm.json
+    python -m repro run --faultload 'retrystorm@240-300:factor=8' --defend \\
+        --load 'open:wips=1400,timeout=1.5,retry=expo:base=0.5,budget=10%'
 
 The ``--load`` grammar picks the load model: ``closed`` (the paper's
 RBE fleet; optional ``clients=N`` pins the fleet size) or
@@ -107,7 +110,18 @@ def _add_cluster_options(parser: argparse.ArgumentParser) -> None:
                              "'open:wips=X,population=M"
                              "[,arrival=poisson|deterministic]' "
                              "(aggregated open-loop arrivals; population "
-                             "sizes the emulated user-id space only)")
+                             "sizes the emulated user-id space only); "
+                             "both accept ',timeout=S' (client timeout) "
+                             "and ',retry=POLICY' where POLICY is "
+                             "none | immediate | fixed:delay=S | "
+                             "'expo:base=0.5,cap=8,budget=10%%' "
+                             "(+attempts=N, jitter=on|off)")
+    parser.add_argument("--defend", action="store_true",
+                        help="enable the overload defense stack: server "
+                             "admission control (bounded queue + CoDel + "
+                             "deadline shedding), per-backend circuit "
+                             "breakers, AIMD concurrency limit, proxy "
+                             "redispatch budget, deadline propagation")
     parser.add_argument("--geo", metavar="SPEC", default=None,
                         help="stretch the cluster across datacenters "
                              "(repro.geo): 'dc0,dc1,dc2"
@@ -267,6 +281,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "vs spread/majority), with the WIRT network "
                             "bucket's intra-DC/WAN split; default --out "
                             "becomes bench_reports/BENCH_8_geo.json")
+    bench.add_argument("--retry", action="store_true",
+                       help="run the retry-storm demonstration pair "
+                            "instead: the same transient slowdown with "
+                            "naive immediate retries (must go metastable) "
+                            "vs budgeted backoff + the defense stack "
+                            "(must recover); the load point is pinned, "
+                            "so --offered-wips is ignored; exits 2 if "
+                            "either oracle verdict flips; default --out "
+                            "becomes "
+                            "bench_reports/BENCH_10_retrystorm.json")
     bench.add_argument("--scale", choices=["tiny", "bench", "paper"],
                        default="tiny",
                        help="experiment scale to benchmark (default tiny, "
@@ -344,14 +368,26 @@ _LOAD_KEYS = {
     "population": ("population", int),
     "clients": ("clients", int),
     "arrival": ("arrival", str),
+    "timeout": ("timeout_s", float),
+    "retry": ("retry", str),
 }
+
+#: Retry-grammar sub-options: a comma chunk with one of these keys
+#: continues the preceding ``retry=`` value instead of starting a new
+#: --load option, so 'retry=expo:base=0.5,cap=8,budget=10%' stays one
+#: policy spec.
+_RETRY_CONT_KEYS = frozenset(
+    {"base", "cap", "delay", "attempts", "jitter", "budget"})
 
 
 def _parse_load_spec(spec: str) -> dict:
     """``--load`` SPEC -> kwargs for :meth:`Experiment.load`.
 
     Grammar: ``closed[:clients=N]`` or
-    ``open:wips=X,population=M[,arrival=poisson|deterministic]``.
+    ``open:wips=X,population=M[,arrival=poisson|deterministic]``, plus
+    ``timeout=S`` and ``retry=POLICY`` for either mode (POLICY in the
+    :func:`repro.resilience.parse_retry` grammar; its own
+    comma-separated options ride along as continuations).
     ``wips`` stays absent unless spelled out, so callers can fall back
     to ``--offered-wips`` (run/trace) or the sweep's own load law.
     """
@@ -360,15 +396,22 @@ def _parse_load_spec(spec: str) -> dict:
         raise ValueError(f"load mode must be 'closed' or 'open', "
                          f"got {mode!r}")
     kwargs = {"mode": mode}
+    retry_open = False
     for part in rest.split(","):
         part = part.strip()
         if not part:
             continue
         key, sep, value = part.partition("=")
+        if retry_open and sep and key in _RETRY_CONT_KEYS:
+            # First option after a bare kind opens the option list.
+            joiner = "," if ":" in kwargs["retry"] else ":"
+            kwargs["retry"] = f"{kwargs['retry']}{joiner}{part}"
+            continue
         if not sep or key not in _LOAD_KEYS:
             known = ", ".join(sorted(_LOAD_KEYS))
             raise ValueError(f"bad --load option {part!r} "
                              f"(expected key=value with key in {known})")
+        retry_open = key == "retry"
         name, coerce = _LOAD_KEYS[key]
         try:
             kwargs[name] = coerce(value)
@@ -448,6 +491,8 @@ def _build_experiment(args) -> Experiment:
     mode = load_kwargs.pop("mode")
     load_kwargs.setdefault("wips", args.offered_wips)
     experiment.load(mode, mix=args.profile, **load_kwargs)
+    if getattr(args, "defend", False):
+        experiment.defend()
     if getattr(args, "geo", None):
         experiment.geo(**_parse_geo_spec(args.geo))
     if getattr(args, "slo", None):
@@ -610,6 +655,9 @@ def _cmd_sweep(args) -> int:
             parse_slo(args.slo)    # fail before the first point runs
             load = dict(load or {})
             load["slo_spec"] = args.slo
+        if args.defend:
+            load = dict(load or {})
+            load["defenses"] = True
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -750,9 +798,16 @@ def _cmd_bench(args) -> int:
         run_geo_bench,
         run_kernel_bench,
         run_obs_bench,
+        run_retry_bench,
     )
 
-    if args.obs:
+    if args.retry:
+        if args.out == "bench_reports/BENCH_7_kernel.json":
+            args.out = "bench_reports/BENCH_10_retrystorm.json"
+        print(f"benchmarking overload defenses | scale={args.scale} | "
+              f"retry storm: naive vs defended at one seed", flush=True)
+        report = run_retry_bench(scale=args.scale, seed=args.seed)
+    elif args.obs:
         if args.out == "bench_reports/BENCH_7_kernel.json":
             args.out = "bench_reports/BENCH_9_obs.json"
         print(f"benchmarking observability | scale={args.scale} | "
@@ -797,6 +852,18 @@ def _cmd_bench(args) -> int:
               f"exceeds the {OBS_OVERHEAD_LIMIT_PCT:.0f}% events/sec gate",
               file=sys.stderr)
         return 2
+    if args.retry:
+        expected = {"naive": "metastable", "defended": "recovered"}
+        verdicts = report["verdicts"]
+        unsafe = {name: entry["safety_violations"]
+                  for name, entry in report["runs"].items()
+                  if entry["safety_violations"]}
+        if verdicts != expected or unsafe:
+            print(f"\nretry-storm gate failed: verdicts {verdicts} "
+                  f"(want {expected})"
+                  + (f", safety violations {unsafe}" if unsafe else ""),
+                  file=sys.stderr)
+            return 2
     return 0
 
 
@@ -867,7 +934,8 @@ def _cmd_explore(args) -> int:
             scale=scale, replicas=args.replicas, num_ebs=args.ebs,
             profile=args.profile, offered_wips=args.offered_wips,
             seed=args.seed, enable_fast=not args.no_fast,
-            shards=args.shards, geo=geo, slo_spec=args.slo)
+            shards=args.shards, geo=geo, slo_spec=args.slo,
+            defenses=args.defend)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

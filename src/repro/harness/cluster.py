@@ -147,7 +147,17 @@ class ReplicaGroup:
         db = self._database_factory(self, index, node, runtime)
         servlets = BookstoreServlets(
             db, self.seed.fork_random(f"servlets-{index}-{node.incarnation}"))
-        server = ApplicationServer(node, runtime, servlets)
+        # Each incarnation gets a fresh admission controller (when the
+        # overload defenses are on): in-flight accounting must not
+        # survive a crash that already dropped the work it counted.
+        admission = None
+        admission_params = self.config.admission_params()
+        if admission_params is not None:
+            from repro.resilience.admission import AdmissionController
+            admission = AdmissionController(lambda: self.sim.now,
+                                            admission_params)
+        server = ApplicationServer(node, runtime, servlets,
+                                   admission=admission)
         self.runtimes[index] = runtime
         self.servers[index] = server
         self.databases[index] = db
@@ -197,6 +207,23 @@ class ReplicaGroup:
 
     def disable_watchdog(self, index: int) -> None:
         self.watchdogs[index].enabled = False
+
+    def begin_slowdown(self, factor: float) -> None:
+        """Transient capacity loss: every replica CPU runs ``factor``x
+        slower until :meth:`end_slowdown`.  The ServiceStation reads its
+        ``speed`` at serve time, so the change applies to every job
+        served from now on (queued work included) -- this is the
+        retrystorm trigger."""
+        base = 1.0 / self.config.scale.load_div
+        for node in self.replica_nodes:
+            node.cpu.speed = base / factor
+
+    def end_slowdown(self) -> None:
+        """The trigger heals: full CPU speed restored.  Whether goodput
+        follows is the metastability question."""
+        base = 1.0 / self.config.scale.load_div
+        for node in self.replica_nodes:
+            node.cpu.speed = base
 
     def max_apply_backlog(self) -> float:
         """Deepest decided-but-unapplied backlog across live replicas."""
@@ -486,6 +513,12 @@ class RobustStoreCluster:
 
     def disable_watchdog(self, index: int) -> None:
         self.group.disable_watchdog(index)
+
+    def begin_slowdown(self, factor: float) -> None:
+        self.group.begin_slowdown(factor)
+
+    def end_slowdown(self) -> None:
+        self.group.end_slowdown()
 
     # ------------------------------------------------------------------
     # DC-scoped faults (geo runs only)

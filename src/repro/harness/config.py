@@ -213,6 +213,25 @@ class ClusterConfig:
     # Auto-dump path: when set and an SLO alert or safety violation
     # fired, the harness writes the ring as JSONL here after the run.
     recorder_dump: Optional[str] = None
+    # Client retry policy (repro.resilience.retry): a parse_retry() spec
+    # such as "expo:base=0.5,cap=8,attempts=3,budget=10%" applied to
+    # every load source (closed-loop RBEs and open-loop arrivals alike).
+    # Backoff delays live in the load domain (they track response times,
+    # like rbe_timeout_s) and are NOT timeline-scaled.  None keeps the
+    # historical no-retry client bit-for-bit.
+    retry_spec: Optional[str] = None
+    # Overload defenses (repro.resilience), one switch for the whole
+    # stack: clients propagate their deadline, the proxy drops dead work
+    # and runs per-backend circuit breakers + an AIMD concurrency limit
+    # + a redispatch budget, and every application server runs admission
+    # control (bounded queue + CoDel + deadline shedding).  Off keeps
+    # every run bit-for-bit identical to a build without the defenses.
+    defenses: bool = False
+    # Defense tuning (all load-domain seconds / ratios, unscaled).
+    admission_queue_limit: int = 64
+    admission_codel_target_s: float = 0.25
+    admission_codel_interval_s: float = 1.0
+    proxy_redispatch_budget: float = 0.1
 
     def __post_init__(self):
         if self.load_mode not in ("closed", "open"):
@@ -233,6 +252,9 @@ class ClusterConfig:
             # Fail fast on an unparseable spec, before a run is paid for.
             from repro.obs.slo import parse_slo
             parse_slo(self.slo_spec)
+        if self.retry_spec is not None:
+            from repro.resilience.retry import parse_retry
+            parse_retry(self.retry_spec)
 
     @property
     def recording_enabled(self) -> bool:
@@ -300,11 +322,40 @@ class ClusterConfig:
             # cross-DC backend looks permanently down.
             probe_timeout_s = max(probe_timeout_s,
                                   2.0 * self.geo.topology.max_rtt_s())
-        return ProxyParams(
+        params = ProxyParams(
             probe_interval_s=scale.t(base.probe_interval_s),
             probe_timeout_s=probe_timeout_s,
             fall=base.fall, rise=base.rise,
             max_dispatch_attempts=base.max_dispatch_attempts)
+        if self.defenses:
+            # Breaker cool-off and the AIMD latency target track backend
+            # response times (load domain), so they are not scaled.
+            params = replace(
+                params, breaker_enabled=True, aimd_enabled=True,
+                redispatch_budget=self.proxy_redispatch_budget,
+                shed_dead=True)
+        return params
+
+    def retry_policy(self):
+        """The parsed client RetryPolicy, or None when retries are off."""
+        if self.retry_spec is None:
+            return None
+        from repro.resilience.retry import parse_retry
+        return parse_retry(self.retry_spec)
+
+    def admission_params(self):
+        """Server AdmissionParams when defenses are on, else None.
+
+        CoDel thresholds track queueing delay (load domain, like
+        rbe_timeout_s) and are deliberately not timeline-scaled.
+        """
+        if not self.defenses:
+            return None
+        from repro.resilience.admission import AdmissionParams
+        return AdmissionParams(
+            queue_limit=self.admission_queue_limit,
+            codel_target_s=self.admission_codel_target_s,
+            codel_interval_s=self.admission_codel_interval_s)
 
     @property
     def scaled_watchdog_delay_s(self) -> float:

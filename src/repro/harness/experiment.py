@@ -97,7 +97,8 @@ class Experiment:
              population: Optional[int] = None,
              arrival: Optional[str] = None,
              use_navigation: Optional[bool] = None,
-             timeout_s: Optional[float] = None) -> "Experiment":
+             timeout_s: Optional[float] = None,
+             retry: Optional[str] = None) -> "Experiment":
         """The single load-configuration entry point.
 
         Closed loop (the paper's RBE fleet; WIPS couples to WIRT)::
@@ -113,7 +114,12 @@ class Experiment:
 
         ``clients``/``think_time_s``/``use_navigation`` are closed-loop
         knobs; ``population``/``arrival`` are open-loop knobs.  ``wips``,
-        ``mix``, ``scale``, and ``timeout_s`` apply to both.
+        ``mix``, ``scale``, ``timeout_s``, and ``retry`` apply to both.
+
+        ``retry`` is a client retry policy in the
+        :func:`repro.resilience.parse_retry` grammar, e.g.
+        ``"expo:base=0.5,cap=8,attempts=3,budget=10%"`` -- or plain
+        ``"immediate"`` for the naive storm-prone client.
         """
         if mode not in ("closed", "open"):
             raise ValueError(
@@ -157,6 +163,19 @@ class Experiment:
             overrides["use_navigation"] = bool(use_navigation)
         if timeout_s is not None:
             overrides["rbe_timeout_s"] = float(timeout_s)
+        if retry is not None:
+            from repro.resilience.retry import parse_retry
+            parse_retry(retry)  # validate eagerly, at build time
+            overrides["retry_spec"] = retry
+        return self
+
+    def defend(self, enabled: bool = True) -> "Experiment":
+        """Switch the overload defenses on (:mod:`repro.resilience`):
+        deadline propagation from the clients, proxy circuit breakers +
+        AIMD concurrency limit + redispatch budget, and server admission
+        control (bounded queue, CoDel, deadline shedding).  Off by
+        default; an undefended run is bit-for-bit the historical one."""
+        self._overrides["defenses"] = bool(enabled)
         return self
 
     def nemesis(self, spec: str) -> "Experiment":
@@ -337,6 +356,21 @@ class Experiment:
                                         "duration_s": duration_s})
         return self
 
+    def retry_storm(self, at_s: float = 240.0, duration_s: float = 30.0,
+                    factor: float = 8.0) -> "Experiment":
+        """Extension (repro.resilience): a transient ``factor``x slowdown
+        of every replica CPU over ``[at_s, at_s + duration_s)``
+        paper-seconds.  Under open-loop load near saturation with naive
+        client retries this trigger tips the deployment into metastable
+        collapse; ``result.metastability()`` renders the verdict."""
+        if duration_s <= 0:
+            raise ValueError(
+                f"retry_storm duration must be positive, got {duration_s}")
+        self._scenario = ("retry_storm", {"at_s": float(at_s),
+                                          "duration_s": float(duration_s),
+                                          "factor": float(factor)})
+        return self
+
     def delayed_recovery(self, first: int = 1,
                          second: int = 2) -> "Experiment":
         """Section 5.6: both replicas crash at t=240 s; one recovers
@@ -403,6 +437,12 @@ class Experiment:
                 FaultEvent(start, "partition", params["replica"]),
                 FaultEvent(start + scale.t(params["duration_s"]), "heal",
                            params["replica"]),)), None
+        if kind == "retry_storm":
+            at = params["at_s"]
+            return Faultload("retry-storm", (
+                FaultEvent(scale.t(at), "retrystorm",
+                           until=scale.t(at + params["duration_s"]),
+                           factor=params["factor"]),)), None
         if kind == "delayed_recovery":
             second = params["second"]
             faultload = Faultload("delayed-recovery", (

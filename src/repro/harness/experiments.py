@@ -91,6 +91,11 @@ class ExperimentResult:
     # SLO engine (only when config.slo_spec was set): alerts fired in
     # sim time plus the objective arithmetic behind slo_report().
     slo: Optional[object] = None
+    # Retry-storm trigger window on the compressed timeline, as the
+    # injector actually fired it: (trigger_at, healed_at).  Only set
+    # when the faultload held a 'retrystorm' event; feeds
+    # :meth:`metastability`.
+    retrystorm_window: Optional[Tuple[float, float]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +185,38 @@ class ExperimentResult:
         from repro.obs.incident import build_incident_report
         return build_incident_report(self)
 
+    # metastability ------------------------------------------------------
+    def metastability(self, oracle=None):
+        """The retry-storm verdict (requires a ``retrystorm`` faultload).
+
+        Judges post-heal goodput against the pre-trigger baseline with a
+        :class:`repro.resilience.MetastabilityOracle`; the default
+        oracle's sustain/grace/bucket constants are paper-timeline
+        seconds compressed by the run's scale.
+        """
+        if self.retrystorm_window is None:
+            raise MissingWindowError(
+                f"this run (faultload {self.faultload_name!r}) fired no "
+                f"retrystorm trigger, so there is no metastability "
+                f"verdict; inject one with .faults('retrystorm@240-270:"
+                f"factor=8') or Experiment(...).retry_storm()")
+        trigger_at, healed_at = self.retrystorm_window
+        if oracle is None:
+            from repro.resilience.oracle import MetastabilityOracle
+            scale = self.config.scale
+            oracle = MetastabilityOracle(sustain_s=scale.t(60.0),
+                                         grace_s=scale.t(30.0),
+                                         bucket_s=scale.t(5.0))
+        return oracle.judge(self.collector,
+                            measure_start=self.measure_start,
+                            trigger_at=trigger_at, healed_at=healed_at,
+                            end=self.measure_end)
+
+    def _metastability_or_none(self):
+        if self.retrystorm_window is None:
+            return None
+        return self.metastability()
+
     # measures -----------------------------------------------------------
     def pv_pct(self) -> Optional[float]:
         recovery = self._recovery_window_or_none()
@@ -259,6 +296,9 @@ class ExperimentResult:
             "storage": self.storage,
             "slo": (self.slo.report(self.measure_start, self.measure_end)
                     if self.slo is not None else None),
+            "metastability": (
+                None if self.retrystorm_window is None
+                else self.metastability().to_dict()),
             "flight_recorder": (
                 None if self.flight is None
                 else {"recorded": self.flight.recorded,
@@ -321,6 +361,15 @@ def _execute(config: ClusterConfig, faultload: Faultload,
                    if kind in ("crash", "partition", "dcfail", "wanpart")]
     if crash_times:
         first_crash = min(crash_times)
+    # The retrystorm trigger window as actually fired (compressed
+    # timeline): trigger instant and heal instant, for the oracle.
+    storm_window = None
+    storm_at = [t for t, kind, _r in injector.injected
+                if kind == "retrystorm"]
+    storm_heal = [t for t, kind, _r in injector.injected
+                  if kind == "heal-retrystorm"]
+    if storm_at and storm_heal:
+        storm_window = (min(storm_at), max(storm_heal))
     violations = None
     if config.safety_tracing:
         violations = cluster.safety_checker().violations()
@@ -357,7 +406,8 @@ def _execute(config: ClusterConfig, faultload: Faultload,
         faultload_name=faultload.name,
         cluster=cluster if config.keep_cluster else None,
         flight=recorder,
-        slo=cluster.slo_engine)
+        slo=cluster.slo_engine,
+        retrystorm_window=storm_window)
 
 
 # ======================================================================

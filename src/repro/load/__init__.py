@@ -30,6 +30,8 @@ def build_load(client_nodes, proxy_name, profile, collector, seed,
     """
     rbes: list = []
     sources: List[OpenLoopLoadSource] = []
+    retry = config.retry_policy()
+    propagate = config.defenses
     if config.load_mode == "open":
         n = len(client_nodes)
         share = config.effective_offered_wips / n
@@ -40,22 +42,29 @@ def build_load(client_nodes, proxy_name, profile, collector, seed,
                 source_id=k, wips=share,
                 population=config.effective_population,
                 arrival=config.arrival,
-                timeout_s=config.scaled_rbe_timeout_s)
+                timeout_s=config.scaled_rbe_timeout_s,
+                retry=retry, propagate_deadline=propagate)
             source.start()
             sources.append(source)
         return rbes, sources
     # Closed loop: the historical RBE fleet, fork names unchanged so
-    # pre-existing runs stay bit-for-bit reproducible.
+    # pre-existing runs stay bit-for-bit reproducible.  The retry stream
+    # is a NEW named fork created only when retries are on, so enabling
+    # it cannot shift any historical stream.
     from repro.tpcw.rbe import RemoteBrowserEmulator
     for k in range(config.num_rbes):
         node = client_nodes[k % len(client_nodes)]
+        retry_rng = (seed.fork_random(f"retry-rbe-{k}")
+                     if retry is not None and retry.enabled else None)
         rbe = RemoteBrowserEmulator(
             node, proxy_name, profile, collector,
             seed.fork_random(f"rbe-{k}"),
             rbe_id=k + 1,
             think_time_s=config.think_time_s,
             timeout_s=config.scaled_rbe_timeout_s,
-            use_navigation=config.use_navigation)
+            use_navigation=config.use_navigation,
+            retry=retry, retry_rng=retry_rng,
+            propagate_deadline=propagate)
         rbe.start()
         rbes.append(rbe)
     return rbes, sources

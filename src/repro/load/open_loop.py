@@ -31,6 +31,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.faults.metrics import MetricsCollector
 from repro.obs.registry import registry_of
+from repro.resilience.retry import RetryPolicy
 from repro.sim.node import Node
 from repro.sim.rng import SeedTree
 from repro.tpcw.workload import Interaction, WorkloadProfile
@@ -89,7 +90,9 @@ class OpenLoopLoadSource:
     def __init__(self, node: Node, proxy_name: str, profile: WorkloadProfile,
                  collector: MetricsCollector, seed: SeedTree, *,
                  source_id: int, wips: float, population: int,
-                 arrival: str = "poisson", timeout_s: float = 10.0):
+                 arrival: str = "poisson", timeout_s: float = 10.0,
+                 retry: Optional[RetryPolicy] = None,
+                 propagate_deadline: bool = False):
         if wips <= 0:
             raise ValueError(f"open-loop wips must be positive, got {wips}")
         if population < 1:
@@ -114,9 +117,22 @@ class OpenLoopLoadSource:
                 f"open-{source_id}-{interaction.value}")
             for interaction, _rate in self.rates}
         self._session_rng = seed.fork_random(f"open-{source_id}-sessions")
+        # Client retry policy (repro.resilience): a failed attempt is
+        # re-sent under a fresh req_id after the policy's backoff and only
+        # the final outcome is recorded.  The retry stream is forked only
+        # when retries are on; it is drawn from only for jittered backoff,
+        # so the arrival/session streams never shift.
+        self.retry = retry
+        self._retry_rng = (seed.fork_random(f"open-{source_id}-retry")
+                           if retry is not None and retry.enabled else None)
+        self._retry_budget = retry.make_budget() if retry is not None else None
+        self.propagate_deadline = propagate_deadline
+        self.retries_sent = 0
+        self.retries_denied = 0
         self._req_seq = itertools.count(1)
-        # req_id -> (sent_at, interaction, user id, root span)
-        self._pending: Dict[str, Tuple[float, Interaction, int, object]] = {}
+        # req_id -> (first sent_at, interaction, user id, root span, attempt)
+        self._pending: Dict[
+            str, Tuple[float, Interaction, int, object, int]] = {}
         # (deadline, req_id) in send order == deadline order.
         self._expiry: Deque[Tuple[float, str]] = deque()
         self._reaper_armed = False
@@ -156,25 +172,62 @@ class OpenLoopLoadSource:
             self._emit(interaction, rng)
 
     def _emit(self, interaction: Interaction, rng) -> None:
-        sim = self.node.sim
         uid = 1 + rng.randrange(self.population)
+        self._send(interaction, uid, self.node.sim.now, 0, None)
+
+    def _send(self, interaction: Interaction, uid: int, first_sent_at: float,
+              attempt: int, span) -> None:
+        """Send one attempt (attempt 0 is the arrival itself)."""
+        sim = self.node.sim
         session = self._sessions.get(uid)
         req_id = f"o{self.source_id}-{next(self._req_seq)}"
         request = Request(req_id, uid, self.node.name, self.reply_port,
                           interaction,
-                          dict(session) if session else {}, sent_at=sim.now)
-        span = None
+                          dict(session) if session else {},
+                          sent_at=first_sent_at)
+        if self.propagate_deadline:
+            request.deadline = sim.now + self.timeout_s
         if self._spans is not None:
             request.trace = req_id
-            span = self._spans.begin("interaction", self.node.name,
-                                     trace=req_id,
-                                     interaction=interaction.value)
-        self.issued += 1
-        self._pending[req_id] = (sim.now, interaction, uid, span)
+            if span is None:
+                span = self._spans.begin("interaction", self.node.name,
+                                         trace=req_id,
+                                         interaction=interaction.value)
+        if attempt == 0:
+            self.issued += 1
+            if self._retry_budget is not None:
+                self._retry_budget.earn()
+        else:
+            self.retries_sent += 1
+        self._pending[req_id] = (first_sent_at, interaction, uid, span,
+                                 attempt)
         self._expiry.append((sim.now + self.timeout_s, req_id))
         self._arm_reaper()
         self.node.send(self.proxy_name, CLIENT_IN_PORT, request,
                        size_mb=REQUEST_SIZE_MB, trace=request.trace)
+
+    # ------------------------------------------------------------------
+    # retry path
+    # ------------------------------------------------------------------
+    def _should_retry(self, attempt: int) -> bool:
+        policy = self.retry
+        if policy is None or not policy.enabled \
+                or attempt >= policy.attempts:
+            return False
+        if self._retry_budget is not None \
+                and not self._retry_budget.try_spend():
+            self.retries_denied += 1
+            return False
+        return True
+
+    def _schedule_retry(self, interaction: Interaction, uid: int,
+                        first_sent_at: float, attempt: int, span) -> None:
+        delay = self.retry.delay_s(attempt, self._retry_rng)
+        if delay > 0.0:
+            self.node.sim.call_after(delay, self._send, interaction, uid,
+                                     first_sent_at, attempt + 1, span)
+        else:
+            self._send(interaction, uid, first_sent_at, attempt + 1, span)
 
     # ------------------------------------------------------------------
     # completion and timeout paths
@@ -183,7 +236,10 @@ class OpenLoopLoadSource:
         entry = self._pending.pop(response.req_id, None)
         if entry is None:
             return  # already timed out; drop the stale response
-        sent_at, interaction, uid, span = entry
+        sent_at, interaction, uid, span, attempt = entry
+        if not response.ok and self._should_retry(attempt):
+            self._schedule_retry(interaction, uid, sent_at, attempt, span)
+            return
         ok = response.ok
         error_kind = "" if ok else (response.error or "error")
         now = self.node.sim.now
@@ -213,8 +269,12 @@ class OpenLoopLoadSource:
             entry = self._pending.pop(req_id, None)
             if entry is None:
                 continue  # answered in time
-            sent_at, interaction, _uid, span = entry
+            sent_at, interaction, uid, span, attempt = entry
             self.timed_out += 1
+            if self._should_retry(attempt):
+                self._schedule_retry(interaction, uid, sent_at, attempt,
+                                     span)
+                continue
             self.collector.record(sent_at, deadline, interaction,
                                   False, "timeout")
             self._obs_error.inc()

@@ -36,12 +36,12 @@ __all__ = [
 #: Faultload kinds that open an incident.  Message/storage nemesis kinds
 #: (drop/dup/delay/torn/...) degrade but do not partition the timeline;
 #: they show up inside incident timelines, not as triggers.
-TRIGGER_KINDS = ("crash", "partition", "dcfail", "wanpart")
+TRIGGER_KINDS = ("crash", "partition", "dcfail", "wanpart", "retrystorm")
 
 #: Recorder kinds worth replaying in an incident timeline.
 _TIMELINE_PREFIXES = (
     "fault.", "proxy.", "paxos.", "watchdog.", "recovery.",
-    "checkpoint.", "txn.", "slo.",
+    "checkpoint.", "txn.", "slo.", "server.",
 )
 
 #: Timeline length cap per incident (deterministic: earliest kept, the
@@ -194,6 +194,23 @@ def _impact(result, start: float, end: float) -> Dict[str, Any]:
     }
 
 
+def _classify(trigger_dicts: List[Dict[str, Any]]) -> str:
+    """One label for what kind of incident this was.
+
+    ``retry_storm`` wins over everything else: a storm that also
+    involves crashes is still a storm story (the crashes are casualties,
+    not the cause the defenses answer to).
+    """
+    faults = {t["fault"] for t in trigger_dicts}
+    if "retrystorm" in faults:
+        return "retry_storm"
+    if faults & {"partition", "wanpart"}:
+        return "partition"
+    if "dcfail" in faults:
+        return "dc_outage"
+    return "crash_failover"
+
+
 def _trigger_dict(trigger, placement: Dict[str, str]) -> Dict[str, Any]:
     entry = trigger.to_dict()
     dc = entry.get("dc")
@@ -244,6 +261,14 @@ def build_incident_report(result) -> Dict[str, Any]:
     incidents: List[Dict[str, Any]] = []
     for number, segment in enumerate(segments, start=1):
         start, end = segment["start"], segment["end"]
+        trigger_kinds = {t.get("fault") for t in segment["triggers"]}
+        if "retrystorm" in trigger_kinds:
+            verdict = result._metastability_or_none()
+            if verdict is not None and verdict.verdict == "metastable":
+                # The storm outlived its trigger: the heal event did not
+                # end the outage, so the incident runs to the end of the
+                # measurement window.
+                end = max(end, result.measure_end)
         recoveries = _slice_recoveries(result.recoveries, start, end + _EPS)
         phases: Optional[List[Dict[str, Any]]] = None
         if result.spans is not None:
@@ -255,11 +280,18 @@ def build_incident_report(result) -> Dict[str, Any]:
             budget = slo.window_burn(
                 start, min(end, result.measure_end),
                 (result.measure_start, result.measure_end))
+        classification = _classify(trigger_dicts)
+        metastability = None
+        if classification == "retry_storm":
+            verdict = result._metastability_or_none()
+            if verdict is not None:
+                metastability = verdict.to_dict()
         incidents.append({
             "id": number,
             "start": start,
             "end": end,
             "duration_s": end - start,
+            "classification": classification,
             "triggers": trigger_dicts,
             "dcs": _incident_dcs(trigger_dicts, recoveries, placement),
             "detection": _detection(recorder, slo, start, end, recoveries),
@@ -268,6 +300,7 @@ def build_incident_report(result) -> Dict[str, Any]:
             "recovery_phases": phases,
             "impact": _impact(result, start, end),
             "budget": budget,
+            "metastability": metastability,
         })
 
     report: Dict[str, Any] = {
@@ -318,6 +351,18 @@ def _render_incident(incident: Dict[str, Any]) -> List[str]:
     lines.append(f"- **Window:** t={incident['start']:.2f}s -> "
                  f"t={incident['end']:.2f}s "
                  f"({_fmt_s(incident['duration_s'])})")
+    if incident.get("classification"):
+        lines.append(f"- **Classification:** "
+                     f"`{incident['classification']}`")
+    meta = incident.get("metastability")
+    if meta is not None:
+        recovered = ("never" if meta["recovered_at"] is None
+                     else f"at t={meta['recovered_at']:.2f}s")
+        lines.append(f"- **Metastability oracle:** `{meta['verdict']}` -- "
+                     f"post-heal goodput "
+                     f"{100.0 * meta['post_heal_ratio']:.1f}% of the "
+                     f"{meta['baseline_wips']:.1f} WIPS baseline, "
+                     f"recovered {recovered}")
     for trigger in incident["triggers"]:
         where = f" target={trigger.get('target')}" \
             if trigger.get("target") not in (None, "") else ""

@@ -1,0 +1,46 @@
+"""Overload defenses and the metastable-failure model (``repro.resilience``).
+
+The paper's failover analysis assumes clients that time out and give
+up, so every transient fault heals on its own.  Real dynamic-content
+stacks retry -- and retries turn a transient capacity dip into *added*
+offered load exactly when capacity is scarcest.  Combined with servers
+that burn full servlet CPU on requests whose client already gave up,
+the system can stay collapsed long after the trigger heals: a
+*metastable failure*.
+
+This package holds the model's two halves:
+
+* the **attack**: client retry policies (:mod:`repro.resilience.retry`)
+  for both load sources, from ``none`` (the paper's behaviour,
+  bit-for-bit) to exponential backoff with jitter;
+* the **defenses**: token-bucket retry budgets (same module),
+  per-backend circuit breakers and an AIMD concurrency limit
+  (:mod:`repro.resilience.breaker`), and server-side admission control
+  with a CoDel-style queue-delay target
+  (:mod:`repro.resilience.admission`);
+* the **verdict**: :class:`~repro.resilience.oracle.MetastabilityOracle`
+  judges a run's goodput after the trigger heals -- ``metastable``
+  (goodput stayed collapsed), ``recovered`` (back above the recovery
+  threshold inside the grace window), or ``degraded`` (neither).
+
+Everything here is deterministic and clock-injected: no module touches
+the simulator directly, so each piece unit-tests in isolation and adds
+zero cost when disabled.
+"""
+
+from repro.resilience.admission import AdmissionController, AdmissionParams
+from repro.resilience.breaker import AdaptiveLimit, CircuitBreaker
+from repro.resilience.oracle import MetastabilityOracle, MetastabilityReport
+from repro.resilience.retry import RetryBudget, RetryPolicy, parse_retry
+
+__all__ = [
+    "AdaptiveLimit",
+    "AdmissionController",
+    "AdmissionParams",
+    "CircuitBreaker",
+    "MetastabilityOracle",
+    "MetastabilityReport",
+    "RetryBudget",
+    "RetryPolicy",
+    "parse_retry",
+]

@@ -1,0 +1,146 @@
+"""Proxy-side defenses: per-backend circuit breakers and an AIMD
+adaptive concurrency limit.
+
+Both are pure state machines over an injected clock, so the proxy can
+drive them from sim time and the unit tests from a plain counter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker guarding one backend.
+
+    * ``closed``: traffic flows; ``fall`` *consecutive* failures open it.
+    * ``open``: all traffic is refused for ``open_s``; the backend gets
+      a rest instead of a retry storm.
+    * ``half_open``: after the cool-off, up to ``probes`` trial requests
+      pass; one success closes the breaker, one failure re-opens it.
+
+    ``listener(old_state, new_state)`` fires on every transition so the
+    proxy can stamp the flight recorder without the breaker knowing
+    anything about recording.
+    """
+
+    def __init__(self, clock: Callable[[], float], *,
+                 fall: int = 5, open_s: float = 2.0, probes: int = 1,
+                 listener: Optional[Callable[[str, str], None]] = None):
+        if fall < 1:
+            raise ValueError(f"fall must be >= 1, got {fall}")
+        if open_s <= 0:
+            raise ValueError(f"open_s must be positive, got {open_s}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self._clock = clock
+        self.fall = fall
+        self.open_s = open_s
+        self.probes = probes
+        self._listener = listener
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self._probes_left = 0
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        old, self.state = self.state, new_state
+        if new_state == OPEN:
+            self.opened_at = self._clock()
+            self.trips += 1
+        elif new_state == HALF_OPEN:
+            self._probes_left = self.probes
+        else:
+            self.failures = 0
+        if self._listener is not None and old != new_state:
+            self._listener(old, new_state)
+
+    def allow(self) -> bool:
+        """May a request be sent to this backend right now?"""
+        if self.state == OPEN:
+            if self._clock() - self.opened_at >= self.open_s:
+                self._transition(HALF_OPEN)
+            else:
+                return False
+        if self.state == HALF_OPEN:
+            if self._probes_left <= 0:
+                return False
+            self._probes_left -= 1
+            return True
+        return True
+
+    def on_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED)
+        else:
+            self.failures = 0
+
+    def on_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            self._transition(OPEN)
+            return
+        if self.state == CLOSED:
+            self.failures += 1
+            if self.failures >= self.fall:
+                self._transition(OPEN)
+
+
+class AdaptiveLimit:
+    """AIMD concurrency limit on observed backend outcomes.
+
+    Gradient-free congestion control, TCP-style and loss-driven: every
+    response under the latency target grows the limit by ``1/limit``
+    (one more slot per round of the current window); a *failed*
+    response halves it, at most once per ``cooldown_s`` so a single
+    burst of correlated failures counts as one congestion event rather
+    than collapsing the limit to the floor.  Slow-but-successful
+    responses hold the limit where it is — latency alone is not a loss
+    signal, otherwise a system running near its (acceptable) saturation
+    point sheds its own steady-state traffic.  The proxy sheds load
+    above the limit with a fast local ``503 overloaded`` instead of
+    queueing doomed work.
+    """
+
+    def __init__(self, clock: Callable[[], float], *,
+                 target_s: float = 1.0, initial: float = 64.0,
+                 min_limit: float = 4.0, max_limit: float = 512.0,
+                 backoff: float = 0.5, cooldown_s: Optional[float] = None):
+        if target_s <= 0:
+            raise ValueError(f"target_s must be positive, got {target_s}")
+        if not min_limit <= initial <= max_limit:
+            raise ValueError("need min_limit <= initial <= max_limit")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        self._clock = clock
+        self.target_s = target_s
+        self.min_limit = float(min_limit)
+        self.max_limit = float(max_limit)
+        self.backoff = backoff
+        self.cooldown_s = target_s if cooldown_s is None else cooldown_s
+        self.limit = float(initial)
+        self.increases = 0
+        self.decreases = 0
+        self._last_decrease = float("-inf")
+
+    def allows(self, inflight: int) -> bool:
+        return inflight < int(self.limit)
+
+    def on_result(self, latency_s: float, ok: bool) -> None:
+        if ok:
+            if latency_s <= self.target_s:
+                self.limit = min(self.max_limit,
+                                 self.limit + 1.0 / self.limit)
+                self.increases += 1
+            return
+        now = self._clock()
+        if now - self._last_decrease < self.cooldown_s:
+            return
+        self._last_decrease = now
+        self.limit = max(self.min_limit, self.limit * self.backoff)
+        self.decreases += 1

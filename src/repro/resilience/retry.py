@@ -1,0 +1,219 @@
+"""Client retry policies and the token-bucket retry budget.
+
+A policy describes *when* a client re-issues a failed interaction; the
+budget describes *whether it may*.  The split matters: backoff shapes
+the retry traffic in time, but only a budget bounds its volume -- under
+a total outage every backoff schedule eventually converges to the same
+steady-state retry rate, and that rate is what keeps a metastable
+system pinned down.
+
+Grammar (the ``retry=`` clause of ``--load`` and
+``Experiment.load(..., retry=...)``)::
+
+    none                                  the paper's behaviour (default)
+    immediate[,attempts=N][,budget=P%]    re-issue at once
+    fixed:delay=S[,attempts=N][,budget=P%]
+    expo:base=S,cap=S[,attempts=N][,budget=P%][,jitter=off]
+
+``budget=10%`` earns 0.1 retry token per first-try request (spent one
+per retry, burst-capped), the classic "retries may add at most 10% load"
+rule.  All timing values are **load-domain** seconds: like the client
+timeout they are real client-side constants, never timeline-scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+KINDS = ("none", "immediate", "fixed", "expo")
+
+#: Default burst for the token bucket: enough to ride out a blip,
+#: nowhere near enough to sustain a storm.
+DEFAULT_BURST = 10.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """One client's retry behaviour (immutable; shared freely)."""
+
+    kind: str = "none"
+    base_s: float = 0.5          # fixed delay, or expo first-step ceiling
+    cap_s: float = 8.0           # expo backoff ceiling
+    attempts: int = 3            # max retries per interaction (not tries)
+    jitter: bool = True          # expo only: full jitter on each step
+    budget: Optional[float] = None   # token-earn ratio; None = unbudgeted
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown retry kind {self.kind!r}; "
+                             f"expected one of {', '.join(KINDS)}")
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {self.attempts}")
+        if self.budget is not None and not 0.0 < self.budget <= 1.0:
+            raise ValueError(
+                f"budget must be in (0, 1], got {self.budget}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.kind != "none" and self.attempts > 0
+
+    def delay_s(self, attempt: int, rng=None) -> float:
+        """Backoff before retry number ``attempt`` (0-based).
+
+        ``rng`` is only consulted for jittered exponential backoff, so a
+        ``none``/``immediate``/``fixed`` policy draws no randomness --
+        part of the zero-cost-when-off discipline.
+        """
+        if self.kind in ("none", "immediate"):
+            return 0.0
+        if self.kind == "fixed":
+            return self.base_s
+        ceiling = min(self.cap_s, self.base_s * (2.0 ** attempt))
+        if not self.jitter or rng is None:
+            return ceiling
+        return rng.uniform(0.0, ceiling)  # full jitter (AWS-style)
+
+    def make_budget(self) -> Optional["RetryBudget"]:
+        if self.budget is None:
+            return None
+        return RetryBudget(self.budget)
+
+    def spec(self) -> str:
+        """Round-trip back to the grammar (canonical form)."""
+        if self.kind == "none":
+            return "none"
+        parts = [self.kind]
+        opts = []
+        if self.kind == "fixed":
+            opts.append(f"delay={_fmt(self.base_s)}")
+        elif self.kind == "expo":
+            opts.append(f"base={_fmt(self.base_s)}")
+            opts.append(f"cap={_fmt(self.cap_s)}")
+            if not self.jitter:
+                opts.append("jitter=off")
+        opts.append(f"attempts={self.attempts}")
+        if self.budget is not None:
+            opts.append(f"budget={_fmt(self.budget * 100.0)}%")
+        return f"{parts[0]}:{','.join(opts)}" if opts else parts[0]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+class RetryBudget:
+    """Token bucket bounding the retry *volume* (not its timing).
+
+    Every first-try request earns ``ratio`` tokens; every retry spends
+    one.  The bucket starts full at ``burst`` and never exceeds it, so
+    a client may retry through a blip immediately but a sustained
+    failure rate above ``ratio`` exhausts the bucket and the excess
+    failures are surfaced instead of amplified.  Purely arithmetic:
+    no clock, no randomness.
+    """
+
+    def __init__(self, ratio: float, burst: float = DEFAULT_BURST):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.ratio = ratio
+        self.burst = burst
+        self.tokens = burst
+        self.earned = 0
+        self.spent = 0
+        self.denied = 0
+
+    def earn(self) -> None:
+        """A first-try request happened; accrue its retry allowance."""
+        self.earned += 1
+        self.tokens = min(self.burst, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Take one retry token; False when the bucket is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+def parse_retry(spec: Optional[str]) -> RetryPolicy:
+    """Parse the ``retry=`` grammar into a :class:`RetryPolicy`.
+
+    ``None`` and ``"none"`` both mean the paper's no-retry behaviour.
+    """
+    if spec is None:
+        return RetryPolicy()
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty retry spec")
+    head, _, rest = text.partition(":")
+    kind = head.strip().lower()
+    if kind not in KINDS:
+        raise ValueError(f"unknown retry kind {kind!r} in {spec!r}; "
+                         f"expected one of {', '.join(KINDS)}")
+    fields = {"kind": kind}
+    if not rest:
+        return RetryPolicy(**fields)
+    for chunk in rest.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        if not sep:
+            raise ValueError(f"malformed retry option {chunk!r} in {spec!r}")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "delay":
+            if kind != "fixed":
+                raise ValueError(f"delay= only applies to fixed, not {kind}")
+            fields["base_s"] = _parse_seconds(value, spec)
+        elif key == "base":
+            if kind != "expo":
+                raise ValueError(f"base= only applies to expo, not {kind}")
+            fields["base_s"] = _parse_seconds(value, spec)
+        elif key == "cap":
+            if kind != "expo":
+                raise ValueError(f"cap= only applies to expo, not {kind}")
+            fields["cap_s"] = _parse_seconds(value, spec)
+        elif key == "attempts":
+            try:
+                fields["attempts"] = int(value)
+            except ValueError:
+                raise ValueError(f"attempts= wants an int, got {value!r}")
+        elif key == "jitter":
+            if value not in ("on", "off"):
+                raise ValueError(f"jitter= wants on|off, got {value!r}")
+            fields["jitter"] = value == "on"
+        elif key == "budget":
+            fields["budget"] = _parse_budget(value, spec)
+        else:
+            raise ValueError(f"unknown retry option {key!r} in {spec!r}")
+    return RetryPolicy(**fields)
+
+
+def _parse_seconds(value: str, spec: str) -> float:
+    text = value[:-1] if value.endswith("s") else value
+    try:
+        seconds = float(text)
+    except ValueError:
+        raise ValueError(f"bad duration {value!r} in retry spec {spec!r}")
+    return seconds
+
+
+def _parse_budget(value: str, spec: str) -> float:
+    """``10%`` or ``0.1`` -> 0.1."""
+    text = value.strip()
+    percent = text.endswith("%")
+    if percent:
+        text = text[:-1]
+    try:
+        number = float(text)
+    except ValueError:
+        raise ValueError(f"bad budget {value!r} in retry spec {spec!r}")
+    return number / 100.0 if percent else number

@@ -314,6 +314,15 @@ class ShardedCluster:
         shard, index = self._resolve(target)
         self.groups[shard].disable_watchdog(index)
 
+    def begin_slowdown(self, factor: float) -> None:
+        """Retrystorm trigger: every replica of every shard slows down."""
+        for group in self.groups:
+            group.begin_slowdown(factor)
+
+    def end_slowdown(self) -> None:
+        for group in self.groups:
+            group.end_slowdown()
+
     def block_oneway(self, src: Target, dst: Target) -> None:
         self.network.block_oneway(self._replica_name(src),
                                   self._replica_name(dst))

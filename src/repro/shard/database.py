@@ -85,3 +85,32 @@ class ShardedTPCWDatabase(TPCWDatabase):
         o_id = yield from self._runtime.execute(action)
         self._coordinator.decide(tx_id, parts, commit=o_id is not None)
         return o_id
+
+    # ------------------------------------------------------------------
+    def admin_confirm(self, i_id: int, new_cost: float):
+        owner = self._partitioner.shard_of_item(i_id)
+        if owner == self._shard:
+            # Home-owned item: the unsharded path, unchanged.
+            return (yield from super().admin_confirm(i_id, new_cost))
+        # Foreign-owned item: the catalog update (cost/images plus the
+        # related-item recompute from the home group's recent orders)
+        # must be ordered atomically against the owner group's stock
+        # movements, so it runs the same 2PC as a cross-shard
+        # buy-confirm.  The prepare carries a zero stock delta -- a
+        # pure participation mark that pins the tx in the owner's log --
+        # and the home-ordered AdminConfirm record doubles as the
+        # durable decision the termination protocol reads.
+        tx_id = self._coordinator.new_tx_id()
+        parts = {owner: ((i_id, 0),)}
+        ok = yield from self._coordinator.prepare(tx_id, parts)
+        if not ok:
+            self._coordinator.decide(tx_id, parts, commit=False)
+            return None
+        action = acts.AdminConfirm(
+            i_id, new_cost,
+            new_image=f"img/image_{i_id}_v2.gif",
+            new_thumbnail=f"img/thumb_{i_id}_v2.gif",
+            timestamp=self._clock(), tx_id=tx_id)
+        updated = yield from self._runtime.execute(action)
+        self._coordinator.decide(tx_id, parts, commit=updated is not None)
+        return updated

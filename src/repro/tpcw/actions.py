@@ -235,23 +235,39 @@ class BuyConfirm(Action):
 
 class AdminConfirm(Action):
     """Admin Confirm: update an item's cost/images and recompute its
-    related items from recent co-purchases (deterministic from state)."""
+    related items from recent co-purchases (deterministic from state).
+
+    Cross-shard runs (a sharded deployment updating an item whose stock
+    another group owns) stamp the record with the 2PC transaction id,
+    exactly like :class:`BuyConfirm`: the home log doubles as the
+    durable decision record, and a resolve ordered ahead of this record
+    (presumed abort) must keep it from applying.
+    """
 
     cpu_cost_s = 0.00025
     size_mb = 0.0004
 
     def __init__(self, i_id: int, new_cost: float, new_image: str,
-                 new_thumbnail: str, timestamp: float):
+                 new_thumbnail: str, timestamp: float,
+                 tx_id: Optional[str] = None):
         self.i_id = i_id
         self.new_cost = new_cost
         self.new_image = new_image
         self.new_thumbnail = new_thumbnail
         self.timestamp = timestamp
+        self.tx_id = tx_id
 
     def apply(self, app):
         state = app.state
+        if self.tx_id is not None \
+                and state.txn_decisions.get(self.tx_id) is False:
+            # A TxResolve was ordered ahead of this record: the tx is
+            # already presumed-aborted, so the update must not happen.
+            return None
         item = state.items.get(self.i_id)
         if item is None:
+            if self.tx_id is not None:
+                state.txn_decisions[self.tx_id] = False
             return None
         item.i_cost = self.new_cost
         item.i_image = self.new_image
@@ -273,6 +289,8 @@ class AdminConfirm(Action):
         while len(top) < 5:
             top.append(self.i_id)
         item.i_related = tuple(top)
+        if self.tx_id is not None:
+            state.txn_decisions[self.tx_id] = True
         return item.i_id
 
 

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from repro.faults.metrics import MetricsCollector
 from repro.obs.registry import registry_of
+from repro.resilience.retry import RetryPolicy
 from repro.sim.node import Node
 from repro.tpcw.workload import Interaction, WorkloadProfile
 from repro.web.http import REQUEST_SIZE_MB, Request, Response
@@ -38,7 +39,10 @@ class RemoteBrowserEmulator:
     def __init__(self, node: Node, proxy_name: str, profile: WorkloadProfile,
                  collector: MetricsCollector, rng: random.Random,
                  rbe_id: int, think_time_s: float = 1.0,
-                 timeout_s: float = 10.0, use_navigation: bool = False):
+                 timeout_s: float = 10.0, use_navigation: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_rng: Optional[random.Random] = None,
+                 propagate_deadline: bool = False):
         self.node = node
         self.proxy_name = proxy_name
         self.profile = profile
@@ -47,6 +51,19 @@ class RemoteBrowserEmulator:
         self.think_time_s = think_time_s
         self.timeout_s = timeout_s
         self.rbe_id = rbe_id
+        # Client retry policy (repro.resilience).  A browser retries the
+        # *interaction*: a failed attempt is re-sent under a fresh req_id
+        # after the policy's backoff, and only the final outcome is
+        # recorded.  ``retry_rng`` is a dedicated stream (only drawn from
+        # for jittered backoff) so enabling retries never perturbs the
+        # think/mix streams.  The token-bucket budget, when configured,
+        # earns on first tries and is spent per retry.
+        self.retry = retry
+        self._retry_rng = retry_rng
+        self._retry_budget = retry.make_budget() if retry is not None else None
+        self.propagate_deadline = propagate_deadline
+        self.retries_sent = 0
+        self.retries_denied = 0
         self._navigator = None
         if use_navigation:
             # Full CBMG page navigation (same stationary mix, realistic
@@ -87,17 +104,57 @@ class RemoteBrowserEmulator:
 
     def _issue(self, interaction: Interaction):
         sim = self.node.sim
+        policy = self.retry
+        first_sent_at = sim.now
+        attempt = 0
+        while True:
+            response = yield from self._attempt(interaction, first_sent_at,
+                                                attempt)
+            if response is not None and response.ok:
+                break
+            if policy is None or not policy.enabled \
+                    or attempt >= policy.attempts:
+                break
+            if self._retry_budget is not None \
+                    and not self._retry_budget.try_spend():
+                # Budget dry: a well-behaved client gives up instead of
+                # joining the storm.
+                self.retries_denied += 1
+                break
+            delay = policy.delay_s(attempt, self._retry_rng)
+            if delay > 0.0:
+                yield sim.timeout(delay)
+            attempt += 1
+            self.retries_sent += 1
+        self._record(first_sent_at, interaction, response)
+        return response
+
+    def _attempt(self, interaction: Interaction, first_sent_at: float,
+                 attempt: int):
+        """Send one attempt and wait for its answer (or the timeout).
+
+        Returns the Response, or None on timeout.  Each attempt carries a
+        fresh req_id, so a stale answer to an earlier attempt is dropped
+        by the req_id check exactly like any post-timeout straggler.
+        """
+        sim = self.node.sim
         req_id = f"r{self.rbe_id}-{next(self._req_seq)}"
         request = Request(req_id, self.rbe_id, self.node.name,
                           self.reply_port, interaction,
-                          dict(self.session), sent_at=sim.now)
+                          dict(self.session), sent_at=first_sent_at)
+        if self.propagate_deadline:
+            request.deadline = sim.now + self.timeout_s
         if self._spans is not None:
             # The req_id doubles as the trace id; the root span brackets
-            # the whole interaction and is closed in _record.
+            # the whole interaction (all attempts) and is closed in
+            # _record.
             request.trace = req_id
-            self._open_span = self._spans.begin(
-                "interaction", self.node.name, trace=req_id,
-                interaction=interaction.value)
+            if self._open_span is None:
+                self._open_span = self._spans.begin(
+                    "interaction", self.node.name, trace=req_id,
+                    interaction=interaction.value)
+        if self._retry_budget is not None and attempt == 0:
+            self._retry_budget.earn()
         self.node.send(self.proxy_name, CLIENT_IN_PORT, request,
                        size_mb=REQUEST_SIZE_MB, trace=request.trace)
         deadline = sim.now + self.timeout_s
@@ -105,7 +162,6 @@ class RemoteBrowserEmulator:
             getter = self._responses.get()
             remaining = deadline - sim.now
             if remaining <= 0:
-                self._record(request, None)
                 return None
             timer = sim.call_after(
                 remaining,
@@ -113,25 +169,24 @@ class RemoteBrowserEmulator:
             response = yield getter
             timer.cancel()
             if response is _TIMED_OUT:
-                self._record(request, None)
                 return None
             if response.req_id == req_id:
-                self._record(request, response)
                 return response
             # Stale response from an earlier timed-out request: drop it.
 
-    def _record(self, request: Request, response: Optional[Response]) -> None:
+    def _record(self, sent_at: float, interaction: Interaction,
+                response: Optional[Response]) -> None:
         ok = response is not None and response.ok
         error_kind = ""
         if response is None:
             error_kind = "timeout"
         elif not response.ok:
             error_kind = response.error or "error"
-        self.collector.record(request.sent_at, self.node.sim.now,
-                              request.interaction, ok, error_kind)
+        self.collector.record(sent_at, self.node.sim.now,
+                              interaction, ok, error_kind)
         if ok:
             self._obs_ok.inc()
-            self._obs_wirt.observe(self.node.sim.now - request.sent_at)
+            self._obs_wirt.observe(self.node.sim.now - sent_at)
         else:
             self._obs_error.inc()
         if self._spans is not None and self._open_span is not None:

@@ -44,6 +44,11 @@ class Request:
     session: Dict[str, Any] = field(default_factory=dict)
     sent_at: float = 0.0
     trace: Optional[str] = None  # causal trace id (repro.obs.trace)
+    # Propagated client deadline (sim time): the instant the emitter's
+    # own timeout fires and the answer becomes worthless.  None unless
+    # the deadline defense is on (repro.resilience) -- the proxy and
+    # server then drop already-dead work instead of serving it.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -55,3 +60,8 @@ class Response:
     data: Optional[dict] = None
     error: str = ""
     refused: bool = False   # connection refused (server up but not ready)
+    # Admission control's distinct 503: the server (or proxy) is shedding
+    # load on purpose.  Unlike ``refused`` the proxy must NOT silently
+    # redispatch it -- sending the shed work to the next backend is
+    # exactly the amplification admission control exists to stop.
+    overloaded: bool = False

@@ -14,7 +14,24 @@ From Section 5.1 of the paper:
 
 Connection-refused outcomes (server process reachable but not serving,
 e.g. still recovering) are silently redispatched to another live backend,
-matching HAProxy's ``option redispatch``.
+matching HAProxy's ``option redispatch``.  Every redispatch attempt --
+dead backend or refused connection -- re-enters the proxy's work queue
+and is charged ``cpu_request_s`` like a fresh forward, so a redispatch
+storm shows up in the proxy's own queueing station instead of being
+free.
+
+The overload defenses (repro.resilience) are all off by default and
+cost nothing when off:
+
+* **per-backend circuit breakers** (closed/open/half-open, transitions
+  stamped on the flight recorder) short-circuit a failing backend ahead
+  of the probe cycle;
+* an **AIMD concurrency limit** on observed backend latency sheds
+  excess in-flight work with a fast local ``503 overloaded``;
+* a **redispatch budget** (token bucket earned by first-try forwards)
+  bounds the volume of redispatching the proxy may amplify;
+* requests whose propagated client **deadline** already passed are
+  dropped instead of forwarded.
 """
 
 from __future__ import annotations
@@ -24,6 +41,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.registry import registry_of
+from repro.resilience.breaker import AdaptiveLimit, CircuitBreaker
+from repro.resilience.retry import RetryBudget
 from repro.sim.node import Node
 from repro.sim.trace import emit as trace_emit
 from repro.web.http import REQUEST_SIZE_MB, Request, Response
@@ -48,6 +67,23 @@ class ProxyParams:
     # browsing/shopping speedup curves in Figure 3.
     cpu_request_s: float = 0.00022
     cpu_response_s: float = 0.00011
+    # -- overload defenses (repro.resilience); all inert by default -----
+    breaker_enabled: bool = False
+    breaker_fall: int = 5          # consecutive request failures to open
+    breaker_open_s: float = 2.0    # cool-off before half-open
+    breaker_probes: int = 1        # trial requests admitted half-open
+    aimd_enabled: bool = False
+    aimd_target_s: float = 1.0     # latency above this halves the limit
+    aimd_initial: float = 64.0
+    aimd_min: float = 4.0
+    aimd_max: float = 512.0
+    # Token-earn ratio bounding redispatch volume; None keeps the
+    # historical behaviour (bounded per request only, unbudgeted in
+    # aggregate).
+    redispatch_budget: Optional[float] = None
+    redispatch_burst: float = 20.0
+    # Drop requests whose propagated client deadline already passed.
+    shed_dead: bool = False
 
 
 class ReverseProxy:
@@ -63,12 +99,14 @@ class ReverseProxy:
         self._rise_counts: Dict[str, int] = {b: 0 for b in backends}
         self._probe_pending: Dict[int, str] = {}
         self._probe_seq = itertools.count()
-        # pxid -> (request, backend, attempts)
-        self._inflight: Dict[str, Tuple[Request, str, int]] = {}
+        # pxid -> (request, backend, attempt, dispatched_at)
+        self._inflight: Dict[str, Tuple[Request, str, int, float]] = {}
         self._px_seq = itertools.count()
         self.stats = {"forwarded": 0, "redispatched": 0,
                       "broken_connections": 0, "no_backend": 0,
-                      "removals": 0, "readds": 0}
+                      "removals": 0, "readds": 0,
+                      "shed": 0, "dead_dropped": 0,
+                      "breaker_short_circuits": 0, "redispatch_denied": 0}
         self._spans = getattr(node.sim, "spans", None)
         self._recorder = getattr(node.sim, "recorder", None)
         obs = registry_of(node.sim)
@@ -77,12 +115,46 @@ class ReverseProxy:
         self._obs_broken = obs.counter("web.proxy_broken_connections")
         self._obs_no_backend = obs.counter("web.proxy_no_backend")
         self._obs_removals = obs.counter("web.proxy_backend_removals")
+        self._obs_shed = obs.counter("web.proxy_shed")
+        params = self.params
+        self._breakers: Optional[Dict[str, CircuitBreaker]] = None
+        if params.breaker_enabled:
+            self._breakers = {b: self._make_breaker(b) for b in backends}
+        self._limit: Optional[AdaptiveLimit] = None
+        if params.aimd_enabled:
+            self._limit = AdaptiveLimit(
+                lambda: self.node.sim.now,
+                target_s=params.aimd_target_s, initial=params.aimd_initial,
+                min_limit=params.aimd_min, max_limit=params.aimd_max)
+        self._redispatch_budget: Optional[RetryBudget] = None
+        if params.redispatch_budget is not None:
+            self._redispatch_budget = RetryBudget(
+                params.redispatch_budget, burst=params.redispatch_burst)
         # Geo runs (repro.geo): backend -> DC, with per-DC ok/WIRT
         # counters attributing each completed interaction to the DC that
         # served it.  None on non-geo deployments (zero-cost check).
         self._backend_dcs: Optional[Dict[str, str]] = None
         self._geo_ok: Dict[str, object] = {}
         self._geo_wirt: Dict[str, object] = {}
+
+    def _make_breaker(self, backend: str) -> CircuitBreaker:
+        def on_transition(old: str, new: str) -> None:
+            trace_emit(self.node.sim, "proxy", self.node.name,
+                       event=f"breaker_{new}", backend=backend)
+            if self._recorder is not None:
+                self._recorder.record(f"proxy.breaker_{new}", self.node.name,
+                                      backend=backend, prev=old)
+        params = self.params
+        return CircuitBreaker(lambda: self.node.sim.now,
+                              fall=params.breaker_fall,
+                              open_s=params.breaker_open_s,
+                              probes=params.breaker_probes,
+                              listener=on_transition)
+
+    def breaker_trip_count(self) -> int:
+        if self._breakers is None:
+            return 0
+        return sum(b.trips for b in self._breakers.values())
 
     def set_backend_dcs(self, dc_of: Dict[str, str]) -> None:
         """Attach the backend-to-datacenter map (geo deployments); the
@@ -129,8 +201,11 @@ class ReverseProxy:
         while True:
             first = yield self._work.get()
             group = [first] + self._work.take(63)
-            cost = sum(params.cpu_request_s if kind == "req"
-                       else params.cpu_response_s
+            # Redispatches cost a full request's worth of proxy CPU:
+            # re-picking a backend and re-sending is the same work as a
+            # fresh forward.
+            cost = sum(params.cpu_response_s if kind == "resp"
+                       else params.cpu_request_s
                        for kind, _payload, _src, _span in group)
             yield self.node.cpu.request(cost)
             for kind, payload, src, span in group:
@@ -138,8 +213,10 @@ class ReverseProxy:
                     self._spans.finish(span)
                 if kind == "req":
                     self._on_client_request(payload, src)
-                else:
+                elif kind == "resp":
                     self._on_backend_response(payload, src)
+                else:  # redispatch: src slot carries the attempt number
+                    self._dispatch(payload, attempt=src)
 
     # ------------------------------------------------------------------
     # request path
@@ -156,40 +233,114 @@ class ReverseProxy:
         self._dispatch(request, attempt=0)
 
     def _dispatch(self, request: Request, attempt: int) -> None:
+        params = self.params
+        if (params.shed_dead and request.deadline is not None
+                and self.node.sim.now >= request.deadline):
+            # The client's timeout already fired; the backend tier never
+            # sees this request and no reply is owed to anyone.
+            self.stats["dead_dropped"] += 1
+            self._obs_shed.inc()
+            if self._recorder is not None:
+                self._recorder.record("proxy.dead_request", self.node.name,
+                                      req=request.req_id, attempt=attempt)
+            return
         backend = self._pick_backend(request, attempt)
-        if backend is None or attempt >= self.params.max_dispatch_attempts:
+        if backend is None or attempt >= params.max_dispatch_attempts:
             self.stats["no_backend"] += 1
             self._obs_no_backend.inc()
+            if self._recorder is not None:
+                self._recorder.record(
+                    "proxy.no_backend", self.node.name,
+                    req=request.req_id, client=request.client_id,
+                    interaction=request.interaction.value, attempt=attempt,
+                    active=len(self.active))
             self._reply(request, Response(request.req_id, ok=False,
                                           error="503 no backend"))
             return
+        if self._breakers is not None \
+                and not self._breakers[backend].allow():
+            # Breaker open: short-circuit ahead of the probe cycle and
+            # try the next backend in the hash ring.
+            self.stats["breaker_short_circuits"] += 1
+            self._redispatch(request, attempt + 1)
+            return
+        if self._limit is not None \
+                and not self._limit.allows(len(self._inflight)):
+            # Over the adaptive concurrency limit: shed with a fast
+            # local 503 instead of queueing work the backends cannot
+            # absorb.  Distinct from ``refused`` so nothing redispatches.
+            self.stats["shed"] += 1
+            self._obs_shed.inc()
+            if self._recorder is not None:
+                self._recorder.record("proxy.shed", self.node.name,
+                                      req=request.req_id,
+                                      limit=int(self._limit.limit),
+                                      inflight=len(self._inflight))
+            self._reply(request, Response(request.req_id, ok=False,
+                                          overloaded=True,
+                                          error="503 overloaded"))
+            return
         if not self.node.network.node(backend).alive:
             # TCP connect to a dead process: instant reset -> redispatch.
-            self.stats["redispatched"] += 1
-            self._obs_reroutes.inc()
-            self._dispatch(request, attempt + 1)
+            self._redispatch(request, attempt + 1)
             return
         pxid = f"px{next(self._px_seq)}"
-        self._inflight[pxid] = (request, backend, attempt)
+        self._inflight[pxid] = (request, backend, attempt,
+                                self.node.sim.now)
         forwarded = Request(pxid, request.client_id, self.node.name,
                             PROXY_RESP_PORT, request.interaction,
                             request.session, request.sent_at,
-                            trace=request.trace)
+                            trace=request.trace, deadline=request.deadline)
         self.stats["forwarded"] += 1
         self._obs_forwarded.inc()
+        if self._redispatch_budget is not None and attempt == 0:
+            self._redispatch_budget.earn()
         self.node.send(backend, HTTP_PORT, forwarded,
                        size_mb=REQUEST_SIZE_MB, trace=request.trace)
+
+    def _redispatch(self, request: Request, attempt: int) -> None:
+        """Queue another dispatch attempt through the worker, charging
+        ``cpu_request_s`` for it like any fresh forward."""
+        if self._redispatch_budget is not None \
+                and not self._redispatch_budget.try_spend():
+            # Budget dry: surface the failure instead of amplifying it.
+            self.stats["redispatch_denied"] += 1
+            self._obs_shed.inc()
+            if self._recorder is not None:
+                self._recorder.record("proxy.redispatch_denied",
+                                      self.node.name, req=request.req_id,
+                                      attempt=attempt)
+            self._reply(request, Response(request.req_id, ok=False,
+                                          overloaded=True,
+                                          error="503 redispatch budget"))
+            return
+        self.stats["redispatched"] += 1
+        self._obs_reroutes.inc()
+        self._work.put(("redispatch", request, attempt, None))
 
     def _on_backend_response(self, response: Response, src: str) -> None:
         entry = self._inflight.pop(response.req_id, None)
         if entry is None:
             return
-        request, backend, attempt = entry
-        if response.refused:
+        request, backend, attempt, dispatched_at = entry
+        latency = self.node.sim.now - dispatched_at
+        if self._breakers is not None:
+            breaker = self._breakers[backend]
+            if response.ok:
+                breaker.on_success()
+            elif not response.refused and not response.overloaded:
+                # Hard errors are failure signals.  A refused connection
+                # just means "still recovering" (the probe cycle owns
+                # that state) and an overloaded shed means the backend
+                # is alive and defending itself — opening the breaker on
+                # those would turn deliberate load-shedding into a
+                # cascading brown-out.
+                breaker.on_failure()
+        if self._limit is not None and not response.refused:
+            self._limit.on_result(latency, response.ok)
+        if response.refused and not response.overloaded:
             # Server up but not accepting (recovering): redispatch silently.
-            self.stats["redispatched"] += 1
-            self._obs_reroutes.inc()
-            self._dispatch(request, attempt + 1)
+            self._redispatch(request, attempt + 1)
             return
         if self._backend_dcs is not None and response.ok:
             dc = self._backend_dcs.get(backend)
@@ -214,12 +365,19 @@ class ReverseProxy:
         """TCP connections break: every request in flight on that backend
         is answered with an error (the client observes it)."""
         name = crashed_node.name
-        broken = [pxid for pxid, (_r, backend, _a) in self._inflight.items()
-                  if backend == name]
+        broken = [pxid for pxid, entry in self._inflight.items()
+                  if entry[1] == name]
         for pxid in broken:
-            request, _backend, _attempt = self._inflight.pop(pxid)
+            request, _backend, _attempt, _at = self._inflight.pop(pxid)
             self.stats["broken_connections"] += 1
             self._obs_broken.inc()
+            if self._recorder is not None:
+                self._recorder.record(
+                    "proxy.broken_connection", self.node.name,
+                    req=request.req_id, client=request.client_id,
+                    interaction=request.interaction.value, backend=name)
+            if self._breakers is not None:
+                self._breakers[name].on_failure()
             self._reply(request, Response(request.req_id, ok=False,
                                           error="connection reset by peer"))
 

@@ -7,12 +7,25 @@ the CPU.  While the replica is recovering (`runtime.ready` false) new
 connections are refused immediately, which the proxy turns into silent
 redispatches; the health probe reports down until recovery completes, as
 in the paper's failover description.
+
+With the overload defenses on (repro.resilience), two checks run at
+accept time -- before any CPU is charged, because refusing cheaply is
+the whole point:
+
+* a request whose propagated client deadline already passed is dropped
+  without a response (the emitter's own timeout has fired; serving it
+  would burn a full servlet plus Paxos slots on an answer nobody reads,
+  which is the work amplification behind metastable collapse);
+* the admission controller's bounded queue and CoDel delay target
+  refuse excess arrivals with a distinct ``503 overloaded`` that the
+  proxy surfaces to the client instead of redispatching.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.resilience.admission import ADMIT, SHED_DEAD, AdmissionController
 from repro.sim.node import Node
 from repro.tpcw.bookstore import BookstoreServlets
 from repro.tpcw.workload import Interaction
@@ -29,15 +42,20 @@ class ApplicationServer:
 
     def __init__(self, node: Node, runtime: TreplicaRuntime,
                  servlets: BookstoreServlets,
-                 service_times: Optional[Dict[Interaction, float]] = None):
+                 service_times: Optional[Dict[Interaction, float]] = None,
+                 admission: Optional[AdmissionController] = None):
         self.node = node
         self.runtime = runtime
         self.servlets = servlets
         self.service_times = service_times or SERVICE_TIMES
+        self.admission = admission
         self._spans = getattr(node.sim, "spans", None)
+        self._recorder = getattr(node.sim, "recorder", None)
         self.requests_served = 0
         self.requests_refused = 0
         self.requests_failed = 0
+        self.requests_shed = 0       # refused 503 overloaded (admission)
+        self.requests_dead = 0       # dropped: client deadline passed
 
     def start(self) -> None:
         self.node.handle(HTTP_PORT, self._on_request)
@@ -59,6 +77,28 @@ class ApplicationServer:
                            size_mb=0.0002, trace=request.trace)
             self.requests_refused += 1
             return
+        admitted = None
+        if self.admission is not None:
+            admitted = self.admission.admit(request.deadline)
+            if admitted == SHED_DEAD:
+                # Client gave up already; nobody is listening for this.
+                self.requests_dead += 1
+                if self._recorder is not None:
+                    self._recorder.record("server.dead_request",
+                                          self.node.name,
+                                          req=request.req_id, where="accept")
+                return
+            if admitted != ADMIT:
+                self.requests_shed += 1
+                if self._recorder is not None:
+                    self._recorder.record("server.shed", self.node.name,
+                                          req=request.req_id, why=admitted)
+                self.node.send(src, "proxy-resp",
+                               Response(request.req_id, ok=False,
+                                        overloaded=True,
+                                        error="503 overloaded"),
+                               size_mb=0.0002, trace=request.trace)
+                return
         process = self.node.spawn(self._process(request, src),
                                   name="request")
         # Stamp the handling process with the causal context so work
@@ -66,6 +106,8 @@ class ApplicationServer:
         process.trace = request.trace
 
     def _process(self, request: Request, src: str):
+        admission = self.admission
+        queued_at = self.node.sim.now
         span = None
         if self._spans is not None:
             span = self._spans.begin("server.cpu", self.node.name,
@@ -77,6 +119,10 @@ class ApplicationServer:
                                     priority=1)
         if span is not None:
             self._spans.finish(span)
+        if admission is not None:
+            # Feed the CoDel estimator the delay this request actually
+            # waited before reaching the CPU.
+            admission.on_service_start(self.node.sim.now - queued_at)
         try:
             data = yield from self.servlets.handle(request.interaction,
                                                    request.session)
@@ -85,5 +131,8 @@ class ApplicationServer:
         except Exception as exc:  # noqa: BLE001 - a 500, not a sim bug
             response = Response(request.req_id, ok=False, error=repr(exc))
             self.requests_failed += 1
+        finally:
+            if admission is not None:
+                admission.release()
         self.node.send(src, "proxy-resp", response, size_mb=RESPONSE_SIZE_MB,
                        trace=request.trace)

@@ -1,0 +1,87 @@
+"""Fault-space enumeration of the cross-shard admin-confirm.
+
+Admin Confirm updates an item's cost/images and recomputes its related
+items; in a sharded deployment an update against a foreign-owned item
+runs the same 2PC as a cross-shard buy confirm (a zero-delta prepare
+pins the tx in the owner group's log, the home-ordered AdminConfirm
+record is the durable decision).  The explorer must see that path
+exactly like it sees buy_confirm's: every coordinator stage, every
+participant stage, every directed message hop.
+
+Admin Confirm is the rarest interaction of the mix (~0.1%), so the
+canonical explore deployment (shopping-ish defaults, seed 11) almost
+never produces one.  The tests pin the ordering profile, where the
+interaction is most frequent, at a seed verified to drive at least one
+admin update onto a foreign item before the enumeration cutoff.
+"""
+
+import pytest
+
+from repro.faults.explore import ExplorationRunner, dedupe_points
+from repro.harness.config import ClusterConfig, tiny_scale
+
+pytestmark = pytest.mark.explore
+
+# Every protocol step the 2PC hop graph of admin_confirm contains --
+# identical in shape to buy_confirm's: the coordinator role is the home
+# group ordering the catalog update, the participant is the owner group
+# holding the item's stock.
+EXPECTED_SIGNATURES = {
+    # coordinator crash points, in protocol order
+    ("admin_confirm", "prepare.send", "coordinator"),
+    ("admin_confirm", "prepare.wait", "coordinator"),
+    ("admin_confirm", "prepare.done", "coordinator"),
+    ("admin_confirm", "commit.order", "coordinator"),
+    ("admin_confirm", "decide.after", "coordinator"),
+    # participant crash points
+    ("admin_confirm", "participant.recv", "participant"),
+    ("admin_confirm", "participant.voted", "participant"),
+    # directed message-drop hops
+    ("admin_confirm", "drop.prepare", "coordinator>participant"),
+    ("admin_confirm", "drop.vote", "participant>coordinator"),
+    ("admin_confirm", "drop.decision", "coordinator>participant"),
+}
+
+
+def _runner() -> ExplorationRunner:
+    config = ClusterConfig(scale=tiny_scale(), shards=2, replicas=3,
+                           offered_wips=400.0, seed=2, profile="ordering")
+    return ExplorationRunner(config, interactions=("admin_confirm",))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    runner = _runner()
+    result, points = runner.golden()
+    return runner, result, points
+
+
+def test_every_admin_confirm_hop_is_enumerated(golden):
+    _runner_, _result, points = golden
+    signatures = {p.signature for p in points}
+    assert signatures == EXPECTED_SIGNATURES
+
+
+def test_points_are_concrete_and_replayable(golden):
+    from repro.faults.explore import spec_of
+    runner, _result, points = golden
+    time_div = runner.config.scale.time_div
+    for point in dedupe_points(points):
+        spec = spec_of(point, time_div)
+        assert spec.startswith(("crash@", "drop@"))
+        assert point.at > 0.0
+        assert point.at < runner.cutoff
+
+
+def test_participant_crash_after_vote_recovers(golden):
+    """The classic orphan scenario on the new path: the owner group
+    votes yes for the zero-delta prepare, then its leader crashes.  The
+    watchdog reboot plus the termination protocol must resolve the tx
+    (no prepared transaction stuck, no safety violation)."""
+    runner, _result, points = golden
+    voted = [p for p in points
+             if p.signature == ("admin_confirm", "participant.voted",
+                                "participant")]
+    assert voted
+    _run_result, verdict = runner.run((voted[0],))
+    assert not verdict.violated, verdict.to_dict()

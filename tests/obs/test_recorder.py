@@ -7,7 +7,12 @@ import pytest
 from repro.harness.config import ClusterConfig, tiny_scale
 from repro.harness.experiment import Experiment
 from repro.obs.recorder import FlightRecorder, recorder_of
+from repro.sim import Network, NetworkParams, Node, SeedTree
 from repro.sim.core import Simulator
+from repro.tpcw.workload import Interaction
+from repro.web.http import Request, Response
+from repro.web.proxy import CLIENT_IN_PORT, ReverseProxy
+from repro.web.server import HTTP_PORT, PROBE_PORT, PROBE_REPLY_PORT
 
 
 def test_record_stamps_sim_time_and_sorts_fields():
@@ -119,6 +124,88 @@ def test_recorded_run_is_bit_for_bit_identical():
     assert bare_whole.awips == rec_whole.awips
     assert bare.flight is None and recorded.flight is not None
     assert recorded.flight.recorded > 0
+
+
+class _RecordedProxyRig:
+    """A recorder-instrumented proxy in front of stub backends that
+    answer probes and echo requests after a delay."""
+
+    def __init__(self, n_backends=2, delay=0.05):
+        self.sim = Simulator()
+        self.recorder = FlightRecorder(self.sim)
+        self.sim.recorder = self.recorder
+        network = Network(self.sim, NetworkParams(), seed=SeedTree(5))
+        self.backend_nodes = [Node(self.sim, network, f"b{i}")
+                              for i in range(n_backends)]
+        for node in self.backend_nodes:
+            self._bind_backend(node, delay)
+        proxy_node = Node(self.sim, network, "proxy")
+        self.proxy = ReverseProxy(proxy_node,
+                                  [n.name for n in self.backend_nodes])
+        self.proxy.start()
+        self.client = Node(self.sim, network, "client")
+        self.responses = []
+        self.client.handle("resp",
+                           lambda payload, src: self.responses.append(payload))
+
+    def _bind_backend(self, node, delay):
+        def on_probe(probe_id, src):
+            node.send(src, PROBE_REPLY_PORT, (probe_id, node.name, True))
+
+        def on_request(request, src):
+            def respond():
+                yield node.sim.timeout(delay)
+                node.send(src, "proxy-resp", Response(request.req_id, ok=True))
+            node.spawn(respond())
+
+        node.handle(PROBE_PORT, on_probe)
+        node.handle(HTTP_PORT, on_request)
+
+    def send(self, req_id="q1", client_id=1,
+             interaction=Interaction.BUY_CONFIRM):
+        request = Request(req_id, client_id, "client", "resp", interaction,
+                          {}, sent_at=self.sim.now)
+        self.client.send("proxy", CLIENT_IN_PORT, request)
+
+
+def test_no_backend_reply_records_the_request_context():
+    rig = _RecordedProxyRig()
+    for node in rig.backend_nodes:
+        node.crash()
+    rig.send(req_id="q7", client_id=3, interaction=Interaction.HOME)
+    rig.sim.run(until=1.0)
+    # Every dispatch attempt hit a dead process; the client got the 503
+    # and the ring kept the evidence with full request context.
+    assert rig.responses and not rig.responses[0].ok
+    events = rig.recorder.select(kind="proxy.no_backend")
+    assert len(events) == 1
+    event = events[0]
+    assert event.node == "proxy"
+    assert event.get("req") == "q7"
+    assert event.get("client") == 3
+    assert event.get("interaction") == "home"
+    assert event.get("attempt") == rig.proxy.params.max_dispatch_attempts
+
+
+def test_broken_connection_records_the_request_context():
+    rig = _RecordedProxyRig(delay=0.5)
+    rig.send(req_id="q9", client_id=1, interaction=Interaction.BUY_CONFIRM)
+    rig.sim.run(until=0.1)  # in flight on b1 (hash of client 1 over 2)
+    assert rig.proxy._inflight
+    backend = next(iter(rig.proxy._inflight.values()))[1]
+    dict(zip([n.name for n in rig.backend_nodes],
+             rig.backend_nodes))[backend].crash()
+    rig.sim.run(until=1.0)
+    assert rig.responses and rig.responses[0].error == \
+        "connection reset by peer"
+    events = rig.recorder.select(kind="proxy.broken_connection")
+    assert len(events) == 1
+    event = events[0]
+    assert event.node == "proxy"
+    assert event.get("req") == "q9"
+    assert event.get("client") == 1
+    assert event.get("interaction") == "buy_confirm"
+    assert event.get("backend") == backend
 
 
 def test_one_crash_run_records_the_failover_story():

@@ -1,0 +1,112 @@
+"""Server admission control: bounded queue, deadline shed, CoDel law."""
+
+import pytest
+
+from repro.resilience.admission import (ADMIT, SHED_CODEL, SHED_DEAD,
+                                        SHED_QUEUE, AdmissionController,
+                                        AdmissionParams)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(clock=None, **kw):
+    return AdmissionController(clock or Clock(),
+                               AdmissionParams(**kw) if kw else None)
+
+
+def test_admit_release_tracks_inflight():
+    ctrl = make()
+    assert ctrl.admit() == ADMIT
+    assert ctrl.admit() == ADMIT
+    assert ctrl.inflight == 2
+    ctrl.release()
+    assert ctrl.inflight == 1
+    assert ctrl.admitted == 2
+
+
+def test_dead_on_arrival_is_shed_before_anything_else():
+    clock = Clock()
+    clock.now = 10.0
+    ctrl = make(clock)
+    assert ctrl.admit(deadline=9.5) == SHED_DEAD
+    assert ctrl.admit(deadline=10.0) == SHED_DEAD  # boundary: now >= deadline
+    assert ctrl.admit(deadline=10.5) == ADMIT
+    assert ctrl.shed_dead == 2
+    assert ctrl.inflight == 1
+
+
+def test_bounded_queue_refuses_the_overflow():
+    ctrl = make(queue_limit=3)
+    for _ in range(3):
+        assert ctrl.admit() == ADMIT
+    assert ctrl.admit() == SHED_QUEUE
+    assert ctrl.shed_queue == 1
+    ctrl.release()
+    assert ctrl.admit() == ADMIT
+
+
+def test_codel_needs_sustained_standing_queue():
+    """One bad wait sample must not start shedding; the delay has to
+    stay above target for a whole interval first."""
+    clock = Clock()
+    ctrl = make(clock, codel_target_s=0.25, codel_interval_s=1.0)
+    ctrl.on_service_start(waited_s=1.0)  # above target: clock starts
+    clock.now = 0.5
+    assert ctrl.admit() == ADMIT         # only half an interval elapsed
+    assert not ctrl.shedding
+    clock.now = 1.0
+    assert ctrl.admit() == SHED_CODEL    # sustained for the full interval
+    assert ctrl.shedding
+
+
+def test_codel_drops_are_spaced_not_a_brownout():
+    """Inside a dropping episode most arrivals are still admitted; the
+    drop spacing shrinks as interval/sqrt(count)."""
+    clock = Clock()
+    ctrl = make(clock, codel_target_s=0.25, codel_interval_s=1.0)
+    ctrl.on_service_start(waited_s=1.0)
+    clock.now = 1.0
+    assert ctrl.admit() == SHED_CODEL    # first drop of the episode
+    # Immediately after a drop, arrivals pass until the next drop time.
+    assert ctrl.admit() == ADMIT
+    assert ctrl.admit() == ADMIT
+    clock.now = 2.0                      # spacing after 1 drop = 1.0s
+    assert ctrl.admit() == SHED_CODEL
+    clock.now = 2.5                      # spacing now 1/sqrt(2) = 0.707s
+    assert ctrl.admit() == ADMIT
+    clock.now = 2.8
+    assert ctrl.admit() == SHED_CODEL
+    assert ctrl.shed_codel == 3
+    assert ctrl.admitted == 3
+
+
+def test_codel_episode_ends_when_a_wait_sample_drops_under_target():
+    clock = Clock()
+    ctrl = make(clock, codel_target_s=0.25, codel_interval_s=1.0)
+    ctrl.on_service_start(waited_s=1.0)
+    clock.now = 1.0
+    assert ctrl.admit() == SHED_CODEL
+    assert ctrl.shedding
+    ctrl.on_service_start(waited_s=0.1)  # queue drained
+    assert not ctrl.shedding
+    assert ctrl.admit() == ADMIT
+    # and the estimator restarts from scratch
+    clock.now = 1.5
+    ctrl.on_service_start(waited_s=1.0)
+    clock.now = 2.0
+    assert ctrl.admit() == ADMIT         # half an interval again
+
+
+def test_params_validation():
+    with pytest.raises(ValueError, match="queue_limit"):
+        AdmissionParams(queue_limit=0)
+    with pytest.raises(ValueError, match="CoDel"):
+        AdmissionParams(codel_target_s=0.0)
+    with pytest.raises(ValueError, match="CoDel"):
+        AdmissionParams(codel_interval_s=-1.0)

@@ -1,0 +1,149 @@
+"""Circuit breaker state machine and the AIMD adaptive limit."""
+
+import pytest
+
+from repro.resilience.breaker import (CLOSED, HALF_OPEN, OPEN, AdaptiveLimit,
+                                      CircuitBreaker)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_fall_consecutive_failures():
+    clock = Clock()
+    breaker = CircuitBreaker(clock, fall=3, open_s=2.0)
+    breaker.on_failure()
+    breaker.on_failure()
+    breaker.on_success()  # a success resets the consecutive count
+    breaker.on_failure()
+    breaker.on_failure()
+    assert breaker.state == CLOSED
+    breaker.on_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert not breaker.allow()
+
+
+def test_breaker_half_open_probe_then_close():
+    clock = Clock()
+    breaker = CircuitBreaker(clock, fall=1, open_s=2.0, probes=1)
+    breaker.on_failure()
+    assert breaker.state == OPEN
+    clock.now = 2.0  # cool-off elapsed: one trial request passes
+    assert breaker.allow()
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # probe quota spent
+    breaker.on_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_half_open_failure_reopens():
+    clock = Clock()
+    breaker = CircuitBreaker(clock, fall=1, open_s=1.0)
+    breaker.on_failure()
+    clock.now = 1.0
+    assert breaker.allow()
+    breaker.on_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    clock.now = 1.5  # the cool-off restarted at the re-open
+    assert not breaker.allow()
+
+
+def test_breaker_listener_sees_every_transition():
+    clock = Clock()
+    seen = []
+    breaker = CircuitBreaker(clock, fall=1, open_s=1.0,
+                             listener=lambda old, new: seen.append((old, new)))
+    breaker.on_failure()
+    clock.now = 1.0
+    breaker.allow()
+    breaker.on_success()
+    assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+
+def test_breaker_validation():
+    clock = Clock()
+    with pytest.raises(ValueError, match="fall"):
+        CircuitBreaker(clock, fall=0)
+    with pytest.raises(ValueError, match="open_s"):
+        CircuitBreaker(clock, open_s=0.0)
+    with pytest.raises(ValueError, match="probes"):
+        CircuitBreaker(clock, probes=0)
+
+
+# ----------------------------------------------------------------------
+# AdaptiveLimit
+# ----------------------------------------------------------------------
+def test_limit_additive_increase_on_fast_successes():
+    limit = AdaptiveLimit(Clock(), target_s=1.0, initial=10.0)
+    for _ in range(10):
+        limit.on_result(0.1, ok=True)
+    # ~ +1/limit per success: one extra slot per round of the window
+    assert 10.9 <= limit.limit <= 11.1
+    assert limit.increases == 10
+
+
+def test_limit_holds_on_slow_but_successful_responses():
+    """Latency alone is not a loss signal: a system running near its
+    acceptable saturation point must not shed its own steady traffic."""
+    limit = AdaptiveLimit(Clock(), target_s=1.0, initial=32.0)
+    for _ in range(100):
+        limit.on_result(5.0, ok=True)
+    assert limit.limit == 32.0
+    assert limit.increases == 0
+    assert limit.decreases == 0
+
+
+def test_limit_halves_on_failure_with_cooldown():
+    """A correlated burst of failures is one congestion event: the
+    multiplicative decrease is gated to once per cooldown."""
+    clock = Clock()
+    limit = AdaptiveLimit(clock, target_s=1.0, initial=64.0, cooldown_s=1.0)
+    for _ in range(50):
+        limit.on_result(2.0, ok=False)
+    assert limit.limit == 32.0
+    assert limit.decreases == 1
+    clock.now = 1.0
+    limit.on_result(2.0, ok=False)
+    assert limit.limit == 16.0
+    assert limit.decreases == 2
+
+
+def test_limit_respects_floor_and_ceiling():
+    clock = Clock()
+    limit = AdaptiveLimit(clock, target_s=1.0, initial=8.0,
+                          min_limit=4.0, max_limit=9.0, cooldown_s=1.0)
+    for step in range(10):
+        clock.now = float(step)
+        limit.on_result(0.0, ok=False)
+    assert limit.limit == 4.0
+    for _ in range(1000):
+        limit.on_result(0.1, ok=True)
+    assert limit.limit == 9.0
+
+
+def test_limit_allows_below_integer_limit():
+    limit = AdaptiveLimit(Clock(), initial=4.0)
+    assert limit.allows(3)
+    assert not limit.allows(4)
+    assert not limit.allows(10)
+
+
+def test_limit_validation():
+    clock = Clock()
+    with pytest.raises(ValueError, match="target_s"):
+        AdaptiveLimit(clock, target_s=0.0)
+    with pytest.raises(ValueError, match="min_limit"):
+        AdaptiveLimit(clock, initial=1.0, min_limit=4.0)
+    with pytest.raises(ValueError, match="backoff"):
+        AdaptiveLimit(clock, backoff=1.0)

@@ -1,0 +1,91 @@
+"""The metastability oracle: verdicts from synthetic goodput shapes."""
+
+import pytest
+
+from repro.faults.metrics import MetricsCollector
+from repro.resilience.oracle import (DEGRADED, METASTABLE, RECOVERED,
+                                     UNDETERMINED, MetastabilityOracle)
+from repro.tpcw.workload import Interaction
+
+TRIGGER_AT = 10.0
+HEALED_AT = 20.0
+
+
+def fill(collector, start, end, per_second, ok=True):
+    """``per_second`` completions per second over [start, end)."""
+    for sec in range(int(start), int(end)):
+        for k in range(per_second):
+            done = sec + (k + 0.5) / per_second
+            collector.record(done - 0.1, done, Interaction.HOME, ok,
+                             "" if ok else "timeout")
+
+
+def judge(collector, end):
+    oracle = MetastabilityOracle(sustain_s=60.0, grace_s=30.0, bucket_s=5.0)
+    return oracle.judge(collector, measure_start=0.0, trigger_at=TRIGGER_AT,
+                        healed_at=HEALED_AT, end=end)
+
+
+def test_collapse_that_outlives_its_trigger_is_metastable():
+    collector = MetricsCollector()
+    fill(collector, 0, 10, per_second=10)          # healthy baseline
+    fill(collector, 20, 90, per_second=1)          # pinned at 10% after heal
+    report = judge(collector, end=90.0)
+    assert report.verdict == METASTABLE
+    assert report.baseline_wips == pytest.approx(10.0)
+    assert report.post_heal_ratio < 0.5
+    assert report.recovered_at is None
+    assert all(ratio < 0.5 for _t, ratio in report.series)
+
+
+def test_prompt_return_to_baseline_is_recovered():
+    collector = MetricsCollector()
+    fill(collector, 0, 10, per_second=10)
+    fill(collector, 22, 90, per_second=10)         # back at full rate by 22s
+    report = judge(collector, end=90.0)
+    assert report.verdict == RECOVERED
+    assert report.recovered_at is not None
+    assert report.recovered_at <= HEALED_AT + 30.0
+
+
+def test_partial_recovery_is_degraded_not_metastable():
+    collector = MetricsCollector()
+    fill(collector, 0, 10, per_second=10)
+    fill(collector, 20, 90, per_second=7)          # 70%: impaired, not pinned
+    report = judge(collector, end=90.0)
+    assert report.verdict == DEGRADED
+    assert report.recovered_at is None
+
+
+def test_truncated_observation_never_claims_metastable():
+    """A run that ends before the sustain window closes cannot prove
+    the collapse was sustained; the worst it may say is degraded."""
+    collector = MetricsCollector()
+    fill(collector, 0, 10, per_second=10)
+    fill(collector, 20, 40, per_second=1)
+    report = judge(collector, end=40.0)            # sustain ends at 80s
+    assert report.verdict == DEGRADED
+
+
+def test_empty_baseline_is_undetermined():
+    report = judge(MetricsCollector(), end=90.0)
+    assert report.verdict == UNDETERMINED
+    assert report.baseline_wips == 0.0
+
+
+def test_report_to_dict_round_trips_the_evidence():
+    collector = MetricsCollector()
+    fill(collector, 0, 10, per_second=10)
+    fill(collector, 22, 90, per_second=10)
+    data = judge(collector, end=90.0).to_dict()
+    assert data["verdict"] == RECOVERED
+    assert data["trigger_at"] == TRIGGER_AT
+    assert data["healed_at"] == HEALED_AT
+    assert isinstance(data["series"], list) and data["series"]
+
+
+def test_oracle_parameter_validation():
+    with pytest.raises(ValueError, match="collapse_ratio"):
+        MetastabilityOracle(collapse_ratio=0.9, recover_ratio=0.5)
+    with pytest.raises(ValueError, match="positive"):
+        MetastabilityOracle(sustain_s=0.0)

@@ -1,0 +1,139 @@
+"""Retry policies, the grammar, and the token-bucket budget."""
+
+import random
+
+import pytest
+
+from repro.resilience.retry import (DEFAULT_BURST, RetryBudget, RetryPolicy,
+                                    parse_retry)
+
+
+# ----------------------------------------------------------------------
+# policy semantics
+# ----------------------------------------------------------------------
+def test_none_policy_is_disabled_and_free():
+    policy = RetryPolicy()
+    assert policy.kind == "none"
+    assert not policy.enabled
+    assert policy.delay_s(0) == 0.0
+    assert policy.make_budget() is None
+
+
+def test_immediate_and_fixed_draw_no_randomness():
+    class Explodes:
+        def uniform(self, *_a):  # pragma: no cover - must never run
+            raise AssertionError("rng consulted by a non-jittered policy")
+
+    assert RetryPolicy(kind="immediate").delay_s(2, Explodes()) == 0.0
+    assert RetryPolicy(kind="fixed", base_s=0.3).delay_s(5, Explodes()) == 0.3
+
+
+def test_expo_backoff_doubles_and_caps():
+    policy = RetryPolicy(kind="expo", base_s=0.5, cap_s=4.0, jitter=False)
+    assert [policy.delay_s(a) for a in range(5)] == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+
+def test_expo_full_jitter_stays_under_the_ceiling():
+    policy = RetryPolicy(kind="expo", base_s=0.5, cap_s=8.0, jitter=True)
+    rng = random.Random(7)
+    for attempt in range(6):
+        ceiling = min(8.0, 0.5 * 2.0 ** attempt)
+        for _ in range(50):
+            assert 0.0 <= policy.delay_s(attempt, rng) <= ceiling
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="kind"):
+        RetryPolicy(kind="polite")
+    with pytest.raises(ValueError, match="non-negative"):
+        RetryPolicy(kind="fixed", base_s=-1.0)
+    with pytest.raises(ValueError, match="attempts"):
+        RetryPolicy(kind="immediate", attempts=-1)
+    with pytest.raises(ValueError, match="budget"):
+        RetryPolicy(kind="immediate", budget=1.5)
+
+
+# ----------------------------------------------------------------------
+# the grammar
+# ----------------------------------------------------------------------
+def test_parse_bare_kinds():
+    assert parse_retry(None).kind == "none"
+    assert parse_retry("none").kind == "none"
+    assert parse_retry("immediate").kind == "immediate"
+
+
+def test_parse_full_defended_spec():
+    policy = parse_retry("expo:base=0.5,cap=8,budget=10%")
+    assert policy.kind == "expo"
+    assert policy.base_s == 0.5
+    assert policy.cap_s == 8.0
+    assert policy.jitter is True
+    assert policy.budget == pytest.approx(0.1)
+
+
+def test_parse_option_forms():
+    assert parse_retry("fixed:delay=0.25s,attempts=2").base_s == 0.25
+    assert parse_retry("expo:base=1,cap=4,jitter=off").jitter is False
+    assert parse_retry("immediate:budget=0.05").budget == pytest.approx(0.05)
+
+
+def test_parse_rejects_misplaced_and_unknown_options():
+    with pytest.raises(ValueError, match="delay"):
+        parse_retry("expo:delay=1")
+    with pytest.raises(ValueError, match="base"):
+        parse_retry("fixed:base=1")
+    with pytest.raises(ValueError, match="unknown retry option"):
+        parse_retry("immediate:frobnicate=1")
+    with pytest.raises(ValueError, match="unknown retry kind"):
+        parse_retry("aggressive")
+    with pytest.raises(ValueError, match="malformed"):
+        parse_retry("fixed:delay")
+
+
+def test_spec_round_trips_through_the_parser():
+    for text in ("none", "immediate:attempts=4",
+                 "expo:base=0.5,cap=8,attempts=3,budget=10%",
+                 "expo:base=1,cap=4,jitter=off",
+                 "fixed:delay=0.25,attempts=2"):
+        policy = parse_retry(text)
+        again = parse_retry(policy.spec())
+        assert again == policy
+
+
+# ----------------------------------------------------------------------
+# the budget
+# ----------------------------------------------------------------------
+def test_budget_burst_then_dry():
+    budget = RetryBudget(0.1, burst=3.0)
+    # The bucket starts full: a blip may spend the whole burst at once.
+    assert [budget.try_spend() for _ in range(4)] == [True, True, True,
+                                                     False]
+    assert budget.spent == 3
+    assert budget.denied == 1
+
+
+def test_budget_earn_rate_bounds_sustained_retries():
+    budget = RetryBudget(0.1, burst=1.0)
+    budget.tokens = 0.0  # past the initial burst
+    granted = 0
+    for _ in range(1000):
+        budget.earn()
+        if budget.try_spend():
+            granted += 1
+    # 10% earn ratio: sustained retry volume is ~10% of first tries.
+    assert 90 <= granted <= 110
+
+
+def test_budget_never_exceeds_burst():
+    budget = RetryBudget(1.0, burst=2.0)
+    for _ in range(50):
+        budget.earn()
+    assert budget.tokens == 2.0
+
+
+def test_budget_validation_and_default_burst():
+    assert RetryBudget(0.5).burst == DEFAULT_BURST
+    with pytest.raises(ValueError, match="ratio"):
+        RetryBudget(0.0)
+    with pytest.raises(ValueError, match="burst"):
+        RetryBudget(0.5, burst=0.5)

@@ -167,3 +167,20 @@ def test_not_ready_backend_fails_probe():
     harness.backends[0].ready = False
     harness.run(10.0)
     assert "b0" not in harness.proxy.active
+
+
+def test_dead_backend_redispatch_is_charged_proxy_cpu():
+    """A redispatch re-enters the work queue and costs ``cpu_request_s``
+    like a fresh forward -- a redispatch storm must show up in the
+    proxy's own queueing station, not ride for free."""
+    params = ProxyParams()
+    harness = ProxyHarness()
+    harness.backend_nodes[1].crash()  # client 1 hashes to b1
+    harness.send(client_id=1)
+    harness.run(1.0)
+    assert harness.responses and harness.responses[0].ok
+    assert harness.proxy.stats["redispatched"] == 1
+    # initial forward + one redispatch, each a full request's worth of
+    # CPU, plus relaying the single response.
+    expected = 2 * params.cpu_request_s + params.cpu_response_s
+    assert harness.proxy_node.cpu.total_busy_time == pytest.approx(expected)
